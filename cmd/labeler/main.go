@@ -1,0 +1,167 @@
+// Command labeler builds distance estimation structures — the
+// (0,δ)-triangulation of Theorem 3.2 or the distance labels of Theorem
+// 3.4 — on a synthetic doubling metric and answers pair queries:
+//
+//	labeler -workload latency -n 100 -mode tri -pairs 0:5,3:77
+//	labeler -workload expline -n 48 -logaspect 300 -mode dls -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rings/internal/distlabel"
+	"rings/internal/triangulation"
+	"rings/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "labeler:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		wl     = flag.String("workload", "latency", "grid | cube | expline | latency")
+		side   = flag.Int("side", 7, "grid side")
+		n      = flag.Int("n", 64, "node count")
+		logA   = flag.Float64("logaspect", 60, "log2 aspect ratio (expline)")
+		mode   = flag.String("mode", "tri", "tri | dls | simple")
+		delta  = flag.Float64("delta", 0.5, "target approximation slack")
+		seed   = flag.Int64("seed", 1, "random seed")
+		pairs  = flag.String("pairs", "", "pair list u:v,u:v,... (default: a few samples)")
+		verify = flag.Bool("verify", false, "verify the guarantee over all pairs")
+	)
+	flag.Parse()
+
+	var inst workload.MetricInstance
+	var err error
+	switch *wl {
+	case "grid":
+		inst, err = workload.Grid(*side)
+	case "cube":
+		inst, err = workload.Cube(*n, *seed)
+	case "expline":
+		inst, err = workload.ExpLine(*n, *logA)
+	case "latency":
+		inst, err = workload.Latency(*n, *seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		return err
+	}
+	idx := inst.Idx
+
+	queryPairs, err := parsePairs(*pairs, idx.N())
+	if err != nil {
+		return err
+	}
+
+	estimate := func(u, v int) (lo, hi float64, ok bool) { return 0, 0, false }
+	switch *mode {
+	case "tri":
+		tri, err := triangulation.New(idx, *delta)
+		if err != nil {
+			return err
+		}
+		bits, err := tri.MaxLabelBits()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(0,%.2g)-triangulation on %s: order %d, label bits(max) %d\n",
+			*delta, inst.Name, tri.Order(), bits)
+		if *verify {
+			st, err := tri.VerifyAllPairs()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("verified %d pairs: worst D+/D- = %.4f, bad pairs = %d\n",
+				st.Pairs, st.WorstRatio, st.BadPairs)
+		}
+		estimate = tri.Estimate
+	case "dls":
+		s, err := distlabel.New(idx, *delta)
+		if err != nil {
+			return err
+		}
+		bits, err := s.MaxLabelBits()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("thm3.4 labels on %s: label bits(max) %d (no global IDs)\n", inst.Name, bits)
+		if *verify {
+			st, err := s.VerifyAllPairs()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("verified %d pairs: worst D+/d = %.4f, bad pairs = %d\n",
+				st.Pairs, st.WorstUpperSlack, st.BadPairs)
+		}
+		estimate = func(u, v int) (float64, float64, bool) {
+			return distlabel.Estimate(s.Label(u), s.Label(v))
+		}
+	case "simple":
+		s, err := distlabel.NewSimple(idx, *delta)
+		if err != nil {
+			return err
+		}
+		bits, err := s.MaxLabelBits()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[44]-style labels on %s: label bits(max) %d (global IDs)\n", inst.Name, bits)
+		if *verify {
+			if err := s.Verify(); err != nil {
+				return err
+			}
+			fmt.Println("verified all pairs")
+		}
+		estimate = s.Estimate
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	for _, p := range queryPairs {
+		lo, hi, ok := estimate(p[0], p[1])
+		d := idx.Dist(p[0], p[1])
+		if !ok {
+			fmt.Printf("  d(%d,%d): no common beacon (unexpected)\n", p[0], p[1])
+			continue
+		}
+		fmt.Printf("  d(%d,%d) = %.6g   certified in [%.6g, %.6g]  (ratio %.4f)\n",
+			p[0], p[1], d, lo, hi, hi/d)
+	}
+	return nil
+}
+
+func parsePairs(s string, n int) ([][2]int, error) {
+	if s == "" {
+		return [][2]int{{0, n - 1}, {0, n / 2}, {n / 3, 2 * n / 3}}, nil
+	}
+	var out [][2]int
+	for _, item := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(item), ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad pair %q (want u:v)", item)
+		}
+		u, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad pair %q: %w", item, err)
+		}
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad pair %q: %w", item, err)
+		}
+		if u < 0 || v < 0 || u >= n || v >= n || u == v {
+			return nil, fmt.Errorf("pair %q out of range (n=%d)", item, n)
+		}
+		out = append(out, [2]int{u, v})
+	}
+	return out, nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParsePairs(t *testing.T) {
+	got, err := parsePairs("0:5, 3:7", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != [2]int{0, 5} || got[1] != [2]int{3, 7} {
+		t.Errorf("parsePairs = %v", got)
+	}
+	// Default sample pairs.
+	def, err := parsePairs("", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 3 {
+		t.Errorf("default pairs = %v", def)
+	}
+	for _, bad := range []string{"0", "0:x", "x:1", "0:99", "-1:3", "4:4"} {
+		if _, err := parsePairs(bad, 10); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

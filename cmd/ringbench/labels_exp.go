@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rings/internal/bitio"
+	"rings/internal/distlabel"
+	"rings/internal/metric"
+	"rings/internal/stats"
+	"rings/internal/triangulation"
+	"rings/internal/workload"
+)
+
+// expTriangulation reproduces E4 (Theorem 3.2): the (0,δ)-triangulation
+// covers *every* pair with a certificate, its order grows like log n on
+// scale-spread metrics, and the shared-beacon baseline of [33,50] leaves
+// an ε-fraction of pairs uncovered at the same beacon budget.
+func expTriangulation(seed int64, quick bool) error {
+	section("E4 / Theorem 3.2 — (0,δ)-triangulation vs shared beacons")
+	delta := 0.5
+	rng := rand.New(rand.NewSource(seed))
+
+	sizes := []int{16, 32, 64, 128}
+	if quick {
+		sizes = []int{16, 32}
+	}
+	shape := stats.NewTable("workload", "n", "order", "worst D+/D-", "bad pairs",
+		"baseline ε (same budget)")
+	for _, n := range sizes {
+		line, err := metric.ExponentialLine(n, 2)
+		if err != nil {
+			return err
+		}
+		idx := metric.NewIndex(line)
+		tri, err := triangulation.New(idx, delta)
+		if err != nil {
+			return err
+		}
+		st, err := tri.VerifyAllPairs()
+		if err != nil {
+			return err
+		}
+		k := tri.Order()
+		if k > idx.N() {
+			k = idx.N()
+		}
+		shared, err := triangulation.NewSharedBeacons(idx, k, rng)
+		if err != nil {
+			return err
+		}
+		shape.AddRow(fmt.Sprintf("expline-n%d", n), n, tri.Order(), st.WorstRatio,
+			st.BadPairs, shared.BadPairFraction(delta))
+	}
+	fmt.Print(shape.String())
+	fmt.Println("\nOrder grows by a ~constant increment per doubling of n (the paper's")
+	fmt.Println("O_δ(log n)); the baseline's ε > 0 is the \"obvious flaw\" Theorem 3.2 fixes.")
+
+	side, cubeN, latN := 8, 100, 100
+	if quick {
+		side, cubeN, latN = 6, 50, 50
+	}
+	grid, err := workload.Grid(side)
+	if err != nil {
+		return err
+	}
+	cube, err := workload.Cube(cubeN, seed)
+	if err != nil {
+		return err
+	}
+	lat, err := workload.Latency(latN, seed+1)
+	if err != nil {
+		return err
+	}
+	fam := stats.NewTable("workload", "order", "worst D+/D-", "mean D+/D-", "bad pairs", "label bits(max)")
+	for _, inst := range []workload.MetricInstance{grid, cube, lat} {
+		tri, err := triangulation.New(inst.Idx, delta)
+		if err != nil {
+			return err
+		}
+		st, err := tri.VerifyAllPairs()
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		bits, err := tri.MaxLabelBits()
+		if err != nil {
+			return err
+		}
+		fam.AddRow(inst.Name, tri.Order(), st.WorstRatio, st.MeanRatio, st.BadPairs, bits)
+	}
+	fmt.Println()
+	fmt.Print(fam.String())
+	fmt.Println("\nOn unit-scale metrics the paper's worst-case ring constants exceed n, so the")
+	fmt.Println("order saturates at n (documented in DESIGN.md §4); correctness is unaffected.")
+	return nil
+}
+
+// expDistanceLabels reproduces E5 (Theorem 3.4): label sizes as the
+// aspect ratio explodes with n fixed — the (log n)(log log ∆) regime —
+// against the [44]-style scheme that pays global IDs per beacon, and
+// accuracy of the label-only estimates.
+func expDistanceLabels(seed int64, quick bool) error {
+	section("E5 / Theorem 3.4 — distance labels vs aspect ratio")
+	delta := 0.5
+	n := 48
+	aspects := []float64{60, 300, 900}
+	if quick {
+		n, aspects = 24, []float64{60, 300}
+	}
+	tbl := stats.NewTable("workload", "log2 ∆", "thm3.4 bits(max)", "[44]-style bits(max)",
+		"ψ-ptr bits", "ID bits", "worst D+/d", "bad pairs")
+	for _, la := range aspects {
+		inst, err := workload.ExpLine(n, la)
+		if err != nil {
+			return err
+		}
+		scheme, err := distlabel.New(inst.Idx, delta)
+		if err != nil {
+			return err
+		}
+		st, err := scheme.VerifyAllPairs()
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		bits, err := scheme.MaxLabelBits()
+		if err != nil {
+			return err
+		}
+		simple, err := distlabel.NewSimple(inst.Idx, delta)
+		if err != nil {
+			return err
+		}
+		simpleBits, err := simple.MaxLabelBits()
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(inst.Name, math.Round(metric.LogAspect(inst.Idx)), bits, simpleBits,
+			bitio.WidthFor(scheme.MaxT), bitio.WidthFor(inst.Idx.N()),
+			st.WorstUpperSlack, st.BadPairs)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nWith n fixed, per-distance growth tracks the exponent field (log log ∆) for")
+	fmt.Println("both schemes. Theorem 3.4 swaps the ceil(log n) global-ID cost per beacon")
+	fmt.Println("(column 'ID bits') for a ceil(log N) virtual pointer ('ψ-ptr bits',")
+	fmt.Println("N = max|T_u| = O(K² log n log ∆)); the asymptotic win needs n >> K, so at")
+	fmt.Println("lab scale the ζ-map overhead keeps thm3.4's total above the [44] scheme —")
+	fmt.Println("the shape to check is the two width columns, not the totals.")
+	return nil
+}

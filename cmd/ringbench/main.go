@@ -1,0 +1,73 @@
+// Command ringbench regenerates every table and figure of the paper's
+// evaluation on synthetic doubling workloads, printing the measurements
+// as markdown tables. EXPERIMENTS.md is produced from its output:
+//
+//	ringbench -exp all -seed 1
+//
+// Individual experiments: table1 table2 table3 tri dls sw-a sw-b
+// sw-single sw-ul substrates figure1 figure2 (comma-separated).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ringbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiments to run (comma-separated, or 'all')")
+		seed  = flag.Int64("seed", 1, "base random seed")
+		quick = flag.Bool("quick", false, "smaller instances (CI mode)")
+	)
+	flag.Parse()
+
+	all := map[string]func(int64, bool) error{
+		"table1":     expTable1,
+		"table2":     expTable2,
+		"table3":     expTable3,
+		"tri":        expTriangulation,
+		"dls":        expDistanceLabels,
+		"sw-a":       expSmallWorldA,
+		"sw-b":       expSmallWorldB,
+		"sw-single":  expSingleLink,
+		"sw-ul":      expULComparison,
+		"substrates": expSubstrates,
+		"figure1":    expFigure1,
+		"figure2":    expFigure2,
+	}
+	order := []string{
+		"substrates", "table1", "table2", "table3", "tri", "dls",
+		"sw-a", "sw-b", "sw-single", "sw-ul", "figure1", "figure2",
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = order
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		f, ok := all[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err := f(*seed, *quick); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func section(title string) {
+	fmt.Printf("\n### %s\n\n", title)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsQuick runs every experiment in quick mode: the
+// harness is the artifact that regenerates the paper's tables, so it gets
+// the same regression protection as the library.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	experiments := map[string]func(int64, bool) error{
+		"table1":     expTable1,
+		"table2":     expTable2,
+		"table3":     expTable3,
+		"tri":        expTriangulation,
+		"dls":        expDistanceLabels,
+		"sw-a":       expSmallWorldA,
+		"sw-b":       expSmallWorldB,
+		"sw-single":  expSingleLink,
+		"sw-ul":      expULComparison,
+		"substrates": expSubstrates,
+		"figure1":    expFigure1,
+		"figure2":    expFigure2,
+	}
+	for name, f := range experiments {
+		t.Run(name, func(t *testing.T) {
+			if err := f(1, true); err != nil {
+				t.Fatalf("experiment %s: %v", name, err)
+			}
+		})
+	}
+}

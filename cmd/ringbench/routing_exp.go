@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+	"rings/internal/routing"
+	"rings/internal/stats"
+	"rings/internal/workload"
+)
+
+// expTable1 reproduces Table 1: (1+δ)-stretch routing schemes on doubling
+// graphs — routing table and packet header sizes, with measured stretch.
+// Rows: the trivial full-table baseline, the Talwar-style global-id
+// comparator, Theorem 2.1 and Theorem 4.1. The paper's contrast to
+// verify: Thm 2.1 headers/labels scale with log ∆ at ceil(log K) bits per
+// scale, the global-id variant pays ceil(log n) per scale, and Thm 4.1
+// moves the log ∆ out of the header into the tables.
+func expTable1(seed int64, quick bool) error {
+	section("E1 / Table 1 — routing schemes on doubling graphs")
+	side, pathN := 9, 28
+	if quick {
+		side, pathN = 6, 16
+	}
+	gg, err := workload.GridGraph(side, seed)
+	if err != nil {
+		return err
+	}
+	ep, err := workload.ExpPath(pathN, 8) // log2 aspect ~ 3*(n-2)
+	if err != nil {
+		return err
+	}
+	delta := 0.5
+	tbl := stats.NewTable("workload", "scheme", "stretch(max)", "stretch(mean)",
+		"table bits(max)", "label bits(max)", "header bits(max)", "hops(max)")
+	for _, inst := range []workload.GraphInstance{gg, ep} {
+		schemes := make([]routing.Scheme, 0, 4)
+		if s, err := routing.NewFullTable(inst.G); err == nil {
+			schemes = append(schemes, s)
+		}
+		if s, err := routing.NewThm21Global(inst.G, delta); err == nil {
+			schemes = append(schemes, s)
+		}
+		if s, err := routing.NewThm21(inst.G, delta); err == nil {
+			schemes = append(schemes, s)
+		} else {
+			return fmt.Errorf("thm2.1 on %s: %w", inst.Name, err)
+		}
+		if s, err := routing.NewThm41(inst.G, delta); err == nil {
+			schemes = append(schemes, s)
+		} else {
+			return fmt.Errorf("thm4.1 on %s: %w", inst.Name, err)
+		}
+		for _, s := range schemes {
+			st, err := routing.Evaluate(s, inst.Idx, 1, 60*inst.G.N())
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", s.Name(), inst.Name, err)
+			}
+			tbl.AddRow(inst.Name, s.Name(), st.MaxStretch, st.MeanStretch,
+				st.MaxTableBits, st.MaxLabelBits, st.MaxHeaderBits, st.MaxHops)
+		}
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\nδ = %v for all compact schemes; full-table is the stretch-1 baseline.\n", delta)
+	return nil
+}
+
+// expTable2 reproduces Table 2: routing schemes on doubling *metrics*,
+// where the scheme also chooses the overlay and the out-degree is a
+// measured cost.
+func expTable2(seed int64, quick bool) error {
+	section("E2 / Table 2 — routing schemes on doubling metrics (overlays)")
+	side, lineN := 8, 32
+	if quick {
+		side, lineN = 5, 20
+	}
+	grid, err := workload.Grid(side)
+	if err != nil {
+		return err
+	}
+	line, err := workload.ExpLine(lineN, float64(lineN)*2)
+	if err != nil {
+		return err
+	}
+	delta := 0.5
+	tbl := stats.NewTable("workload", "scheme", "out-degree", "stretch(max)",
+		"table bits(max)", "header bits(max)")
+	for _, inst := range []workload.MetricInstance{grid, line} {
+		type metricScheme struct {
+			s   routing.Scheme
+			err error
+		}
+		builds := []metricScheme{}
+		if s, err := routing.NewThm21Metric(inst.Idx, delta); err == nil {
+			builds = append(builds, metricScheme{s: s})
+		} else {
+			return err
+		}
+		if s, err := routing.NewThm41Metric(inst.Idx, delta); err == nil {
+			builds = append(builds, metricScheme{s: s})
+		} else {
+			return err
+		}
+		for _, b := range builds {
+			st, err := routing.Evaluate(b.s, inst.Idx, 1, 60*inst.Idx.N())
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", b.s.Name(), inst.Name, err)
+			}
+			tbl.AddRow(inst.Name, b.s.Name(), b.s.Graph().MaxOutDegree(),
+				st.MaxStretch, st.MaxTableBits, st.MaxHeaderBits)
+		}
+		// Theorem 4.2 row: the two-mode scheme over the symmetrized ring
+		// overlay (Section 4.1 lets vt link straight to t; the stored
+		// escape routes over the overlay play that role here).
+		b1, over, err := b1OnOverlay(inst.Idx, delta)
+		if err != nil {
+			return fmt.Errorf("thmB.1 on %s: %w", inst.Name, err)
+		}
+		st, err := routing.Evaluate(b1, inst.Idx, 1, 80*inst.Idx.N())
+		if err != nil {
+			return fmt.Errorf("thmB.1 on %s: %w", inst.Name, err)
+		}
+		tbl.AddRow(inst.Name, "thm4.2/two-mode", over.MaxOutDegree(),
+			st.MaxStretch, st.MaxTableBits, st.MaxHeaderBits)
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func b1OnOverlay(idx *metric.Index, delta float64) (*routing.ThmB1, *graph.Graph, error) {
+	over, err := routing.RingOverlay(idx, delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := routing.NewThmB1(over, delta, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, over, nil
+}
+
+// expTable3 reproduces Table 3 (Appendix B): the space split between
+// modes M1 and M2 of Theorem B.1, plus mode usage and stretch.
+func expTable3(seed int64, quick bool) error {
+	section("E3 / Table 3 — Theorem B.1 mode split (M1 vs M2)")
+	side, lineN := 6, 20
+	if quick {
+		side, lineN = 5, 14
+	}
+	grid, err := workload.Grid(side)
+	if err != nil {
+		return err
+	}
+	line, err := workload.ExpLine(lineN, 160)
+	if err != nil {
+		return err
+	}
+	delta := 0.5
+	tbl := stats.NewTable("workload", "M1 table bits(max)", "M2 table bits(max)",
+		"header bits(max)", "label bits(max)", "stretch(max)", "pairs starting in M1", "N_delta")
+	for _, inst := range []workload.MetricInstance{grid, line} {
+		s, _, err := b1OnOverlay(inst.Idx, delta)
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		st, err := routing.Evaluate(s, inst.Idx, 1, 80*inst.Idx.N())
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		n := inst.Idx.N()
+		m1, m2 := 0, 0
+		for u := 0; u < n; u++ {
+			if b := s.M1TableBits(u); b > m1 {
+				m1 = b
+			}
+			if b := s.M2TableBits(u); b > m2 {
+				m2 = b
+			}
+		}
+		inM1, pairs := 0, 0
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				pairs++
+				if s.StartsInM1(u, v) {
+					inM1++
+				}
+			}
+		}
+		tbl.AddRow(inst.Name, m1, m2, st.MaxHeaderBits, st.MaxLabelBits, st.MaxStretch,
+			fmt.Sprintf("%d/%d (%.0f%%)", inM1, pairs, 100*float64(inM1)/math.Max(float64(pairs), 1)),
+			s.NDelta())
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nM1 engages when the radius ladder has no gap at the pair's scale (grids);")
+	fmt.Println("gap-heavy exponential lines push pairs into M2, the regime Lemma B.5 covers.")
+	return nil
+}

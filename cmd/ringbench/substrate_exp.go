@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"rings/internal/core"
+	"rings/internal/measure"
+	"rings/internal/metric"
+	"rings/internal/nets"
+	"rings/internal/packing"
+	"rings/internal/stats"
+	"rings/internal/workload"
+)
+
+// expSubstrates reproduces E10: the substrate guarantees of Section 1.1 —
+// Lemma 1.1/1.2 (covers, aspect vs dimension), Lemma 1.4 (net sparsity),
+// Theorem 1.3 (doubling measures) and Lemma 3.1 (packings) — measured on
+// every metric family the experiments use.
+func expSubstrates(seed int64, quick bool) error {
+	section("E10 / Section 1.1 — substrate guarantees, measured")
+	side, cubeN, lineN, latN := 8, 80, 32, 80
+	if quick {
+		side, cubeN, lineN, latN = 6, 40, 20, 40
+	}
+	grid, err := workload.Grid(side)
+	if err != nil {
+		return err
+	}
+	cube, err := workload.Cube(cubeN, seed)
+	if err != nil {
+		return err
+	}
+	line, err := workload.ExpLine(lineN, 64)
+	if err != nil {
+		return err
+	}
+	lat, err := workload.Latency(latN, seed)
+	if err != nil {
+		return err
+	}
+	tbl := stats.NewTable("workload", "n", "α̂ (doubling dim)", "log2 ∆",
+		"lemma 1.2 ok", "µ doubling const", "counting doubling const", "packing(1/8) ok")
+	for _, inst := range []workload.MetricInstance{grid, cube, line, lat} {
+		idx := inst.Idx
+		alpha := metric.DoublingDimension(idx)
+		_, _, l12 := metric.CheckLemma12(idx, alpha)
+		mu, err := measure.Doubling(idx)
+		if err != nil {
+			return err
+		}
+		smp, err := measure.NewSampler(idx, mu)
+		if err != nil {
+			return err
+		}
+		cSmp, err := measure.NewSampler(idx, measure.Counting(idx.N()))
+		if err != nil {
+			return err
+		}
+		p, err := packing.New(idx, cSmp, 1.0/8)
+		if err != nil {
+			return err
+		}
+		packOK := p.Verify(idx) == nil
+		tbl.AddRow(inst.Name, idx.N(), alpha, math.Round(metric.LogAspect(idx)),
+			l12, smp.DoublingConstant(128), cSmp.DoublingConstant(128), packOK)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nOn the exponential line the counting measure's doubling constant explodes")
+	fmt.Println("while the net-tree measure (Theorem 1.3) stays 2^O(α) — the reason the")
+	fmt.Println("small-world samplers weight by µ rather than by cardinality.")
+	return nil
+}
+
+// expFigure1 reproduces Figure 1: the flow of ideas between the results,
+// mapped to the implementation's packages.
+func expFigure1(seed int64, quick bool) error {
+	section("F1 / Figure 1 — flow of ideas, as implemented")
+	fmt.Print(`
+    basic idea: rings of neighbors ............... internal/core
+      |                       \
+      v                        v
+    Thm 2.1: basic routing      simple: O(log ∆)-hop small worlds
+      (internal/routing/thm21)     |
+      |                            v
+      v                         Thm 5.1a (=5.2a): out-deg ~ log∆ ... internal/smallworld/thm52.go
+    Thm 3.2: triangulation         |
+      (internal/triangulation)     v
+      |                         Thm 5.1b (=5.2b): out-deg ~ sqrt(log∆)
+      v
+    Thm 3.4: distance labeling ... internal/distlabel
+      |            \
+      v (black box) v (techniques)
+    Thm 4.1         Thm 4.2/B.1: two-mode routing
+      (routing/thm41) (routing/thmb1*)
+
+`)
+	fmt.Println("Import graph mirrors the arrows: routing/thm41 imports distlabel as a black")
+	fmt.Println("box; routing/thmb1 reuses distlabel's zooming, enumerations and ζ maps;")
+	fmt.Println("triangulation.Construction is shared by Theorems 3.2, 3.4 and B.1.")
+	return nil
+}
+
+// expFigure2 reproduces Figure 2: a concrete host-enumeration translation
+// triangle (u, f, w) with the identity
+// ζ_uj(ϕ_uj(f), ϕ_(f,j+1)(w)) = ϕ_(u,j+1)(w).
+func expFigure2(seed int64, quick bool) error {
+	section("F2 / Figure 2 — a host-enumeration translation triangle")
+	inst, err := workload.Grid(5)
+	if err != nil {
+		return err
+	}
+	idx := inst.Idx
+	h, err := nets.NewHierarchy(idx, nets.RoutingScales(idx))
+	if err != nil {
+		return err
+	}
+	radii := make([]float64, h.NumLevels())
+	for j := range radii {
+		radii[j] = 4 * h.Scale(j)
+	}
+	rings, err := core.BuildNetRings(idx, h, radii)
+	if err != nil {
+		return err
+	}
+	// Find a triangle (u, f, w): f in u's j-ring, w in both (j+1)-rings.
+	for u := 0; u < idx.N(); u++ {
+		for j := 0; j+1 < rings.NumLevels(); j++ {
+			uj, uj1 := rings.Ring(u, j), rings.Ring(u, j+1)
+			for a := 0; a < uj.Size(); a++ {
+				f := uj.Node(a)
+				if f == u {
+					continue
+				}
+				fj1 := rings.Ring(f, j+1)
+				for b := 0; b < fj1.Size(); b++ {
+					w := fj1.Node(b)
+					m, ok := uj1.IndexOf(w)
+					if !ok || w == f || w == u {
+						continue
+					}
+					fmt.Printf("u=%d, f=%d (level %d), w=%d (level %d)\n", u, f, j, w, j+1)
+					fmt.Printf("  ϕ_u%d(f)        = %d   (f is the %d-th j-ring neighbor of u)\n", j, a, a)
+					fmt.Printf("  ϕ_(f,%d)(w)     = %d   (w is the %d-th (j+1)-ring neighbor of f)\n", j+1, b, b)
+					fmt.Printf("  ζ_u%d(%d, %d)     = %d   (translated into u's (j+1)-ring)\n", j, a, b, m)
+					fmt.Printf("  ϕ_(u,%d)(w)     = %d   ✓ identity holds\n", j+1, m)
+					fmt.Println("\nThe packet can follow w through u's table knowing only local indices —")
+					fmt.Println("no ceil(log n)-bit global identifiers anywhere (the paper's Figure 2).")
+					return nil
+				}
+			}
+		}
+	}
+	return fmt.Errorf("no translation triangle found (unexpected)")
+}

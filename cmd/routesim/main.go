@@ -1,0 +1,108 @@
+// Command routesim builds a compact routing scheme on a synthetic
+// doubling workload and either routes one packet (printing its path) or
+// evaluates all pairs:
+//
+//	routesim -workload gridgraph -side 8 -scheme thm21 -src 0 -dst 63
+//	routesim -workload exppath -n 24 -scheme thmb1 -eval
+//
+// Schemes: thm21, thm41, thmb1, global (Talwar-style ids), full.
+// Workloads: gridgraph, exppath, geometric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rings/internal/routing"
+	"rings/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		wl     = flag.String("workload", "gridgraph", "gridgraph | exppath | geometric")
+		side   = flag.Int("side", 7, "grid side (gridgraph)")
+		n      = flag.Int("n", 20, "node count (exppath, geometric)")
+		base   = flag.Float64("base", 4, "weight base (exppath)")
+		radius = flag.Float64("radius", 25, "connect radius (geometric)")
+		scheme = flag.String("scheme", "thm21", "thm21 | thm41 | thmb1 | global | full")
+		delta  = flag.Float64("delta", 0.5, "target stretch slack")
+		seed   = flag.Int64("seed", 1, "random seed")
+		src    = flag.Int("src", 0, "source node")
+		dst    = flag.Int("dst", -1, "target node (-1 = n-1)")
+		eval   = flag.Bool("eval", false, "evaluate all pairs instead of one route")
+	)
+	flag.Parse()
+
+	var inst workload.GraphInstance
+	var err error
+	switch *wl {
+	case "gridgraph":
+		inst, err = workload.GridGraph(*side, *seed)
+	case "exppath":
+		inst, err = workload.ExpPath(*n, *base)
+	case "geometric":
+		inst, err = workload.Geometric(*n, *radius, *seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		return err
+	}
+
+	var s routing.Scheme
+	switch *scheme {
+	case "thm21":
+		s, err = routing.NewThm21(inst.G, *delta)
+	case "thm41":
+		s, err = routing.NewThm41(inst.G, *delta)
+	case "thmb1":
+		s, err = routing.NewThmB1(inst.G, *delta, 0)
+	case "global":
+		s, err = routing.NewThm21Global(inst.G, *delta)
+	case "full":
+		s, err = routing.NewFullTable(inst.G)
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *eval {
+		st, err := routing.Evaluate(s, inst.Idx, 1, 80*inst.G.N())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on %s (n=%d)\n", s.Name(), inst.Name, inst.G.N())
+		fmt.Printf("  routes           %d\n", st.Routes)
+		fmt.Printf("  stretch max/mean %.4f / %.4f\n", st.MaxStretch, st.MeanStretch)
+		fmt.Printf("  hops max         %d\n", st.MaxHops)
+		fmt.Printf("  table bits max   %d\n", st.MaxTableBits)
+		fmt.Printf("  label bits max   %d\n", st.MaxLabelBits)
+		fmt.Printf("  header bits max  %d\n", st.MaxHeaderBits)
+		return nil
+	}
+
+	target := *dst
+	if target < 0 {
+		target = inst.G.N() - 1
+	}
+	res, err := routing.Route(s, *src, target, 80*inst.G.N())
+	if err != nil {
+		return err
+	}
+	d := inst.Idx.Dist(*src, target)
+	fmt.Printf("%s on %s: %d -> %d\n", s.Name(), inst.Name, *src, target)
+	fmt.Printf("  path    %v\n", res.Path)
+	fmt.Printf("  length  %.4g (shortest %.4g, stretch %.4f)\n", res.Length, d, res.Length/d)
+	fmt.Printf("  header  %d bits (max en route)\n", res.MaxHeaderBits)
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command swquery samples a small-world model over a synthetic doubling
+// metric and runs object-location queries:
+//
+//	swquery -workload grid -side 8 -model 52a -src 0 -dst 63
+//	swquery -workload expline -n 48 -logaspect 300 -model 52b -eval
+//
+// Models: 52a (greedy), 52b (non-greedy, sqrt(log ∆) degree), structures
+// (Kleinberg baseline). Workloads: grid, cube, expline, latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"rings/internal/smallworld"
+	"rings/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "swquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		wl    = flag.String("workload", "grid", "grid | cube | expline | latency")
+		side  = flag.Int("side", 7, "grid side")
+		n     = flag.Int("n", 48, "node count (cube, expline, latency)")
+		logA  = flag.Float64("logaspect", 60, "log2 aspect ratio (expline)")
+		model = flag.String("model", "52a", "52a | 52b | structures")
+		seed  = flag.Int64("seed", 1, "random seed")
+		src   = flag.Int("src", 0, "source node")
+		dst   = flag.Int("dst", -1, "target node (-1 = n-1)")
+		eval  = flag.Bool("eval", false, "evaluate all ordered pairs")
+	)
+	flag.Parse()
+
+	var inst workload.MetricInstance
+	var err error
+	switch *wl {
+	case "grid":
+		inst, err = workload.Grid(*side)
+	case "cube":
+		inst, err = workload.Cube(*n, *seed)
+	case "expline":
+		inst, err = workload.ExpLine(*n, *logA)
+	case "latency":
+		inst, err = workload.Latency(*n, *seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		return err
+	}
+
+	var m smallworld.Model
+	switch *model {
+	case "52a":
+		m, err = smallworld.NewThm52a(inst.Idx, smallworld.DefaultParams(*seed))
+	case "52b":
+		m, err = smallworld.NewThm52b(inst.Idx, smallworld.DefaultParams(*seed))
+	case "structures":
+		m, err = smallworld.NewStructures(inst.Idx, 1, false, *seed)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+
+	nn := inst.Idx.N()
+	budget := 10*int(math.Ceil(math.Log2(float64(nn)))) + 10
+	fmt.Printf("%s on %s (n=%d, out-degree %d)\n", m.Name(), inst.Name, nn, m.OutDegree())
+
+	if *eval {
+		st, err := smallworld.EvaluateAll(m, nn, 1, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  queries        %d\n", st.Queries)
+		fmt.Printf("  hops max/mean  %d / %.3f  (log2 n = %.0f)\n",
+			st.MaxHops, st.MeanHops, math.Ceil(math.Log2(float64(nn))))
+		fmt.Printf("  sideways steps %d (rule **)\n", st.Sideways)
+		return nil
+	}
+
+	target := *dst
+	if target < 0 {
+		target = nn - 1
+	}
+	res, err := smallworld.Query(m, *src, target, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  query %d -> %d: %d hops (%d sideways)\n", *src, target, res.Hops, res.Sideways)
+	fmt.Printf("  path  %v\n", res.Path)
+	return nil
+}

@@ -1,0 +1,89 @@
+// Latency estimation: the paper's motivating application (IDMaps [20],
+// Meridian [57]) — estimate all-pairs Internet latencies from per-node
+// beacon labels instead of n² measurements.
+//
+// We synthesize a clustered "Internet" of 150 hosts (continents > POPs >
+// hosts, plus per-host access delay), build the (0,δ)-triangulation of
+// Theorem 3.2, and compare certified estimates against ground truth. The
+// headline property over the classic shared-beacon designs: *every* pair
+// gets a two-sided certificate D− <= d <= D+ with D+/D− <= 1+δ.
+//
+//	go run ./examples/latency
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rings"
+	"rings/internal/metric"
+	"rings/internal/stats"
+	"rings/internal/triangulation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(2005))
+	world, err := metric.NewClusteredLatency(150, 3,
+		[]int{4, 5},           // 4 continents, 5 POPs each
+		[]float64{120, 25, 5}, // spreads in "ms"
+		3,                     // up to 3ms access delay per host
+		rng)
+	if err != nil {
+		return err
+	}
+	idx := rings.NewIndex(world)
+	fmt.Printf("synthetic internet: %d hosts, latencies %.1f..%.1f ms\n",
+		idx.N(), idx.MinDistance(), idx.Diameter())
+
+	delta := 0.3
+	tri, err := rings.NewTriangulation(idx, delta)
+	if err != nil {
+		return err
+	}
+	measured, err := tri.VerifyAllPairs()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n(0,%.1f)-triangulation: every host stores <= %d beacon latencies\n",
+		delta, tri.Order())
+	fmt.Printf("certified %d pairs: worst D+/D- = %.4f, zero uncovered pairs\n",
+		measured.Pairs, measured.WorstRatio)
+
+	// Error profile of the point estimate D+ across all pairs.
+	var errs []float64
+	for u := 0; u < idx.N(); u++ {
+		for v := u + 1; v < idx.N(); v++ {
+			_, hi, _ := tri.Estimate(u, v)
+			errs = append(errs, hi/idx.Dist(u, v)-1)
+		}
+	}
+	s := stats.Summarize(errs)
+	fmt.Printf("\nrelative overestimate of D+: mean %.4f%%, p95 %.4f%%, max %.4f%%\n",
+		100*s.Mean, 100*s.P95, 100*s.Max)
+
+	// Contrast: the classic landmark design ([33,50]; IDMaps' tracers) —
+	// one shared random beacon set — leaves a fraction of pairs without a
+	// usable certificate no matter how the landmarks fall. (At this n the
+	// ring construction's order saturates at n — see EXPERIMENTS.md E4
+	// for the O(log n) growth regime — so we give the baseline the
+	// landmark budgets such systems actually use.)
+	fmt.Println()
+	for _, k := range []int{8, 16, 32} {
+		shared, err := triangulation.NewSharedBeacons(idx, k, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shared-beacon baseline, %2d landmarks: %5.2f%% of pairs lack a (1+δ)-certificate\n",
+			k, 100*shared.BadPairFraction(delta))
+	}
+	fmt.Println("\nthe per-node rings close that gap for every pair — the \"obvious flaw\"")
+	fmt.Println("(Section 1) that Theorem 3.2 repairs.")
+	return nil
+}

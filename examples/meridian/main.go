@@ -1,0 +1,81 @@
+// Meridian-style nearest-neighbor service: the application the paper
+// closes with (Section 6 cites Meridian [57] as the practical deployment
+// of rings of neighbors). A quarter of the hosts run the service; clients
+// ask "which server is closest to me?" and the query climbs the servers'
+// rings — each hop decided only from the current server's ring members —
+// landing on a (near-)optimal server in O(log ∆) hops.
+//
+//	go run ./examples/meridian
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rings"
+	"rings/internal/metric"
+	"rings/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(57))
+	world, err := metric.NewClusteredLatency(200, 3, []int{4, 4}, []float64{200, 40, 8}, 2, rng)
+	if err != nil {
+		return err
+	}
+	idx := rings.NewIndex(world)
+
+	// Every 4th host runs the service.
+	var servers []int
+	for s := 0; s < idx.N(); s += 4 {
+		servers = append(servers, s)
+	}
+	overlay, err := rings.NewNearestNeighborOverlay(idx, servers, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d hosts, %d servers; each server keeps <= %d ring pointers\n",
+		idx.N(), len(servers), overlay.MaxRingSize())
+
+	entry := servers[0]
+	var ratios, hops []float64
+	exact := 0
+	for client := 0; client < idx.N(); client++ {
+		res, err := overlay.NearestMember(entry, client, 200)
+		if err != nil {
+			return err
+		}
+		_, bestD := overlay.TrueNearest(client)
+		hops = append(hops, float64(res.Hops))
+		if res.Dist == bestD {
+			exact++
+			ratios = append(ratios, 1)
+		} else {
+			ratios = append(ratios, res.Dist/bestD)
+		}
+	}
+	h := stats.Summarize(hops)
+	r := stats.Summarize(ratios)
+	fmt.Printf("\n%d nearest-server queries from a single entry point:\n", idx.N())
+	fmt.Printf("  hops:   mean %.2f, p95 %.0f, max %.0f\n", h.Mean, h.P95, h.Max)
+	fmt.Printf("  exact:  %.1f%% of queries found the true nearest server\n",
+		100*float64(exact)/float64(idx.N()))
+	fmt.Printf("  ratio:  mean %.4f, max %.4f (distance vs optimal)\n", r.Mean, r.Max)
+
+	// Multi-range: all servers within 30ms of one client.
+	client := 101
+	within, err := overlay.MultiRange(entry, client, 30, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmulti-range query: %d servers within 30ms of host %d: %v\n",
+		len(within), client, within)
+	return nil
+}

@@ -1,0 +1,87 @@
+// Quickstart: a tour of the rings public API on one small doubling
+// metric — build the index, certify distances with a (0,δ)-triangulation,
+// estimate them from labels alone, route packets with (1+δ) stretch, and
+// locate objects through a small-world overlay.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rings"
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// An 8x8 grid: the canonical low-doubling-dimension metric.
+	grid, err := metric.NewGrid(8, 2, metric.L2)
+	if err != nil {
+		return err
+	}
+	idx := rings.NewIndex(grid)
+	n := idx.N()
+	fmt.Printf("metric: %d nodes, diameter %.3f, aspect ratio %.1f\n\n",
+		n, idx.Diameter(), idx.AspectRatio())
+
+	// 1. Triangulation (Theorem 3.2): distance bounds with a certificate.
+	tri, err := rings.NewTriangulation(idx, 0.5)
+	if err != nil {
+		return err
+	}
+	u, v := 0, n-1
+	lo, hi, _ := tri.Estimate(u, v)
+	fmt.Printf("triangulation: d(%d,%d)=%.3f certified in [%.3f, %.3f] (order %d)\n",
+		u, v, idx.Dist(u, v), lo, hi, tri.Order())
+
+	// 2. Distance labels (Theorem 3.4): estimates from two labels alone,
+	// no global identifiers anywhere.
+	dls, err := rings.NewDistanceLabels(idx, 0.5)
+	if err != nil {
+		return err
+	}
+	lo, hi, _ = rings.EstimateFromLabels(dls.Label(3), dls.Label(42))
+	fmt.Printf("labels:        d(3,42)=%.3f estimated in [%.3f, %.3f]\n",
+		idx.Dist(3, 42), lo, hi)
+
+	// 3. Compact routing (Theorem 2.1) on a jittered grid graph.
+	g, err := graph.GridGraph(8, 0.2, 7)
+	if err != nil {
+		return err
+	}
+	router, err := rings.NewRouter(g, 0.5)
+	if err != nil {
+		return err
+	}
+	res, err := rings.Route(router, 0, n-1, 10*n)
+	if err != nil {
+		return err
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routing:       0 -> %d in %d hops, stretch %.4f, header <= %d bits\n",
+		n-1, res.Hops, res.Length/apsp.Dist(0, n-1), res.MaxHeaderBits)
+
+	// 4. Small-world object location (Theorem 5.2a).
+	sw, err := rings.NewSmallWorld(idx, 42)
+	if err != nil {
+		return err
+	}
+	q, err := rings.LocateObject(sw, 0, n-1, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("small world:   located node %d from node 0 in %d hops (out-degree %d)\n",
+		n-1, q.Hops, sw.OutDegree())
+	return nil
+}

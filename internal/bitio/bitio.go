@@ -1,0 +1,190 @@
+// Package bitio provides bit-exact serialization. Every routing table,
+// routing label, packet header and distance label in this repository is
+// actually packed into bits by this package, so the sizes reported by the
+// benchmark harness are measured, not estimated from formulas.
+//
+// It also implements the paper's distance encoding (Sections 3 and
+// Appendix B): a distance is stored as an O(log 1/δ)-bit mantissa plus an
+// O(log log ∆)-bit exponent, rounding up so the decoded value is a
+// (1+δ)-factor upper bound — the non-contracting property Theorem 4.1
+// relies on.
+package bitio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Writer accumulates bits most-significant-first.
+type Writer struct {
+	buf   []byte
+	nbits int
+}
+
+// WriteBits appends the width lowest bits of v, most significant first.
+// width must lie in [0, 64]; v must fit in width bits.
+func (w *Writer) WriteBits(v uint64, width int) error {
+	if width < 0 || width > 64 {
+		return fmt.Errorf("bitio: width %d out of range", width)
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		return fmt.Errorf("bitio: value %d does not fit in %d bits", v, width)
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		if w.nbits%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[w.nbits/8] |= 1 << uint(7-w.nbits%8)
+		}
+		w.nbits++
+	}
+	return nil
+}
+
+// WriteBool appends a single bit.
+func (w *Writer) WriteBool(b bool) error {
+	if b {
+		return w.WriteBits(1, 1)
+	}
+	return w.WriteBits(0, 1)
+}
+
+// Len reports the number of bits written so far.
+func (w *Writer) Len() int { return w.nbits }
+
+// Bytes returns the packed bits (the final byte zero-padded).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes bits most-significant-first from a packed buffer.
+type Reader struct {
+	buf   []byte
+	nbits int
+	pos   int
+}
+
+// NewReader reads exactly nbits bits out of buf.
+func NewReader(buf []byte, nbits int) *Reader {
+	return &Reader{buf: buf, nbits: nbits}
+}
+
+// ReadBits consumes width bits and returns them as an unsigned value.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitio: width %d out of range", width)
+	}
+	if r.pos+width > r.nbits {
+		return 0, fmt.Errorf("bitio: read of %d bits past end (%d of %d consumed)", width, r.pos, r.nbits)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b := (r.buf[r.pos/8] >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint64(b)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBool consumes one bit.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// Remaining reports how many bits are left.
+func (r *Reader) Remaining() int { return r.nbits - r.pos }
+
+// WidthFor reports the number of bits needed to store values in [0, n):
+// ceil(log2(n)), and 0 when n <= 1 (nothing needs storing).
+func WidthFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	w := 0
+	for x := n - 1; x > 0; x >>= 1 {
+		w++
+	}
+	return w
+}
+
+// DistCodec encodes positive distances as a mantissa/exponent pair. The
+// decoded value over-approximates the input by a factor of at most
+// 1 + 2^-MantissaBits.
+type DistCodec struct {
+	MantissaBits int
+	ExpBits      int
+	expBias      int // smallest representable exponent
+}
+
+// NewDistCodec sizes a codec for distances in [minDist, maxDist] with
+// relative error at most delta. Per the paper, the mantissa takes
+// O(log 1/δ) bits and the exponent O(log log ∆) bits.
+func NewDistCodec(minDist, maxDist, delta float64) (DistCodec, error) {
+	if !(minDist > 0) || !(maxDist >= minDist) || math.IsInf(maxDist, 1) {
+		return DistCodec{}, fmt.Errorf("bitio: invalid distance range [%v, %v]", minDist, maxDist)
+	}
+	if delta <= 0 || delta >= 1 {
+		return DistCodec{}, fmt.Errorf("bitio: delta %v out of (0,1)", delta)
+	}
+	mant := int(math.Ceil(math.Log2(1 / delta)))
+	if mant < 1 {
+		mant = 1
+	}
+	if mant > 52 {
+		mant = 52
+	}
+	lo := int(math.Floor(math.Log2(minDist)))
+	hi := int(math.Floor(math.Log2(maxDist))) + 1 // +1: mantissa round-up can carry
+	return DistCodec{
+		MantissaBits: mant,
+		ExpBits:      WidthFor(hi - lo + 1),
+		expBias:      lo,
+	}, nil
+}
+
+// Bits reports the encoded size of one distance.
+func (c DistCodec) Bits() int { return c.MantissaBits + c.ExpBits }
+
+// MinValue reports the smallest distance the codec can represent
+// (2^expBias, at or below the minDist the codec was sized for).
+func (c DistCodec) MinValue() float64 { return math.Pow(2, float64(c.expBias)) }
+
+// Encode writes d (> 0) to w. The decoded value will satisfy
+// d <= decoded <= d * (1 + 2^-MantissaBits).
+func (c DistCodec) Encode(w *Writer, d float64) error {
+	if !(d > 0) || math.IsInf(d, 0) || math.IsNaN(d) {
+		return fmt.Errorf("bitio: cannot encode distance %v", d)
+	}
+	e := int(math.Floor(math.Log2(d)))
+	scale := math.Pow(2, float64(e))
+	frac := d/scale - 1 // in [0, 1)
+	mantMax := float64(uint64(1) << uint(c.MantissaBits))
+	mant := uint64(math.Ceil(frac * mantMax))
+	if float64(mant) >= mantMax { // round-up carried into the next octave
+		mant = 0
+		e++
+	}
+	if e < c.expBias || e-c.expBias >= 1<<uint(c.ExpBits) {
+		return fmt.Errorf("bitio: distance %v outside codec range (exp %d, bias %d, bits %d)", d, e, c.expBias, c.ExpBits)
+	}
+	if err := w.WriteBits(uint64(e-c.expBias), c.ExpBits); err != nil {
+		return err
+	}
+	return w.WriteBits(mant, c.MantissaBits)
+}
+
+// Decode reads one distance written by Encode.
+func (c DistCodec) Decode(r *Reader) (float64, error) {
+	eRaw, err := r.ReadBits(c.ExpBits)
+	if err != nil {
+		return 0, err
+	}
+	mant, err := r.ReadBits(c.MantissaBits)
+	if err != nil {
+		return 0, err
+	}
+	e := int(eRaw) + c.expBias
+	mantMax := float64(uint64(1) << uint(c.MantissaBits))
+	return math.Pow(2, float64(e)) * (1 + float64(mant)/mantMax), nil
+}

@@ -1,0 +1,195 @@
+package bitio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	var w Writer
+	values := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 0}, {1, 1}, {0, 1}, {5, 3}, {255, 8}, {256, 9}, {1<<64 - 1, 64}, {42, 13},
+	}
+	for _, c := range values {
+		if err := w.WriteBits(c.v, c.width); err != nil {
+			t.Fatalf("WriteBits(%d,%d): %v", c.v, c.width, err)
+		}
+	}
+	if err := w.WriteBool(true); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, c := range values {
+		got, err := r.ReadBits(c.width)
+		if err != nil {
+			t.Fatalf("ReadBits(%d): %v", c.width, err)
+		}
+		if got != c.v {
+			t.Fatalf("roundtrip %d bits: got %d, want %d", c.width, got, c.v)
+		}
+	}
+	b, err := r.ReadBool()
+	if err != nil || !b {
+		t.Fatalf("ReadBool = %v, %v", b, err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestWriterRejectsBadInput(t *testing.T) {
+	var w Writer
+	if err := w.WriteBits(2, 1); err == nil {
+		t.Error("accepted overflow value")
+	}
+	if err := w.WriteBits(0, -1); err == nil {
+		t.Error("accepted negative width")
+	}
+	if err := w.WriteBits(0, 65); err == nil {
+		t.Error("accepted width 65")
+	}
+}
+
+func TestReaderPastEnd(t *testing.T) {
+	var w Writer
+	if err := w.WriteBits(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadBits(3); err == nil {
+		t.Error("read past end accepted")
+	}
+	if _, err := r.ReadBits(-1); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := WidthFor(n); got != want {
+			t.Errorf("WidthFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: arbitrary (value, width) pairs roundtrip when the value fits.
+func TestRoundtripProperty(t *testing.T) {
+	f := func(vs []uint64, widthsRaw []uint8) bool {
+		var w Writer
+		n := len(vs)
+		if len(widthsRaw) < n {
+			n = len(widthsRaw)
+		}
+		widths := make([]int, n)
+		masked := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			widths[i] = int(widthsRaw[i] % 65)
+			if widths[i] == 64 {
+				masked[i] = vs[i]
+			} else {
+				masked[i] = vs[i] & ((1 << uint(widths[i])) - 1)
+			}
+			if err := w.WriteBits(masked[i], widths[i]); err != nil {
+				return false
+			}
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != masked[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistCodecBasics(t *testing.T) {
+	c, err := NewDistCodec(1, 1024, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MantissaBits < 4 { // log2(10) ~ 3.3 -> 4
+		t.Errorf("MantissaBits = %d", c.MantissaBits)
+	}
+	if c.Bits() != c.MantissaBits+c.ExpBits {
+		t.Error("Bits() inconsistent")
+	}
+	for _, d := range []float64{1, 1.0001, 2, 3.7, 1000, 1024} {
+		var w Writer
+		if err := c.Encode(&w, d); err != nil {
+			t.Fatalf("Encode(%v): %v", d, err)
+		}
+		got, err := c.Decode(NewReader(w.Bytes(), w.Len()))
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", d, err)
+		}
+		if got < d || got > d*(1+math.Pow(2, -float64(c.MantissaBits)))*(1+1e-12) {
+			t.Errorf("Decode(%v) = %v outside [d, d(1+2^-m)]", d, got)
+		}
+	}
+}
+
+func TestDistCodecErrors(t *testing.T) {
+	if _, err := NewDistCodec(0, 10, 0.1); err == nil {
+		t.Error("accepted minDist=0")
+	}
+	if _, err := NewDistCodec(10, 1, 0.1); err == nil {
+		t.Error("accepted max<min")
+	}
+	if _, err := NewDistCodec(1, 10, 0); err == nil {
+		t.Error("accepted delta=0")
+	}
+	if _, err := NewDistCodec(1, 10, 1); err == nil {
+		t.Error("accepted delta=1")
+	}
+	c, err := NewDistCodec(1, 16, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Writer
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), 0.25, 1 << 20} {
+		if err := c.Encode(&w, bad); err == nil {
+			t.Errorf("Encode(%v) accepted", bad)
+		}
+	}
+}
+
+// Property: the codec respects its error bound across its whole range, for
+// huge aspect-ratio ranges (the exponential-line regime with log∆ ~ 900).
+func TestDistCodecAccuracyProperty(t *testing.T) {
+	c, err := NewDistCodec(1, math.Pow(2, 900), 1.0/64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(mantRaw uint32, expRaw uint16) bool {
+		e := float64(expRaw % 900)
+		frac := 1 + float64(mantRaw)/float64(math.MaxUint32)
+		d := math.Pow(2, e) * frac
+		var w Writer
+		if err := c.Encode(&w, d); err != nil {
+			return false
+		}
+		got, err := c.Decode(NewReader(w.Bytes(), w.Len()))
+		if err != nil {
+			return false
+		}
+		return got >= d*(1-1e-12) && got <= d*(1+1.0/64)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// The exponent field is what carries the log log ∆ dependence: for
+	// log∆=900 it needs ~10 bits.
+	if c.ExpBits < 9 || c.ExpBits > 11 {
+		t.Errorf("ExpBits = %d, want ~10 for log∆=900", c.ExpBits)
+	}
+}

@@ -1,0 +1,273 @@
+// Package distlabel implements the paper's distance labeling schemes.
+//
+// Theorem 3.4: every doubling metric has a (1+δ)-approximate distance
+// labeling scheme with O_{α,δ}(log n)(log log ∆)-bit labels — optimal for
+// ∆ >= n^log n. The construction elaborates Theorem 3.2's triangulation:
+// the labels drop ceil(log n)-bit global node identifiers entirely.
+// Instead, every node u carries
+//
+//   - distances to its X/Y-neighbors, indexed by a host enumeration ϕ_u
+//     whose level-0 prefix is shared by all nodes;
+//   - its zooming sequence f_u0, f_u1, ..., where each f_(u,i+1) is named
+//     only by its index in the virtual enumeration ψ of f_ui's virtual
+//     neighbors T_(f_ui) = X ∪ Z ∪ (∪_{v∈X} Z_v);
+//   - translation maps ζ_ui that convert "w is the y-th virtual neighbor
+//     of my i-level neighbor v" into w's index in ϕ_u.
+//
+// Estimating d(u,v) from two labels walks both zooming sequences,
+// translating each step through both labels' ζ maps, and harvests every
+// common neighbor identified along the way; the paper's Claims 3.5/3.6
+// guarantee that a beacon within δ'·d of u or v is among them.
+//
+// Deviations from the paper's text (see DESIGN.md §4): level-0 radii are
+// uniformized to the diameter so the shared-prefix trick is literally
+// true, and the Z-ring net scale uses divisor 128 instead of 64 — the
+// paper's constant is marginal under worst-case floor alignment in
+// Claim 3.5(b), and one extra octave makes the containment airtight
+// (tests verify Claim 3.5 exhaustively).
+//
+// The package also provides Simple, the [44]-style corollary scheme
+// (Theorem 3.2's beacons plus global IDs) that Theorem 3.4 improves on.
+package distlabel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rings/internal/core"
+	"rings/internal/metric"
+	"rings/internal/triangulation"
+)
+
+// zScaleDiv is the Z-ring net-scale divisor (paper: 64; see package doc).
+const zScaleDiv = 128
+
+// transEntry is one ζ entry: for a fixed x (host index of v in ϕ_u), the
+// pair (Y, Z) says "v's Y-th virtual neighbor has host index Z in ϕ_u".
+type transEntry struct {
+	Y int32
+	Z int32
+}
+
+// LevelMap is the translation map ζ_ui for one level: for each host index
+// x, a list of entries sorted by Y.
+type LevelMap map[int32][]transEntry
+
+// Label is one node's distance label. It intentionally holds no global
+// node identifiers — all references are host-enumeration indices, virtual
+// indices, or distances.
+type Label struct {
+	// Level0Count is the size of the shared level-0 prefix of the host
+	// enumeration (identical across all labels of one scheme).
+	Level0Count int
+	// Dists[h] is the distance from the label's node to its h-th host
+	// neighbor.
+	Dists []float64
+	// Zoom0 is the host index of f_u0 (within the shared prefix).
+	Zoom0 int
+	// ZoomPsi[i] is ψ_(f_ui)(f_(u,i+1)) for i = 0..IMax-1.
+	ZoomPsi []int32
+	// Trans[i] is ζ_ui.
+	Trans []LevelMap
+
+	// hostNodes maps host index -> global node id. It is debug/audit
+	// information and is excluded from Bits(); estimation never reads it.
+	hostNodes []int
+}
+
+// Scheme is a Theorem 3.4 distance labeling over one metric space.
+type Scheme struct {
+	// Delta is the advertised approximation: D+ <= (1+Delta) * d.
+	Delta float64
+	// Cons is the shared Theorem 3.2 construction (δ' = Delta/6).
+	Cons *triangulation.Construction
+	// MaxT is the largest |T_u|; virtual pointers take WidthFor(MaxT) bits.
+	MaxT int
+
+	labels []*Label
+	// tEnums[u] is ψ_u (kept for verification and B.1 reuse).
+	tEnums []core.Enum
+	// hostEnums[u] is ϕ_u.
+	hostEnums []core.Enum
+}
+
+// New builds the Theorem 3.4 scheme with target approximation delta in
+// (0, 1], using internal δ' = delta/6.
+func New(idx *metric.Index, delta float64) (*Scheme, error) {
+	if delta <= 0 || delta > 1 {
+		return nil, fmt.Errorf("distlabel: delta = %v, want (0, 1]", delta)
+	}
+	cons, err := triangulation.NewConstruction(idx, delta/6)
+	if err != nil {
+		return nil, err
+	}
+	return FromConstruction(cons, delta)
+}
+
+// NewInternal builds a scheme directly at internal δ' ∈ (0, 1/2) (the
+// advertised Delta is then 6·δ'). Theorem B.1 uses this to pick a tighter
+// δ' than New's delta/6 mapping.
+func NewInternal(idx *metric.Index, deltaPrime float64) (*Scheme, error) {
+	cons, err := triangulation.NewConstruction(idx, deltaPrime)
+	if err != nil {
+		return nil, err
+	}
+	return FromConstruction(cons, 6*deltaPrime)
+}
+
+// FromConstruction builds the scheme over an existing construction.
+func FromConstruction(cons *triangulation.Construction, delta float64) (*Scheme, error) {
+	idx := cons.Idx
+	n := idx.N()
+	s := &Scheme{
+		Delta:     delta,
+		Cons:      cons,
+		labels:    make([]*Label, n),
+		tEnums:    make([]core.Enum, n),
+		hostEnums: make([]core.Enum, n),
+	}
+
+	// Z-neighbor sets: Z_u = union over scales t_k of B_u(t_k) ∩ G_jz(k).
+	zAll := make([][]int, n)
+	finest := cons.Nets.Scale(0)
+	diam := idx.Diameter()
+	for u := 0; u < n; u++ {
+		set := map[int]bool{}
+		for k := 0; ; k++ {
+			tk := finest * math.Pow(2, float64(k))
+			jz := cons.Nets.JForScale(tk * cons.DeltaPrime / zScaleDiv)
+			for _, w := range cons.Nets.InBall(jz, u, tk) {
+				set[w] = true
+			}
+			if tk >= diam {
+				break
+			}
+		}
+		zAll[u] = sortedKeys(set)
+	}
+
+	// X unions and virtual neighbor sets T_u = X_u ∪ Z_u ∪ (∪_{v∈X_u} Z_v).
+	xAll := make([][]int, n)
+	for u := 0; u < n; u++ {
+		set := map[int]bool{}
+		for i := 0; i <= cons.IMax; i++ {
+			for _, w := range cons.X[u][i] {
+				set[w] = true
+			}
+		}
+		xAll[u] = sortedKeys(set)
+	}
+	for u := 0; u < n; u++ {
+		set := map[int]bool{}
+		for _, w := range xAll[u] {
+			set[w] = true
+		}
+		for _, w := range zAll[u] {
+			set[w] = true
+		}
+		for _, v := range xAll[u] {
+			for _, w := range zAll[v] {
+				set[w] = true
+			}
+		}
+		s.tEnums[u] = core.NewEnum(sortedKeys(set))
+		if sz := s.tEnums[u].Size(); sz > s.MaxT {
+			s.MaxT = sz
+		}
+	}
+
+	// Host enumerations: shared level-0 prefix, then everything else.
+	for u := 0; u < n; u++ {
+		level0 := append(append([]int(nil), cons.X[u][0]...), cons.Y[u][0]...)
+		var rest []int
+		for i := 1; i <= cons.IMax; i++ {
+			rest = append(rest, cons.X[u][i]...)
+			rest = append(rest, cons.Y[u][i]...)
+		}
+		s.hostEnums[u] = core.NewEnumOrdered(level0, rest)
+	}
+	level0Count := len(core.NewEnum(append(append([]int(nil), cons.X[0][0]...), cons.Y[0][0]...)).Nodes())
+
+	// Labels.
+	for u := 0; u < n; u++ {
+		host := s.hostEnums[u]
+		lab := &Label{
+			Level0Count: level0Count,
+			Dists:       make([]float64, host.Size()),
+			ZoomPsi:     make([]int32, cons.IMax),
+			Trans:       make([]LevelMap, cons.IMax),
+			hostNodes:   append([]int(nil), host.Nodes()...),
+		}
+		for h := 0; h < host.Size(); h++ {
+			lab.Dists[h] = idx.Dist(u, host.Node(h))
+		}
+		z0, ok := host.IndexOf(cons.Zoom[u][0])
+		if !ok || z0 >= level0Count {
+			return nil, fmt.Errorf("distlabel: f_%d,0 not in the shared level-0 prefix", u)
+		}
+		lab.Zoom0 = z0
+		for i := 0; i < cons.IMax; i++ {
+			f := cons.Zoom[u][i]
+			next := cons.Zoom[u][i+1]
+			psi, ok := s.tEnums[f].IndexOf(next)
+			if !ok {
+				return nil, fmt.Errorf("distlabel: claim 3.5(c) violated: f_(%d,%d)=%d not a virtual neighbor of f_(%d,%d)=%d",
+					u, i+1, next, u, i, f)
+			}
+			lab.ZoomPsi[i] = int32(psi)
+		}
+		// Translation maps ζ_ui.
+		for i := 0; i < cons.IMax; i++ {
+			lm := LevelMap{}
+			nextLevel := map[int]bool{}
+			for _, w := range cons.X[u][i+1] {
+				nextLevel[w] = true
+			}
+			for _, w := range cons.Y[u][i+1] {
+				nextLevel[w] = true
+			}
+			level := append(append([]int(nil), cons.X[u][i]...), cons.Y[u][i]...)
+			for _, v := range core.NewEnum(level).Nodes() {
+				x, ok := host.IndexOf(v)
+				if !ok {
+					return nil, fmt.Errorf("distlabel: level-%d neighbor %d missing from host enum of %d", i, v, u)
+				}
+				var entries []transEntry
+				for w := range nextLevel {
+					psi, inT := s.tEnums[v].IndexOf(w)
+					if !inT {
+						continue
+					}
+					z, _ := host.IndexOf(w)
+					entries = append(entries, transEntry{Y: int32(psi), Z: int32(z)})
+				}
+				if len(entries) > 0 {
+					sort.Slice(entries, func(a, b int) bool { return entries[a].Y < entries[b].Y })
+					lm[int32(x)] = entries
+				}
+			}
+			lab.Trans[i] = lm
+		}
+		s.labels[u] = lab
+	}
+	return s, nil
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Label returns node u's label.
+func (s *Scheme) Label(u int) *Label { return s.labels[u] }
+
+// VirtualEnum exposes ψ_u (for Theorem B.1's reuse and for tests).
+func (s *Scheme) VirtualEnum(u int) core.Enum { return s.tEnums[u] }
+
+// HostEnum exposes ϕ_u (for Theorem B.1's reuse and for tests).
+func (s *Scheme) HostEnum(u int) core.Enum { return s.hostEnums[u] }

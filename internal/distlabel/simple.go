@@ -1,0 +1,51 @@
+package distlabel
+
+import (
+	"fmt"
+
+	"rings/internal/metric"
+	"rings/internal/triangulation"
+)
+
+// Simple is the corollary distance labeling scheme the paper attributes to
+// Mendel–Har-Peled [44] and re-derives from Theorem 3.2: each label stores
+// the node's triangulation beacons as (global ceil(log n)-bit identifier,
+// encoded distance) pairs, and the estimate is the triangulation's D+
+// upper bound. Its labels cost an extra Θ(log n) factor per beacon over
+// Theorem 3.4 — the gap experiment E5 measures.
+type Simple struct {
+	Tri *triangulation.Triangulation
+}
+
+// NewSimple builds the [44]-style scheme at approximation delta in (0,1].
+func NewSimple(idx *metric.Index, delta float64) (*Simple, error) {
+	tri, err := triangulation.New(idx, delta)
+	if err != nil {
+		return nil, err
+	}
+	return &Simple{Tri: tri}, nil
+}
+
+// Estimate reports the D−/D+ bounds for a pair; upper is the
+// (1+delta)-approximate distance estimate.
+func (s *Simple) Estimate(u, v int) (lower, upper float64, ok bool) {
+	return s.Tri.Estimate(u, v)
+}
+
+// LabelBits reports the measured label size of node u (IDs + distances).
+func (s *Simple) LabelBits(u int) (int, error) { return s.Tri.LabelBits(u) }
+
+// MaxLabelBits reports the largest label.
+func (s *Simple) MaxLabelBits() (int, error) { return s.Tri.MaxLabelBits() }
+
+// Verify checks the (1+delta) upper-bound guarantee over all pairs.
+func (s *Simple) Verify() error {
+	stats, err := s.Tri.VerifyAllPairs()
+	if err != nil {
+		return err
+	}
+	if stats.BadPairs > 0 {
+		return fmt.Errorf("distlabel: %d bad pairs in simple scheme", stats.BadPairs)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// APSP holds all-pairs shortest paths with first-hop pointers: the
+// centralized preprocessing every routing scheme in the paper starts from.
+type APSP struct {
+	g        *Graph
+	dist     [][]float64
+	firstHop [][]int32
+}
+
+// AllPairs runs one Dijkstra per source over a worker pool bounded by
+// GOMAXPROCS. It fails when the graph is not strongly connected (the
+// paper's graphs are undirected and connected).
+func AllPairs(g *Graph) (*APSP, error) {
+	n := g.N()
+	a := &APSP{
+		g:        g,
+		dist:     make([][]float64, n),
+		firstHop: make([][]int32, n),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sources := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for u := range sources {
+				sp := Dijkstra(g, u)
+				a.dist[u] = sp.Dist
+				a.firstHop[u] = sp.FirstHop
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		sources <- u
+	}
+	close(sources)
+	wg.Wait()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if math.IsInf(a.dist[u][v], 1) {
+				return nil, fmt.Errorf("graph: node %d cannot reach node %d", u, v)
+			}
+		}
+	}
+	return a, nil
+}
+
+// Graph returns the underlying graph.
+func (a *APSP) Graph() *Graph { return a.g }
+
+// N reports the number of nodes.
+func (a *APSP) N() int { return len(a.dist) }
+
+// Dist reports the shortest-path distance from u to v.
+func (a *APSP) Dist(u, v int) float64 { return a.dist[u][v] }
+
+// FirstHop reports the paper's first-hop pointer from u toward v: the
+// index, in u's out-edge enumeration, of the first edge of a shortest
+// path. It returns -1 when u == v.
+func (a *APSP) FirstHop(u, v int) int { return int(a.firstHop[u][v]) }
+
+// NextNode reports the node reached by following the first-hop pointer
+// from u toward v (u itself when u == v).
+func (a *APSP) NextNode(u, v int) int {
+	h := a.firstHop[u][v]
+	if h < 0 {
+		return u
+	}
+	return a.g.Out(u)[h].To
+}
+
+// Path materializes a shortest u-v path by following first hops.
+func (a *APSP) Path(u, v int) []int {
+	path := []int{u}
+	for x := u; x != v; {
+		x = a.NextNode(x, v)
+		path = append(path, x)
+	}
+	return path
+}
+
+// HopCount reports the number of edges on the first-hop shortest path
+// from u to v.
+func (a *APSP) HopCount(u, v int) int {
+	hops := 0
+	for x := u; x != v; {
+		x = a.NextNode(x, v)
+		hops++
+	}
+	return hops
+}
+
+// Metric adapts the shortest-path distances to the metric.Space
+// interface. For undirected graphs the result is a metric (the paper's
+// "doubling graph" setting: the graph induces a shortest-path metric).
+// Distances are read from the lower-index source so that float summation
+// order cannot break exact symmetry.
+type Metric struct{ a *APSP }
+
+// Metric returns the shortest-path metric view of the APSP table.
+func (a *APSP) Metric() *Metric { return &Metric{a: a} }
+
+// N reports the number of nodes.
+func (m *Metric) N() int { return m.a.N() }
+
+// Dist reports the shortest-path distance.
+func (m *Metric) Dist(u, v int) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	return m.a.dist[u][v]
+}
+
+// BoundedHopPath finds, via hop-layered Bellman-Ford, a u->v path of
+// length at most maxLen using as few hops as possible, up to maxHops. It
+// implements the N_δ machinery of Theorem B.1: vt stores a (1+δ)-stretch
+// path with the smallest hop count. It reports ok=false when no such path
+// exists within the budgets.
+func BoundedHopPath(g *Graph, u, v int, maxLen float64, maxHops int) (path []int, ok bool) {
+	if u == v {
+		return []int{u}, true
+	}
+	n := g.N()
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[u] = 0
+	best := append([]float64(nil), dist...)
+	parents := [][]int{append([]int(nil), parent...)}
+	for h := 1; h <= maxHops; h++ {
+		next := append([]float64(nil), best...)
+		par := append([]int(nil), parents[h-1]...)
+		changed := false
+		for x := 0; x < n; x++ {
+			if math.IsInf(best[x], 1) {
+				continue
+			}
+			for _, e := range g.Out(x) {
+				if alt := best[x] + e.Weight; alt < next[e.To] {
+					next[e.To] = alt
+					par[e.To] = x
+					changed = true
+				}
+			}
+		}
+		best = next
+		parents = append(parents, par)
+		if best[v] <= maxLen {
+			// Reconstruct by walking back through the hop layers.
+			var rev []int
+			x, layer := v, h
+			for x != u {
+				rev = append(rev, x)
+				x = parents[layer][x]
+				layer--
+				if x < 0 || layer < 0 {
+					return nil, false
+				}
+			}
+			rev = append(rev, u)
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, true
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil, false
+}
+
+// PathLength sums the weights along a node sequence, resolving each hop to
+// the cheapest parallel edge. It reports ok=false when a hop is missing.
+func PathLength(g *Graph, path []int) (length float64, ok bool) {
+	for i := 1; i < len(path); i++ {
+		w := math.Inf(1)
+		for _, e := range g.Out(path[i-1]) {
+			if e.To == path[i] && e.Weight < w {
+				w = e.Weight
+			}
+		}
+		if math.IsInf(w, 1) {
+			return 0, false
+		}
+		length += w
+	}
+	return length, true
+}

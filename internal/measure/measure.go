@@ -1,0 +1,234 @@
+// Package measure implements probability measures on finite metric
+// spaces, most importantly the doubling measure of Theorem 1.3.
+//
+// A measure is s-doubling when µ(B_u(r)) <= s * µ(B_u(r/2)) for every
+// ball. The paper (after Volberg–Konyagin [55], Wu [58] and
+// Mendel–Har-Peled [44]) guarantees every finite doubling metric carries a
+// 2^O(alpha)-doubling measure, constructible in near-linear time from a
+// net hierarchy. We implement the net-tree mass-splitting construction:
+// the unique coarsest net point holds mass 1, and every net point splits
+// its mass equally among its children in the next (finer) level. Because
+// the hierarchy is nested and its finest level contains every node, the
+// leaf masses form a probability measure.
+//
+// The package deliberately pairs the construction with a verifier,
+// DoublingConstant, that measures the realized doubling constant on every
+// instance: each paper result that relies on µ being doubling is checked
+// at run time instead of assumed (see DESIGN.md §1.4).
+package measure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rings/internal/metric"
+	"rings/internal/nets"
+)
+
+// Measure is a probability measure on the node set of a metric space.
+type Measure struct {
+	w []float64 // per-node mass; sums to 1 (up to float rounding)
+}
+
+// Counting returns the normalized counting measure µ(S) = |S|/n.
+func Counting(n int) *Measure {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return &Measure{w: w}
+}
+
+// FromWeights normalizes arbitrary positive weights into a measure.
+func FromWeights(weights []float64) (*Measure, error) {
+	total := 0.0
+	for i, x := range weights {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("measure: weight %d = %v, want finite positive", i, x)
+		}
+		total += x
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("measure: empty weights")
+	}
+	w := make([]float64, len(weights))
+	for i, x := range weights {
+		w[i] = x / total
+	}
+	return &Measure{w: w}, nil
+}
+
+// Doubling builds a doubling measure for the indexed space by net-tree
+// mass splitting over a nested hierarchy at the RoutingScales (diameter
+// down to below the minimum distance, halving).
+func Doubling(idx *metric.Index) (*Measure, error) {
+	h, err := nets.NewHierarchy(idx, nets.RoutingScales(idx))
+	if err != nil {
+		return nil, fmt.Errorf("measure: building net hierarchy: %w", err)
+	}
+	return DoublingFromHierarchy(idx, h)
+}
+
+// DoublingFromHierarchy runs the net-tree construction over an existing
+// nested hierarchy whose finest level contains every node.
+func DoublingFromHierarchy(idx *metric.Index, h *nets.Hierarchy) (*Measure, error) {
+	n := idx.N()
+	last := h.NumLevels() - 1
+	if len(h.Level(last)) != n {
+		return nil, fmt.Errorf("measure: finest hierarchy level has %d of %d nodes", len(h.Level(last)), n)
+	}
+	// mass[p] for p in the current level; start at the coarsest level with
+	// equal mass among its points (a single point when the top scale is
+	// the diameter).
+	mass := make(map[int]float64, n)
+	top := h.Level(0)
+	for _, p := range top {
+		mass[p] = 1 / float64(len(top))
+	}
+	for k := 1; k <= last; k++ {
+		// Children of p in level k: the points whose nearest level-(k-1)
+		// net point is p. Nesting guarantees p is its own child.
+		children := make(map[int][]int, len(h.Level(k-1)))
+		for _, q := range h.Level(k) {
+			p, _ := h.NearestInLevel(k-1, q)
+			children[p] = append(children[p], q)
+		}
+		next := make(map[int]float64, len(h.Level(k)))
+		for p, kids := range children {
+			share := mass[p] / float64(len(kids))
+			for _, q := range kids {
+				next[q] += share
+			}
+		}
+		mass = next
+	}
+	w := make([]float64, n)
+	for p, m := range mass {
+		w[p] = m
+	}
+	for i, x := range w {
+		if x <= 0 {
+			return nil, fmt.Errorf("measure: node %d received no mass", i)
+		}
+	}
+	return &Measure{w: w}, nil
+}
+
+// Of reports the mass of node u.
+func (m *Measure) Of(u int) float64 { return m.w[u] }
+
+// N reports the number of nodes.
+func (m *Measure) N() int { return len(m.w) }
+
+// Total reports the mass of a node set.
+func (m *Measure) Total(nodes []int) float64 {
+	s := 0.0
+	for _, u := range nodes {
+		s += m.w[u]
+	}
+	return s
+}
+
+// Sampler supports measure-weighted sampling from metric balls: the
+// primitive behind the paper's Y-type small-world contacts ("select a node
+// from the ball B according to the probability distribution µ(·)/µ(B)").
+// Per-node prefix sums over the distance-sorted order are built lazily.
+type Sampler struct {
+	idx    *metric.Index
+	m      *Measure
+	prefix [][]float64
+}
+
+// NewSampler pairs an index with a measure over the same node set.
+func NewSampler(idx *metric.Index, m *Measure) (*Sampler, error) {
+	if idx.N() != m.N() {
+		return nil, fmt.Errorf("measure: index has %d nodes, measure %d", idx.N(), m.N())
+	}
+	return &Sampler{idx: idx, m: m, prefix: make([][]float64, idx.N())}, nil
+}
+
+// Measure returns the sampler's measure.
+func (s *Sampler) Measure() *Measure { return s.m }
+
+func (s *Sampler) prefixFor(u int) []float64 {
+	if p := s.prefix[u]; p != nil {
+		return p
+	}
+	row := s.idx.Sorted(u)
+	p := make([]float64, len(row))
+	acc := 0.0
+	for i, nb := range row {
+		acc += s.m.Of(nb.Node)
+		p[i] = acc
+	}
+	s.prefix[u] = p
+	return p
+}
+
+// BallMass reports µ(B_u(r)) for the closed ball.
+func (s *Sampler) BallMass(u int, r float64) float64 {
+	cnt := s.idx.BallCount(u, r)
+	if cnt == 0 {
+		return 0
+	}
+	return s.prefixFor(u)[cnt-1]
+}
+
+// RadiusForMass reports r_u(eps): the radius of the smallest closed ball
+// around u with measure at least eps (Lemma 3.1's radius function,
+// generalized from the counting measure to arbitrary µ). For eps above
+// the total mass it returns the eccentricity of u.
+func (s *Sampler) RadiusForMass(u int, eps float64) float64 {
+	p := s.prefixFor(u)
+	i := sort.SearchFloat64s(p, eps)
+	if i >= len(p) {
+		i = len(p) - 1
+	}
+	return s.idx.Sorted(u)[i].Dist
+}
+
+// SampleBall draws one node from the closed ball B_u(r) with probability
+// proportional to its mass. It reports ok=false for an empty ball (r < 0).
+func (s *Sampler) SampleBall(u int, r float64, rng *rand.Rand) (node int, ok bool) {
+	cnt := s.idx.BallCount(u, r)
+	if cnt == 0 {
+		return 0, false
+	}
+	p := s.prefixFor(u)
+	x := rng.Float64() * p[cnt-1]
+	i := sort.SearchFloat64s(p[:cnt], x)
+	if i >= cnt {
+		i = cnt - 1
+	}
+	return s.idx.Sorted(u)[i].Node, true
+}
+
+// DoublingConstant measures the realized doubling constant of the measure:
+// the maximum of µ(B_u(r)) / µ(B_u(r/2)) over probed balls, probing every
+// node (or a stride sample above sampleCap nodes) at every halving radius
+// scale between the diameter and the minimum distance.
+func (s *Sampler) DoublingConstant(sampleCap int) float64 {
+	n := s.idx.N()
+	stride := 1
+	if sampleCap > 0 && n > sampleCap {
+		stride = n / sampleCap
+	}
+	worst := 1.0
+	diam := s.idx.Diameter()
+	minD := s.idx.MinDistance()
+	if diam <= 0 {
+		return 1
+	}
+	for u := 0; u < n; u += stride {
+		for r := diam; r >= minD; r /= 2 {
+			num := s.BallMass(u, r)
+			den := s.BallMass(u, r/2)
+			if den > 0 && num/den > worst {
+				worst = num / den
+			}
+		}
+	}
+	return worst
+}

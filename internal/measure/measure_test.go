@@ -1,0 +1,227 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rings/internal/metric"
+)
+
+func TestCountingMeasure(t *testing.T) {
+	m := Counting(4)
+	if m.N() != 4 {
+		t.Fatalf("N = %d", m.N())
+	}
+	for u := 0; u < 4; u++ {
+		if m.Of(u) != 0.25 {
+			t.Errorf("Of(%d) = %v, want 0.25", u, m.Of(u))
+		}
+	}
+	if got := m.Total([]int{0, 2}); got != 0.5 {
+		t.Errorf("Total = %v, want 0.5", got)
+	}
+}
+
+func TestFromWeights(t *testing.T) {
+	m, err := FromWeights([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Of(0) != 0.25 || m.Of(1) != 0.75 {
+		t.Errorf("weights = %v, %v", m.Of(0), m.Of(1))
+	}
+	for _, bad := range [][]float64{{}, {0, 1}, {-1, 2}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := FromWeights(bad); err == nil {
+			t.Errorf("FromWeights(%v) accepted", bad)
+		}
+	}
+}
+
+func sumsToOne(t *testing.T, m *Measure) {
+	t.Helper()
+	total := 0.0
+	for u := 0; u < m.N(); u++ {
+		if m.Of(u) <= 0 {
+			t.Fatalf("node %d has non-positive mass %v", u, m.Of(u))
+		}
+		total += m.Of(u)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("total mass %v, want 1", total)
+	}
+}
+
+func TestDoublingMeasureOnGrid(t *testing.T) {
+	g, err := metric.NewGrid(8, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(g)
+	m, err := Doubling(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, m)
+	s, err := NewSampler(idx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A uniform grid should get a measure with a modest doubling constant
+	// (counting measure itself has constant ~2^2.5 here).
+	if c := s.DoublingConstant(0); c > 64 {
+		t.Errorf("doubling constant %v on grid, want <= 64", c)
+	}
+}
+
+func TestDoublingMeasureOnExponentialLine(t *testing.T) {
+	line, err := metric.ExponentialLine(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(line)
+	m, err := Doubling(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, m)
+	s, err := NewSampler(idx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cDoubling := s.DoublingConstant(0)
+	// The headline property (paper Section 1.1): on the exponential line
+	// {2^i} the counting measure is horribly non-doubling but the net-tree
+	// measure is 2^O(alpha)-doubling. Verify the constructed measure beats
+	// the counting measure by a wide margin.
+	sCount, err := NewSampler(idx, Counting(idx.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCounting := sCount.DoublingConstant(0)
+	if cDoubling > 32 {
+		t.Errorf("net-tree measure doubling constant = %v, want <= 32", cDoubling)
+	}
+	if cCounting < 2*cDoubling {
+		t.Errorf("expected counting measure (%v) to be much worse than net-tree (%v)", cCounting, cDoubling)
+	}
+	// The paper's intuition: µ(2^i) ~ 2^(i-n); masses should increase
+	// with i by roughly constant factors.
+	if m.Of(idx.N()-1) < m.Of(0) {
+		t.Errorf("rightmost point mass %v < leftmost %v; want increasing", m.Of(idx.N()-1), m.Of(0))
+	}
+}
+
+func TestBallMassMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	space := metric.UniformCube(60, 2, 50, rng)
+	idx := metric.NewIndex(space)
+	m, err := Doubling(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(idx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int{0, 17, 59} {
+		for _, r := range []float64{0, 1, 5, 20, 1000} {
+			want := 0.0
+			for v := 0; v < idx.N(); v++ {
+				if idx.Dist(u, v) <= r {
+					want += m.Of(v)
+				}
+			}
+			if got := s.BallMass(u, r); math.Abs(got-want) > 1e-9 {
+				t.Errorf("BallMass(%d,%v) = %v, want %v", u, r, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleBallRespectsMeasure(t *testing.T) {
+	// Tiny 3-node line with a lopsided measure; check empirical
+	// frequencies track the weights.
+	line, err := metric.NewLine([]float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(line)
+	m, err := FromWeights([]float64{1, 1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(idx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 3)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v, ok := s.SampleBall(0, 2, rng)
+		if !ok {
+			t.Fatal("SampleBall reported empty ball")
+		}
+		counts[v]++
+	}
+	frac2 := float64(counts[2]) / trials
+	if frac2 < 0.75 || frac2 > 0.85 {
+		t.Errorf("node 2 sampled %v of the time, want ~0.8", frac2)
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Error("light nodes never sampled")
+	}
+	// Restricted ball excludes node 2.
+	for i := 0; i < 100; i++ {
+		v, ok := s.SampleBall(0, 1, rng)
+		if !ok || v == 2 {
+			t.Fatalf("SampleBall(0,1) returned %d ok=%v", v, ok)
+		}
+	}
+	if _, ok := s.SampleBall(0, -1, rng); ok {
+		t.Error("SampleBall on empty ball reported ok")
+	}
+}
+
+func TestNewSamplerRejectsMismatch(t *testing.T) {
+	g, _ := metric.NewGrid(2, 2, metric.L2)
+	idx := metric.NewIndex(g)
+	if _, err := NewSampler(idx, Counting(3)); err == nil {
+		t.Error("accepted mismatched sizes")
+	}
+}
+
+// Property: for random point sets, the net-tree measure is positive,
+// normalized, and has doubling constant far below the counting measure's
+// worst case bound of n.
+func TestDoublingMeasureProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 10
+		rng := rand.New(rand.NewSource(seed))
+		idx := metric.NewIndex(metric.UniformCube(n, 2, 100, rng))
+		m, err := Doubling(idx)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for u := 0; u < n; u++ {
+			if m.Of(u) <= 0 {
+				return false
+			}
+			total += m.Of(u)
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return false
+		}
+		s, err := NewSampler(idx, m)
+		if err != nil {
+			return false
+		}
+		return s.DoublingConstant(0) <= float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

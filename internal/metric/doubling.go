@@ -1,0 +1,88 @@
+package metric
+
+import (
+	"math"
+)
+
+// GreedyCover covers the closed ball B_center(r) with balls of radius
+// r/2^k centered at nodes of the space, using the greedy procedure of
+// Lemma 1.1: repeatedly pick an uncovered node, open a ball of radius
+// r/2^k around it, and remove everything it covers. It returns the chosen
+// centers. For a metric of doubling dimension alpha, Lemma 1.1 bounds the
+// cover size by 2^(alpha*k) (the greedy centers form an (r/2^k)-packing,
+// which costs at most one extra doubling level in the exponent).
+func GreedyCover(idx *Index, center int, r float64, k int) []int {
+	radius := r / math.Pow(2, float64(k))
+	ball := idx.Ball(center, r)
+	covered := make(map[int]bool, len(ball))
+	var centers []int
+	for _, nb := range ball {
+		if covered[nb.Node] {
+			continue
+		}
+		centers = append(centers, nb.Node)
+		for _, other := range idx.Ball(nb.Node, radius) {
+			covered[other.Node] = true
+		}
+	}
+	return centers
+}
+
+// DoublingDimension estimates the doubling dimension of the indexed space:
+// the max over probed balls B of log2(size of a greedy cover of B by
+// radius/2 balls). Greedy covering over-counts the optimal cover by at
+// most a factor absorbed into 2^O(alpha), so this is the standard
+// empirical surrogate for the paper's alpha.
+//
+// It probes every node at every power-of-two radius scale when n is small
+// (n <= exhaustiveN), and a deterministic stride-sample of nodes
+// otherwise.
+func DoublingDimension(idx *Index) float64 {
+	const exhaustiveN = 256
+	n := idx.N()
+	stride := 1
+	if n > exhaustiveN {
+		stride = n / exhaustiveN
+	}
+	maxCover := 1
+	diam := idx.Diameter()
+	minD := idx.MinDistance()
+	if diam == 0 {
+		return 0
+	}
+	for u := 0; u < n; u += stride {
+		for r := diam; r >= minD; r /= 2 {
+			if idx.BallCount(u, r) <= maxCover {
+				continue // cannot improve the max
+			}
+			c := len(GreedyCover(idx, u, r, 1))
+			if c > maxCover {
+				maxCover = c
+			}
+		}
+	}
+	return math.Log2(float64(maxCover))
+}
+
+// LogAspect reports log2 of the aspect ratio, the paper's log(Delta). It
+// is the number of distance scales every multi-scale construction in the
+// paper iterates over.
+func LogAspect(idx *Index) float64 {
+	a := idx.AspectRatio()
+	if a <= 1 {
+		return 0
+	}
+	return math.Log2(a)
+}
+
+// CheckLemma12 verifies Lemma 1.2: 1 + log2(Delta) >= log2(n)/alpha for
+// the given dimension estimate. It reports the two sides of the
+// inequality.
+func CheckLemma12(idx *Index, alpha float64) (lhs, rhs float64, ok bool) {
+	lhs = 1 + LogAspect(idx)
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	rhs = math.Log2(float64(idx.N())) / alpha
+	return lhs, rhs, lhs >= rhs-1e-9
+}

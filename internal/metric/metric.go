@@ -1,0 +1,212 @@
+// Package metric provides finite metric spaces: the substrate underneath
+// every construction in Slivkins' "Distance Estimation and Object Location
+// via Rings of Neighbors" (PODC 2005).
+//
+// A Space is a finite metric on nodes 0..N-1. The package ships the metric
+// families used throughout the paper and its motivation:
+//
+//   - Euclidean point sets (arbitrary dimension, L1/L2/Linf norms),
+//   - k-dimensional grids (the small-world substrate of Kleinberg [30]),
+//   - the exponential line {1, 2, 4, ..., 2^(n-1)} (the paper's canonical
+//     example of a doubling metric with super-polynomial aspect ratio and
+//     unbounded grid dimension, Section 1),
+//   - clustered "Internet latency" metrics (the Meridian/IDMaps motivation
+//     of Sections 1 and 6),
+//   - explicit distance matrices.
+//
+// An Index precomputes, for each node, all other nodes sorted by distance;
+// it supports the ball primitives the paper uses everywhere: B_u(r),
+// |B_u(r)|, and r_u(eps) — the radius of the smallest closed ball around u
+// containing at least eps*n nodes (Section 1.1).
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Space is a finite metric space on the node set {0, ..., N()-1}.
+//
+// Implementations must satisfy the metric axioms: Dist(u,u) == 0,
+// Dist(u,v) == Dist(v,u) > 0 for u != v, and the triangle inequality.
+// Validate checks these axioms exhaustively for small spaces.
+type Space interface {
+	// N reports the number of nodes.
+	N() int
+	// Dist reports the distance between nodes u and v.
+	Dist(u, v int) float64
+}
+
+// Neighbor is a node paired with its distance from some reference node.
+type Neighbor struct {
+	Node int
+	Dist float64
+}
+
+// Index precomputes per-node distance-sorted neighbor lists for a Space.
+// It answers the ball queries used by nets, packings, measures, rings of
+// neighbors and the small-world samplers in O(log n) per query.
+//
+// Building an Index costs O(n^2 log n) time and O(n^2) memory; all
+// constructions in the paper are polynomial-time and centralized
+// ("efficiently computed" in the paper's sense), so this is the intended
+// regime.
+type Index struct {
+	space  Space
+	sorted [][]Neighbor // sorted[u] ascending by distance; sorted[u][0] == {u, 0}
+	diam   float64
+	minPos float64 // smallest positive distance
+}
+
+// NewIndex builds the distance index for space.
+func NewIndex(space Space) *Index {
+	n := space.N()
+	idx := &Index{
+		space:  space,
+		sorted: make([][]Neighbor, n),
+		minPos: math.Inf(1),
+	}
+	for u := 0; u < n; u++ {
+		row := make([]Neighbor, n)
+		for v := 0; v < n; v++ {
+			row[v] = Neighbor{Node: v, Dist: space.Dist(u, v)}
+		}
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].Dist != row[j].Dist {
+				return row[i].Dist < row[j].Dist
+			}
+			return row[i].Node < row[j].Node
+		})
+		idx.sorted[u] = row
+		if last := row[n-1].Dist; last > idx.diam {
+			idx.diam = last
+		}
+		for _, nb := range row[1:] {
+			if nb.Dist > 0 {
+				idx.minPos = math.Min(idx.minPos, nb.Dist)
+				break
+			}
+		}
+	}
+	return idx
+}
+
+// Space returns the underlying metric space.
+func (idx *Index) Space() Space { return idx.space }
+
+// N reports the number of nodes.
+func (idx *Index) N() int { return idx.space.N() }
+
+// Dist reports the distance between u and v.
+func (idx *Index) Dist(u, v int) float64 { return idx.space.Dist(u, v) }
+
+// Diameter reports the largest pairwise distance.
+func (idx *Index) Diameter() float64 { return idx.diam }
+
+// MinDistance reports the smallest positive pairwise distance.
+func (idx *Index) MinDistance() float64 { return idx.minPos }
+
+// AspectRatio reports Diameter / MinDistance (the paper's Delta).
+func (idx *Index) AspectRatio() float64 {
+	if idx.minPos == 0 || math.IsInf(idx.minPos, 1) {
+		return 1
+	}
+	return idx.diam / idx.minPos
+}
+
+// Sorted returns all nodes sorted by ascending distance from u, starting
+// with u itself at distance 0. The returned slice is shared; callers must
+// not modify it.
+func (idx *Index) Sorted(u int) []Neighbor { return idx.sorted[u] }
+
+// BallCount reports |B_u(r)|, the number of nodes in the closed ball of
+// radius r around u.
+func (idx *Index) BallCount(u int, r float64) int {
+	row := idx.sorted[u]
+	// First index with Dist > r; that index equals the count of nodes <= r.
+	return sort.Search(len(row), func(i int) bool { return row[i].Dist > r })
+}
+
+// Ball returns the nodes of the closed ball B_u(r) in ascending distance
+// order. The returned slice aliases the index; callers must not modify it.
+func (idx *Index) Ball(u int, r float64) []Neighbor {
+	return idx.sorted[u][:idx.BallCount(u, r)]
+}
+
+// RadiusForCount reports the radius of the smallest closed ball around u
+// that contains at least k nodes (including u). k is clamped to [1, n].
+func (idx *Index) RadiusForCount(u, k int) float64 {
+	row := idx.sorted[u]
+	if k < 1 {
+		k = 1
+	}
+	if k > len(row) {
+		k = len(row)
+	}
+	return row[k-1].Dist
+}
+
+// RadiusForMass reports r_u(eps): the radius of the smallest closed ball
+// around u containing at least ceil(eps*n) nodes (the counting measure of
+// the paper's Section 3). eps is clamped to (0, 1].
+func (idx *Index) RadiusForMass(u int, eps float64) float64 {
+	n := idx.N()
+	k := int(math.Ceil(eps * float64(n)))
+	return idx.RadiusForCount(u, k)
+}
+
+// Eccentricity reports the distance from u to the farthest node.
+func (idx *Index) Eccentricity(u int) float64 {
+	row := idx.sorted[u]
+	return row[len(row)-1].Dist
+}
+
+// Nearest returns, among the candidate set (given as a sorted-unique slice
+// of node ids), the one closest to u, breaking ties toward the smaller id.
+// It reports ok=false when candidates is empty.
+func (idx *Index) Nearest(u int, candidates []int) (node int, dist float64, ok bool) {
+	if len(candidates) == 0 {
+		return 0, 0, false
+	}
+	best, bestD := -1, math.Inf(1)
+	for _, c := range candidates {
+		if d := idx.space.Dist(u, c); d < bestD || (d == bestD && c < best) {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD, true
+}
+
+// Validate checks the metric axioms exhaustively: symmetry, identity of
+// indiscernibles, non-negativity and the triangle inequality. It is
+// O(n^3) and intended for tests and small inputs.
+func Validate(space Space) error {
+	n := space.N()
+	for u := 0; u < n; u++ {
+		if d := space.Dist(u, u); d != 0 {
+			return fmt.Errorf("metric: Dist(%d,%d) = %v, want 0", u, u, d)
+		}
+		for v := u + 1; v < n; v++ {
+			duv, dvu := space.Dist(u, v), space.Dist(v, u)
+			if duv != dvu {
+				return fmt.Errorf("metric: asymmetric Dist(%d,%d)=%v vs Dist(%d,%d)=%v", u, v, duv, v, u, dvu)
+			}
+			if duv <= 0 || math.IsNaN(duv) || math.IsInf(duv, 0) {
+				return fmt.Errorf("metric: Dist(%d,%d) = %v, want finite positive", u, v, duv)
+			}
+		}
+	}
+	const slack = 1e-9 // tolerate float rounding in derived metrics
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			duv := space.Dist(u, v)
+			for w := 0; w < n; w++ {
+				if duv > space.Dist(u, w)+space.Dist(w, v)+slack*(1+duv) {
+					return fmt.Errorf("metric: triangle violated for (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+	return nil
+}

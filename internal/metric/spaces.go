@@ -1,0 +1,360 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is an explicit symmetric distance matrix.
+type Matrix struct {
+	n int
+	d [][]float64
+}
+
+// NewMatrix wraps an explicit n x n distance matrix. The matrix is used
+// as-is (not copied); it must be symmetric with a zero diagonal.
+func NewMatrix(d [][]float64) (*Matrix, error) {
+	n := len(d)
+	for i, row := range d {
+		if len(row) != n {
+			return nil, fmt.Errorf("metric: row %d has length %d, want %d", i, len(row), n)
+		}
+	}
+	return &Matrix{n: n, d: d}, nil
+}
+
+// Materialize copies an arbitrary Space into a Matrix, so repeated Dist
+// calls become array lookups.
+func Materialize(space Space) *Matrix {
+	n := space.N()
+	d := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		d[u] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			d[u][v] = space.Dist(u, v)
+		}
+	}
+	return &Matrix{n: n, d: d}
+}
+
+// N reports the number of nodes.
+func (m *Matrix) N() int { return m.n }
+
+// Dist reports the stored distance between u and v.
+func (m *Matrix) Dist(u, v int) float64 { return m.d[u][v] }
+
+// Norm selects the distance norm for Euclidean point sets.
+type Norm int
+
+// Supported norms.
+const (
+	L2   Norm = iota // Euclidean
+	L1               // Manhattan
+	Linf             // Chebyshev
+)
+
+// Euclidean is a finite point set in R^dim under an Lp norm.
+type Euclidean struct {
+	points [][]float64
+	norm   Norm
+}
+
+// NewEuclidean wraps a point set. All points must share one dimension.
+func NewEuclidean(points [][]float64, norm Norm) (*Euclidean, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("metric: empty point set")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("metric: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	return &Euclidean{points: points, norm: norm}, nil
+}
+
+// N reports the number of points.
+func (e *Euclidean) N() int { return len(e.points) }
+
+// Point returns the coordinates of node u (shared, do not modify).
+func (e *Euclidean) Point(u int) []float64 { return e.points[u] }
+
+// Dist reports the Lp distance between points u and v.
+func (e *Euclidean) Dist(u, v int) float64 {
+	a, b := e.points[u], e.points[v]
+	switch e.norm {
+	case L1:
+		s := 0.0
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	case Linf:
+		s := 0.0
+		for i := range a {
+			s = math.Max(s, math.Abs(a[i]-b[i]))
+		}
+		return s
+	default:
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+}
+
+// UniformCube samples n points uniformly from [0, side]^dim. The result
+// has doubling dimension about dim with high probability.
+func UniformCube(n, dim int, side float64, rng *rand.Rand) *Euclidean {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * side
+		}
+		pts[i] = p
+	}
+	return &Euclidean{points: pts, norm: L2}
+}
+
+// Grid is the k-dimensional integer lattice {0..side-1}^dim, the substrate
+// of Kleinberg's small-world model [30]. It is UL-constrained in the
+// paper's Section 5 sense: ball growth is bounded above and below.
+type Grid struct {
+	side, dim int
+	norm      Norm
+}
+
+// NewGrid creates a dim-dimensional grid with side nodes per axis
+// (side^dim nodes total).
+func NewGrid(side, dim int, norm Norm) (*Grid, error) {
+	if side < 1 || dim < 1 {
+		return nil, fmt.Errorf("metric: invalid grid %dx^%d", side, dim)
+	}
+	if math.Pow(float64(side), float64(dim)) > 1<<22 {
+		return nil, fmt.Errorf("metric: grid too large: side=%d dim=%d", side, dim)
+	}
+	return &Grid{side: side, dim: dim, norm: norm}, nil
+}
+
+// N reports side^dim.
+func (g *Grid) N() int {
+	n := 1
+	for i := 0; i < g.dim; i++ {
+		n *= g.side
+	}
+	return n
+}
+
+// Coords decodes node u into lattice coordinates.
+func (g *Grid) Coords(u int) []int {
+	c := make([]int, g.dim)
+	for i := 0; i < g.dim; i++ {
+		c[i] = u % g.side
+		u /= g.side
+	}
+	return c
+}
+
+// Dist reports the lattice distance between nodes u and v under the
+// grid's norm.
+func (g *Grid) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	var s float64
+	for i := 0; i < g.dim; i++ {
+		cu, cv := u%g.side, v%g.side
+		u, v = u/g.side, v/g.side
+		d := math.Abs(float64(cu - cv))
+		switch g.norm {
+		case L1:
+			s += d
+		case Linf:
+			s = math.Max(s, d)
+		default:
+			s += d * d
+		}
+	}
+	if g.norm == L2 {
+		return math.Sqrt(s)
+	}
+	return s
+}
+
+// Line is a one-dimensional point set {x_0 < x_1 < ... < x_(n-1)} with
+// d(i,j) = |x_i - x_j|.
+type Line struct {
+	xs []float64
+}
+
+// NewLine wraps a strictly increasing coordinate slice.
+func NewLine(xs []float64) (*Line, error) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("metric: line coordinates not strictly increasing at %d", i)
+		}
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("metric: empty line")
+	}
+	return &Line{xs: xs}, nil
+}
+
+// N reports the number of points.
+func (l *Line) N() int { return len(l.xs) }
+
+// Dist reports |x_u - x_v|.
+func (l *Line) Dist(u, v int) float64 { return math.Abs(l.xs[u] - l.xs[v]) }
+
+// ExponentialLine builds the paper's canonical pathological doubling
+// metric: the set {base^0, base^1, ..., base^(n-1)} on the real line
+// (Section 1 uses base 2). Its aspect ratio is about base^(n-1) —
+// super-polynomial in n — while its doubling dimension stays small and its
+// grid dimension is unbounded. base must exceed 1 and base^(n-1) must fit
+// in a float64.
+func ExponentialLine(n int, base float64) (*Line, error) {
+	if n < 1 || base <= 1 {
+		return nil, fmt.Errorf("metric: invalid exponential line n=%d base=%v", n, base)
+	}
+	if float64(n-1)*math.Log2(base) > 1000 {
+		return nil, fmt.Errorf("metric: exponential line overflows float64: n=%d base=%v", n, base)
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Pow(base, float64(i))
+	}
+	return NewLine(xs)
+}
+
+// ExponentialLineForAspect builds an exponential line on n nodes whose
+// aspect ratio is approximately 2^log2Aspect, by choosing the base
+// accordingly. It lets experiments sweep log(Delta) with n held fixed
+// (the regime of Theorems 3.4, 4.2 and 5.2b).
+func ExponentialLineForAspect(n int, log2Aspect float64) (*Line, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("metric: need n >= 3, got %d", n)
+	}
+	// For base b: min gap = b-1 at the left end, diameter ~ b^(n-1), so
+	// log2(aspect) ~ (n-1)*log2(b) - log2(b-1); solving approximately with
+	// (n-1)*log2(b) = log2Aspect is accurate enough for b >= 2.
+	base := math.Pow(2, log2Aspect/float64(n-1))
+	if base <= 1.0001 {
+		base = 1.0001
+	}
+	return ExponentialLine(n, base)
+}
+
+// ClusteredLatency synthesizes an Internet-like latency metric: the
+// motivation the paper inherits from IDMaps [20] and Meridian [57]. Nodes
+// are placed by a three-level hierarchy (continents > POPs > hosts) of
+// Gaussian offsets in R^dim with geometrically decreasing spreads, and
+// each node gets a small non-negative "access delay" added to every one of
+// its distances. d(u,v) = ||x_u - x_v|| + a_u + a_v remains a metric, and
+// the hierarchy keeps the doubling dimension low — the structural model of
+// the Internet distance matrix used in [33, 50].
+type ClusteredLatency struct {
+	euc   *Euclidean
+	delay []float64
+}
+
+// NewClusteredLatency generates n nodes. spreads gives the per-level
+// standard deviations (outermost first); maxDelay bounds the per-node
+// access delay (0 disables it).
+func NewClusteredLatency(n, dim int, branching []int, spreads []float64, maxDelay float64, rng *rand.Rand) (*ClusteredLatency, error) {
+	if len(branching)+1 != len(spreads) {
+		return nil, fmt.Errorf("metric: need len(spreads) == len(branching)+1, got %d and %d", len(spreads), len(branching))
+	}
+	if n < 1 || dim < 1 {
+		return nil, fmt.Errorf("metric: invalid n=%d dim=%d", n, dim)
+	}
+	// Centers for each level of the hierarchy.
+	levels := len(branching)
+	centers := [][][]float64{{make([]float64, dim)}} // level 0: the origin cluster
+	for l := 0; l < levels; l++ {
+		var next [][]float64
+		for _, c := range centers[l] {
+			for b := 0; b < branching[l]; b++ {
+				p := make([]float64, dim)
+				for j := range p {
+					p[j] = c[j] + rng.NormFloat64()*spreads[l]
+				}
+				next = append(next, p)
+			}
+		}
+		centers = append(centers, next)
+	}
+	leaves := centers[levels]
+	pts := make([][]float64, n)
+	delay := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := leaves[rng.Intn(len(leaves))]
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*spreads[levels]
+		}
+		pts[i] = p
+		if maxDelay > 0 {
+			delay[i] = rng.Float64() * maxDelay
+		}
+	}
+	euc, err := NewEuclidean(pts, L2)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusteredLatency{euc: euc, delay: delay}, nil
+}
+
+// N reports the number of nodes.
+func (c *ClusteredLatency) N() int { return c.euc.N() }
+
+// Dist reports the synthetic latency between u and v.
+func (c *ClusteredLatency) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	if u > v {
+		u, v = v, u // fix the float addition order so Dist is exactly symmetric
+	}
+	return c.euc.Dist(u, v) + c.delay[u] + c.delay[v]
+}
+
+// Perturbed wraps a space and scales every distance by a fixed per-pair
+// factor in [1, 1+eps], deterministically derived from the pair, keeping
+// symmetry. The result is generally NOT itself a metric (ties in the
+// triangle inequality break under multiplicative noise); it is intended as
+// an edge-weight jitter source for graph generators, whose shortest-path
+// closure is a metric by construction.
+type Perturbed struct {
+	base Space
+	eps  float64
+	seed int64
+}
+
+// NewPerturbed wraps base with multiplicative noise in [1, 1+eps].
+func NewPerturbed(base Space, eps float64, seed int64) *Perturbed {
+	return &Perturbed{base: base, eps: eps, seed: seed}
+}
+
+// N reports the number of nodes.
+func (p *Perturbed) N() int { return p.base.N() }
+
+// Dist reports the perturbed distance.
+func (p *Perturbed) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	if u > v {
+		u, v = v, u
+	}
+	// Cheap deterministic hash of (u, v, seed) to a factor in [1, 1+eps].
+	h := uint64(u)*0x9E3779B97F4A7C15 ^ uint64(v)*0xC2B2AE3D27D4EB4F ^ uint64(p.seed)
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	frac := float64(h%(1<<20)) / float64(1<<20)
+	return p.base.Dist(u, v) * (1 + p.eps*frac)
+}

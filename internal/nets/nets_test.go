@@ -1,0 +1,257 @@
+package nets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rings/internal/metric"
+)
+
+func gridIndex(t *testing.T, side int) *metric.Index {
+	t.Helper()
+	g, err := metric.NewGrid(side, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metric.NewIndex(g)
+}
+
+func TestGreedyNetProperties(t *testing.T) {
+	idx := gridIndex(t, 8)
+	for _, r := range []float64{0.5, 1, 2.5, 4, 100} {
+		net := Greedy(idx, r, nil)
+		if err := Verify(idx, net, r); err != nil {
+			t.Errorf("r=%v: %v", r, err)
+		}
+	}
+}
+
+func TestGreedyNetWithSeeds(t *testing.T) {
+	idx := gridIndex(t, 6)
+	coarse := Greedy(idx, 4, nil)
+	fine := Greedy(idx, 2, coarse)
+	if err := Verify(idx, fine, 2); err != nil {
+		t.Fatalf("seeded net invalid: %v", err)
+	}
+	// Seeding preserves nesting: every coarse point is in the fine net.
+	inFine := make(map[int]bool, len(fine))
+	for _, p := range fine {
+		inFine[p] = true
+	}
+	for _, p := range coarse {
+		if !inFine[p] {
+			t.Errorf("coarse net point %d missing from seeded finer net", p)
+		}
+	}
+}
+
+func TestGreedySubMinimumRadiusIsAllNodes(t *testing.T) {
+	idx := gridIndex(t, 4)
+	net := Greedy(idx, idx.MinDistance()/2, nil)
+	if len(net) != idx.N() {
+		t.Fatalf("net of radius < dmin has %d nodes, want all %d", len(net), idx.N())
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	idx := gridIndex(t, 4)
+	if err := Verify(idx, []int{0, 1}, 2); err == nil {
+		t.Error("Verify accepted a separation violation")
+	}
+	if err := Verify(idx, []int{0}, 1); err == nil {
+		t.Error("Verify accepted a coverage violation")
+	}
+	if err := Verify(idx, nil, 1); err == nil {
+		t.Error("Verify accepted an empty net")
+	}
+}
+
+func TestHierarchyNestingAndProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	space := metric.UniformCube(120, 2, 100, rng)
+	idx := metric.NewIndex(space)
+	h, err := NewHierarchy(idx, RoutingScales(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < h.NumLevels(); k++ {
+		if err := Verify(idx, h.Level(k), h.Scale(k)); err != nil {
+			t.Errorf("level %d: %v", k, err)
+		}
+		if k > 0 {
+			for _, p := range h.Level(k - 1) {
+				if !h.Contains(k, p) {
+					t.Errorf("nesting violated: %d in level %d but not level %d", p, k-1, k)
+				}
+			}
+		}
+	}
+	// Finest level holds every node (RoutingScales ends below dmin).
+	if got := len(h.Level(h.NumLevels() - 1)); got != idx.N() {
+		t.Errorf("finest level has %d nodes, want %d", got, idx.N())
+	}
+}
+
+func TestNearestInLevel(t *testing.T) {
+	idx := gridIndex(t, 6)
+	h, err := NewHierarchy(idx, RoutingScales(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < h.NumLevels(); k++ {
+		for u := 0; u < idx.N(); u++ {
+			node, dist := h.NearestInLevel(k, u)
+			wantNode, wantDist, _ := idx.Nearest(u, h.Level(k))
+			if dist != wantDist {
+				t.Fatalf("level %d node %d: NearestInLevel dist %v (node %d), brute force %v (node %d)",
+					k, u, dist, node, wantDist, wantNode)
+			}
+			if dist > h.Scale(k) {
+				t.Fatalf("level %d: node %d not covered within scale", k, u)
+			}
+			// Cached second call agrees.
+			n2, d2 := h.NearestInLevel(k, u)
+			if n2 != node || d2 != dist {
+				t.Fatalf("cache mismatch at level %d node %d", k, u)
+			}
+		}
+	}
+}
+
+func TestInBall(t *testing.T) {
+	idx := gridIndex(t, 6)
+	h, err := NewHierarchy(idx, RoutingScales(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := h.NumLevels() / 2
+	r := h.Scale(0) / 3
+	got := h.InBall(k, 7, r)
+	seen := make(map[int]bool)
+	for i, p := range got {
+		if !h.Contains(k, p) {
+			t.Errorf("InBall returned non-member %d", p)
+		}
+		if d := idx.Dist(7, p); d > r {
+			t.Errorf("InBall returned %d outside radius: %v > %v", p, d, r)
+		}
+		if i > 0 && idx.Dist(7, got[i-1]) > idx.Dist(7, p) {
+			t.Error("InBall not sorted by distance")
+		}
+		seen[p] = true
+	}
+	for _, p := range h.Level(k) {
+		if idx.Dist(7, p) <= r && !seen[p] {
+			t.Errorf("InBall missed member %d", p)
+		}
+	}
+}
+
+func TestRoutingScalesShape(t *testing.T) {
+	idx := gridIndex(t, 8)
+	scales := RoutingScales(idx)
+	if scales[0] != idx.Diameter() {
+		t.Errorf("first scale %v, want diameter %v", scales[0], idx.Diameter())
+	}
+	last := scales[len(scales)-1]
+	if last >= idx.MinDistance() {
+		t.Errorf("last scale %v, want < dmin %v", last, idx.MinDistance())
+	}
+	for i := 1; i < len(scales); i++ {
+		if scales[i] != scales[i-1]/2 {
+			t.Errorf("scales not halving at %d", i)
+		}
+	}
+}
+
+func TestLabelingScalesAscendingView(t *testing.T) {
+	line, err := metric.ExponentialLine(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(line)
+	h, err := NewHierarchy(idx, LabelingScales(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Ascending{H: h}
+	// G_0 (finest, scale dmin/2) must contain every node so zooming
+	// sequences can bottom out at the node itself.
+	if got := len(a.Members(0)); got != idx.N() {
+		t.Fatalf("G_0 has %d nodes, want all %d", got, idx.N())
+	}
+	if err := Verify(idx, a.Members(0), a.Scale(0)); err != nil {
+		t.Errorf("G_0: %v", err)
+	}
+	// Ascending scales double.
+	for j := 1; j <= a.MaxJ(); j++ {
+		if a.Scale(j) != 2*a.Scale(j-1) {
+			t.Errorf("ascending scale not doubling at %d", j)
+		}
+		// Nesting in the ascending view: G_j ⊆ G_(j-1).
+		for _, p := range a.Members(j) {
+			if !a.Contains(j-1, p) {
+				t.Errorf("G_%d ⊄ G_%d at node %d", j, j-1, p)
+			}
+		}
+	}
+	// JForScale clamps properly.
+	if a.JForScale(0) != 0 {
+		t.Error("JForScale(0) != 0")
+	}
+	if a.JForScale(idx.Diameter()*10) != a.MaxJ() {
+		t.Error("JForScale(huge) != MaxJ")
+	}
+	// Finest scale is dmin/2 = 0.5 here, so scale 3 sits at index
+	// floor(log2(3/0.5)) = 2, and Scale(j) <= 3.
+	wantJ := int(math.Floor(math.Log2(3.0 / a.Scale(0))))
+	if got := a.JForScale(3); got != wantJ {
+		t.Errorf("JForScale(3) = %d, want %d", got, wantJ)
+	}
+	if a.Scale(a.JForScale(3)) > 3 {
+		t.Errorf("Scale(JForScale(3)) = %v > 3", a.Scale(a.JForScale(3)))
+	}
+}
+
+func TestNewHierarchyRejectsBadScales(t *testing.T) {
+	idx := gridIndex(t, 3)
+	for name, scales := range map[string][]float64{
+		"empty":      nil,
+		"ascending":  {1, 2},
+		"nonpositve": {2, 0},
+		"equal":      {2, 2},
+	} {
+		if _, err := NewHierarchy(idx, scales); err == nil {
+			t.Errorf("%s: accepted invalid scales", name)
+		}
+	}
+}
+
+// Property (Lemma 1.4): an r-net has at most (4r'/r)^alpha points in any
+// ball of radius r' >= r. We check it with the empirical alpha estimate,
+// allowing one extra doubling factor for estimation slack.
+func TestLemma14Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	space := metric.UniformCube(150, 2, 100, rng)
+	idx := metric.NewIndex(space)
+	alpha := metric.DoublingDimension(idx) + 1
+	f := func(rScaleRaw, primeRaw, uRaw uint16) bool {
+		r := idx.MinDistance() * (1 + float64(rScaleRaw%64))
+		rPrime := r * (1 + float64(primeRaw%16))
+		u := int(uRaw) % idx.N()
+		net := Greedy(idx, r, nil)
+		count := 0
+		for _, p := range net {
+			if idx.Dist(u, p) <= rPrime {
+				count++
+			}
+		}
+		bound := math.Pow(4*rPrime/r, alpha)
+		return float64(count) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

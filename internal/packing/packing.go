@@ -1,0 +1,210 @@
+// Package packing implements (eps,µ)-packings: Lemma 3.1 / Lemma A.1 of
+// the paper, the substrate of the X-type neighbors in the triangulation
+// (Theorem 3.2), the distance labeling (Theorem 3.4) and routing mode M2
+// (Theorem B.1).
+//
+// An (eps,µ)-packing is a family F of disjoint balls, each of measure at
+// least eps/2^O(alpha), such that for every node u some ball B_w(r) ∈ F
+// satisfies d(u,w) + r <= 6*r_u(eps), where r_u(eps) is the radius of the
+// smallest ball around u of measure at least eps (the strengthened form of
+// Lemma A.1 used by Theorem B.1).
+//
+// The construction mirrors the existence proof: for each node u it either
+// finds a "u-zooming" ball — a ball B_v(r) ⊆ B_u(3r_u) whose measure is a
+// constant fraction of eps while µ(B_v(4r)) <= eps — by repeatedly
+// covering the current ball with radius/8 balls and descending into the
+// heaviest one, or it bottoms out at a single node of measure >= eps.
+// A maximal disjoint subfamily of these per-node balls is the packing.
+package packing
+
+import (
+	"fmt"
+	"math"
+
+	"rings/internal/measure"
+	"rings/internal/metric"
+)
+
+// Ball is a member of a packing: the closed ball of the given radius
+// around Center, with its node set materialized in ascending distance
+// order from the center.
+type Ball struct {
+	Center int
+	Radius float64
+	Nodes  []int
+	Mass   float64
+}
+
+// Contains reports whether node v lies in the ball.
+func (b *Ball) Contains(idx *metric.Index, v int) bool {
+	return idx.Dist(b.Center, v) <= b.Radius
+}
+
+// Packing is an (Eps, µ)-packing over an indexed metric space.
+type Packing struct {
+	Eps   float64
+	Balls []Ball
+	// CoverFor[u] is the index into Balls of a ball B_w(r) with
+	// d(u,w) + r <= 6*r_u(eps) (the Lemma A.1 guarantee).
+	CoverFor []int
+	// RadiusAt[u] caches r_u(eps).
+	RadiusAt []float64
+}
+
+// New builds an (eps,µ)-packing. eps must lie in (0, 1].
+func New(idx *metric.Index, smp *measure.Sampler, eps float64) (*Packing, error) {
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("packing: eps = %v, want (0,1]", eps)
+	}
+	n := idx.N()
+	radiusAt := make([]float64, n)
+	for u := 0; u < n; u++ {
+		radiusAt[u] = smp.RadiusForMass(u, eps)
+	}
+
+	// Per-node candidate balls.
+	candidates := make([]Ball, n)
+	for u := 0; u < n; u++ {
+		candidates[u] = candidateBall(idx, smp, u, radiusAt[u], eps)
+	}
+
+	// Maximal disjoint subfamily, scanning nodes in id order (matching the
+	// proof's "consecutively going through all balls").
+	p := &Packing{
+		Eps:      eps,
+		CoverFor: make([]int, n),
+		RadiusAt: radiusAt,
+	}
+	taken := make([]bool, n) // nodes already claimed by a packing ball
+	for u := 0; u < n; u++ {
+		b := candidates[u]
+		disjoint := true
+		for _, v := range b.Nodes {
+			if taken[v] {
+				disjoint = false
+				break
+			}
+		}
+		if !disjoint {
+			continue
+		}
+		for _, v := range b.Nodes {
+			taken[v] = true
+		}
+		p.Balls = append(p.Balls, b)
+	}
+
+	// Locate, for every node, a packing ball within the A.1 budget.
+	for u := 0; u < n; u++ {
+		p.CoverFor[u] = -1
+		budget := 6 * radiusAt[u]
+		for i := range p.Balls {
+			b := &p.Balls[i]
+			if idx.Dist(u, b.Center)+b.Radius <= budget {
+				p.CoverFor[u] = i
+				break
+			}
+		}
+		if p.CoverFor[u] < 0 {
+			return nil, fmt.Errorf("packing: no ball within 6*r_u for node %d (eps=%v)", u, eps)
+		}
+	}
+	return p, nil
+}
+
+// candidateBall finds either a u-zooming ball or a heavy singleton, per
+// the Lemma A.1 existence argument.
+func candidateBall(idx *metric.Index, smp *measure.Sampler, u int, ru, eps float64) Ball {
+	center, rho := u, ru
+	if rho == 0 {
+		// u alone already has measure >= eps.
+		return makeBall(idx, smp, u, 0)
+	}
+	minD := idx.MinDistance()
+	// Invariant: µ(B_center(rho)) >= eps. Each round either certifies a
+	// zooming ball of radius rho/8 or halves rho, so the loop terminates
+	// in O(log aspect) rounds at a singleton of measure >= eps.
+	for rho >= minD {
+		v := heaviestCoverBall(idx, smp, center, rho)
+		if smp.BallMass(v, rho/2) <= eps {
+			return makeBall(idx, smp, v, rho/8)
+		}
+		center, rho = v, rho/2
+	}
+	return makeBall(idx, smp, center, 0)
+}
+
+// heaviestCoverBall greedily covers B_center(rho) with balls of radius
+// rho/8 centered at its members and returns the center whose rho/8-ball is
+// heaviest.
+func heaviestCoverBall(idx *metric.Index, smp *measure.Sampler, center int, rho float64) int {
+	sub := rho / 8
+	ball := idx.Ball(center, rho)
+	covered := make(map[int]bool, len(ball))
+	best, bestMass := center, -1.0
+	for _, nb := range ball {
+		if covered[nb.Node] {
+			continue
+		}
+		for _, other := range idx.Ball(nb.Node, sub) {
+			covered[other.Node] = true
+		}
+		if m := smp.BallMass(nb.Node, sub); m > bestMass {
+			best, bestMass = nb.Node, m
+		}
+	}
+	return best
+}
+
+func makeBall(idx *metric.Index, smp *measure.Sampler, center int, radius float64) Ball {
+	nbs := idx.Ball(center, radius)
+	nodes := make([]int, len(nbs))
+	for i, nb := range nbs {
+		nodes[i] = nb.Node
+	}
+	return Ball{Center: center, Radius: radius, Nodes: nodes, Mass: smp.BallMass(center, radius)}
+}
+
+// MinMass reports the smallest ball mass in the packing, as a fraction of
+// Eps — the realized 1/2^O(alpha) constant of Lemma 3.1.
+func (p *Packing) MinMass() float64 {
+	min := math.Inf(1)
+	for i := range p.Balls {
+		if f := p.Balls[i].Mass / p.Eps; f < min {
+			min = f
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Verify checks the packing invariants: pairwise disjoint node sets,
+// positive mass, and the Lemma A.1 coverage property for every node.
+func (p *Packing) Verify(idx *metric.Index) error {
+	seen := make(map[int]int)
+	for i := range p.Balls {
+		b := &p.Balls[i]
+		if b.Mass <= 0 {
+			return fmt.Errorf("packing: ball %d has mass %v", i, b.Mass)
+		}
+		for _, v := range b.Nodes {
+			if prev, dup := seen[v]; dup {
+				return fmt.Errorf("packing: node %d in balls %d and %d", v, prev, i)
+			}
+			seen[v] = i
+		}
+	}
+	for u := 0; u < idx.N(); u++ {
+		i := p.CoverFor[u]
+		if i < 0 || i >= len(p.Balls) {
+			return fmt.Errorf("packing: node %d has invalid cover index %d", u, i)
+		}
+		b := &p.Balls[i]
+		if idx.Dist(u, b.Center)+b.Radius > 6*p.RadiusAt[u]+1e-12 {
+			return fmt.Errorf("packing: cover ball for node %d exceeds 6*r_u", u)
+		}
+	}
+	return nil
+}

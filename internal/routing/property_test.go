@@ -1,0 +1,152 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+// Property: Theorem 2.1 delivers every packet within the stretch band on
+// random geometric graphs, across seeds and sizes.
+func TestThm21StretchProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 12
+		rng := rand.New(rand.NewSource(seed))
+		space := metric.UniformCube(n, 2, 100, rng)
+		g, err := graph.GeometricGraph(space, 40)
+		if err != nil {
+			return false
+		}
+		delta := 0.5
+		s, err := NewThm21(g, delta)
+		if err != nil {
+			return false
+		}
+		apsp, err := graph.AllPairs(g)
+		if err != nil {
+			return false
+		}
+		st, err := Evaluate(s, apsp.Metric(), 1, 50*n)
+		return err == nil && st.MaxStretch <= 1+delta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Theorem B.1 delivers every packet on ring overlays across
+// seeds, within the generous stretch band.
+func TestThmB1DeliveryProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := metric.UniformCube(18, 2, 100, rng)
+		idx := metric.NewIndex(space)
+		over, err := RingOverlay(idx, 0.5)
+		if err != nil {
+			return false
+		}
+		s, err := NewThmB1(over, 0.5, 0)
+		if err != nil {
+			return false
+		}
+		apsp, err := graph.AllPairs(over)
+		if err != nil {
+			return false
+		}
+		st, err := Evaluate(s, apsp.Metric(), 1, 80*over.N())
+		return err == nil && st.MaxStretch <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: headers never grow along a route for Thm 2.1 (the level field
+// only deepens, widths are fixed).
+func TestThm21HeaderSizeStable(t *testing.T) {
+	g, err := graph.GridGraph(6, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewThm21(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.InitHeader(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := h.Bits()
+	res, err := Route(s, 0, g.N()-1, 50*g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHeaderBits != initial {
+		t.Errorf("header grew en route: %d -> %d", initial, res.MaxHeaderBits)
+	}
+}
+
+// All schemes refuse to route to out-of-range targets and survive
+// self-routing requests.
+func TestSchemesSelfRoute(t *testing.T) {
+	g, err := graph.GridGraph(4, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := []func() (Scheme, error){
+		func() (Scheme, error) { return NewThm21(g, 0.5) },
+		func() (Scheme, error) { return NewThm41(g, 0.5) },
+		func() (Scheme, error) { return NewThmB1(g, 0.5, 0) },
+		func() (Scheme, error) { return NewThm21Global(g, 0.5) },
+		func() (Scheme, error) { return NewFullTable(g) },
+	}
+	for _, build := range builders {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Route(s, 5, 5, 10)
+		if err != nil {
+			t.Errorf("%s: self-route failed: %v", s.Name(), err)
+		}
+		if res.Hops != 0 {
+			t.Errorf("%s: self-route took %d hops", s.Name(), res.Hops)
+		}
+	}
+}
+
+// Evaluate with a stride covers a thinner pair set but must stay green.
+func TestEvaluateStride(t *testing.T) {
+	g, err := graph.GridGraph(5, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewThm21(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Evaluate(s, apsp.Metric(), 1, 50*g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin, err := Evaluate(s, apsp.Metric(), 3, 50*g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thin.Routes >= full.Routes || thin.Routes == 0 {
+		t.Errorf("stride accounting wrong: %d vs %d", thin.Routes, full.Routes)
+	}
+}

@@ -1,0 +1,215 @@
+// Package routing implements the paper's compact low-stretch routing
+// schemes on doubling graphs and doubling metrics:
+//
+//   - Theorem 2.1: the rings-of-neighbors re-derivation of Chan et
+//     al. [14] — (1+δ)-stretch with (1/δ)^O(α)·(log ∆)(log D_out)-bit
+//     tables and O(α log 1/δ)(log ∆)-bit headers;
+//   - Theorem 4.1: the "really simple" scheme that plugs in a distance
+//     labeling as a black box, trading a log n factor in the tables for
+//     2^O(α)(φ log n)-bit headers, φ = log(1/δ · log ∆);
+//   - Theorem 4.2 / B.1: the two-mode scheme for super-polynomial aspect
+//     ratios;
+//   - the baselines: trivial stretch-1 full tables, and a hierarchical
+//     net-tree comparator standing in for Talwar [52];
+//   - Section 4.1's routing-on-metrics variants, where the scheme also
+//     chooses the (overlay) edge set and the out-degree is a measured
+//     quantity.
+//
+// A Scheme is exercised by a hop-by-hop simulator: every forwarding
+// decision sees only the current node's routing table and the packet
+// header, exactly as the paper's model demands; headers and tables are
+// bit-measured with package bitio.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rings/internal/graph"
+)
+
+// Header is a packet header: scheme-specific, mutated hop by hop, and
+// bit-accountable.
+type Header interface {
+	// Bits reports the exact serialized size of the header.
+	Bits() int
+}
+
+// Scheme is a compact routing scheme in the paper's model: labels and
+// tables are assigned centrally; forwarding is local.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Graph returns the graph the scheme routes on (for metric schemes,
+	// the overlay it constructed).
+	Graph() *graph.Graph
+	// InitHeader builds the header a source attaches to reach target
+	// (the paper's component (c)).
+	InitHeader(source, target int) (Header, error)
+	// NextHop makes one local forwarding decision at node u: it may
+	// mutate the header and returns the out-edge index to follow, or
+	// done=true when u is the target (the paper's component (b)).
+	NextHop(u int, h Header) (edge int, done bool, err error)
+	// TableBits reports the measured routing-table size of node u.
+	TableBits(u int) (int, error)
+	// LabelBits reports the measured routing-label size of node u.
+	LabelBits(u int) (int, error)
+}
+
+// RouteResult describes one simulated packet.
+type RouteResult struct {
+	Path          []int
+	Length        float64
+	Hops          int
+	MaxHeaderBits int
+}
+
+// Route simulates a packet from source to target, enforcing a hop budget
+// so scheme bugs surface as errors instead of infinite loops.
+func Route(s Scheme, source, target, maxHops int) (RouteResult, error) {
+	g := s.Graph()
+	h, err := s.InitHeader(source, target)
+	if err != nil {
+		return RouteResult{}, fmt.Errorf("routing: init header %d->%d: %w", source, target, err)
+	}
+	res := RouteResult{Path: []int{source}, MaxHeaderBits: h.Bits()}
+	cur := source
+	for hop := 0; ; hop++ {
+		edge, done, err := s.NextHop(cur, h)
+		if err != nil {
+			return res, fmt.Errorf("routing: at node %d (hop %d) for %d->%d: %w", cur, hop, source, target, err)
+		}
+		if done {
+			if cur != target {
+				return res, fmt.Errorf("routing: scheme declared done at %d, target %d", cur, target)
+			}
+			return res, nil
+		}
+		if hop >= maxHops {
+			return res, fmt.Errorf("routing: hop budget %d exhausted en route %d->%d (at %d)", maxHops, source, target, cur)
+		}
+		out := g.Out(cur)
+		if edge < 0 || edge >= len(out) {
+			return res, fmt.Errorf("routing: node %d returned invalid edge %d of %d", cur, edge, len(out))
+		}
+		res.Length += out[edge].Weight
+		cur = out[edge].To
+		res.Path = append(res.Path, cur)
+		res.Hops++
+		if b := h.Bits(); b > res.MaxHeaderBits {
+			res.MaxHeaderBits = b
+		}
+	}
+}
+
+// Stats aggregates an evaluation sweep of a scheme.
+type Stats struct {
+	Routes        int
+	MaxStretch    float64
+	MeanStretch   float64
+	MaxHops       int
+	MaxHeaderBits int
+	MaxTableBits  int
+	MaxLabelBits  int
+	SumTableBits  int
+}
+
+// Distancer reports true distances for stretch accounting.
+type Distancer interface {
+	Dist(u, v int) float64
+	N() int
+}
+
+// Evaluate routes all (or strided) source-target pairs in parallel and
+// aggregates stretch and size statistics. stride 1 evaluates every
+// ordered pair; stride k skips sources/targets for larger instances.
+func Evaluate(s Scheme, d Distancer, stride, maxHops int) (Stats, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	n := d.N()
+	workers := runtime.GOMAXPROCS(0)
+	stats := make([]Stats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.MaxStretch = 1
+			sum := 0.0
+			for u := w * stride; u < n; u += workers * stride {
+				for v := 0; v < n; v += stride {
+					if u == v {
+						continue
+					}
+					res, err := Route(s, u, v, maxHops)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					st.Routes++
+					stretch := 1.0
+					if dist := d.Dist(u, v); dist > 0 {
+						stretch = res.Length / dist
+					}
+					sum += stretch
+					if stretch > st.MaxStretch {
+						st.MaxStretch = stretch
+					}
+					if res.Hops > st.MaxHops {
+						st.MaxHops = res.Hops
+					}
+					if res.MaxHeaderBits > st.MaxHeaderBits {
+						st.MaxHeaderBits = res.MaxHeaderBits
+					}
+				}
+			}
+			if st.Routes > 0 {
+				st.MeanStretch = sum / float64(st.Routes)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total Stats
+	total.MaxStretch = 1
+	sum := 0.0
+	for w := range stats {
+		if errs[w] != nil {
+			return total, errs[w]
+		}
+		total.Routes += stats[w].Routes
+		total.MaxStretch = math.Max(total.MaxStretch, stats[w].MaxStretch)
+		if stats[w].MaxHops > total.MaxHops {
+			total.MaxHops = stats[w].MaxHops
+		}
+		if stats[w].MaxHeaderBits > total.MaxHeaderBits {
+			total.MaxHeaderBits = stats[w].MaxHeaderBits
+		}
+		sum += stats[w].MeanStretch * float64(stats[w].Routes)
+	}
+	if total.Routes > 0 {
+		total.MeanStretch = sum / float64(total.Routes)
+	}
+	for u := 0; u < n; u++ {
+		tb, err := s.TableBits(u)
+		if err != nil {
+			return total, err
+		}
+		lb, err := s.LabelBits(u)
+		if err != nil {
+			return total, err
+		}
+		if tb > total.MaxTableBits {
+			total.MaxTableBits = tb
+		}
+		if lb > total.MaxLabelBits {
+			total.MaxLabelBits = lb
+		}
+		total.SumTableBits += tb
+	}
+	return total, nil
+}

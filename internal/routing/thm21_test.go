@@ -1,0 +1,146 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+func evaluateScheme(t *testing.T, s Scheme, d Distancer, delta float64, stride int) Stats {
+	t.Helper()
+	stats, err := Evaluate(s, d, stride, 50*d.N())
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	if stats.MaxStretch > 1+delta+1e-6 {
+		t.Fatalf("%s: max stretch %v exceeds 1+%v", s.Name(), stats.MaxStretch, delta)
+	}
+	if stats.Routes == 0 {
+		t.Fatalf("%s: no routes evaluated", s.Name())
+	}
+	return stats
+}
+
+func TestThm21OnJitteredGrid(t *testing.T) {
+	g, err := graph.GridGraph(7, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	s, err := NewThm21(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := evaluateScheme(t, s, apsp.Metric(), delta, 1)
+	if stats.MaxTableBits <= 0 || stats.MaxLabelBits <= 0 || stats.MaxHeaderBits <= 0 {
+		t.Errorf("missing size accounting: %+v", stats)
+	}
+}
+
+func TestThm21OnExponentialPath(t *testing.T) {
+	// The adversarial log∆ workload: a path with edge weights 2^i.
+	g, err := graph.ExponentialPath(24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	s, err := NewThm21(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluateScheme(t, s, apsp.Metric(), delta, 1)
+	// Levels track log ∆, not log n (that is Table 1's log∆ factor).
+	if s.Levels() < 20 {
+		t.Errorf("Levels = %d, want ~log∆ = 23+", s.Levels())
+	}
+}
+
+func TestThm21OnGeometricGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	space := metric.UniformCube(50, 2, 100, rng)
+	g, err := graph.GeometricGraph(space, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.3
+	s, err := NewThm21(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluateScheme(t, s, apsp.Metric(), delta, 1)
+}
+
+func TestThm21MetricMode(t *testing.T) {
+	// Section 4.1: the scheme builds its own overlay; every leg is one
+	// overlay hop and the out-degree is a measured cost.
+	g, err := metric.NewGrid(6, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(g)
+	delta := 0.5
+	s, err := NewThm21Metric(idx, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := evaluateScheme(t, s, idx, delta, 1)
+	if deg := s.Graph().MaxOutDegree(); deg <= 0 || deg >= idx.N() {
+		t.Errorf("overlay out-degree = %d, want in (0, n)", deg)
+	}
+	_ = stats
+}
+
+func TestThm21MetricModeExponentialLine(t *testing.T) {
+	line, err := metric.ExponentialLine(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(line)
+	delta := 0.5
+	s, err := NewThm21Metric(idx, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluateScheme(t, s, idx, delta, 1)
+}
+
+func TestThm21RejectsBadDelta(t *testing.T) {
+	g, _ := graph.GridGraph(3, 0, 1)
+	for _, d := range []float64{0, -1, 1.5} {
+		if _, err := NewThm21(g, d); err == nil {
+			t.Errorf("accepted delta=%v", d)
+		}
+	}
+}
+
+func TestThm21HeaderRejectsForeign(t *testing.T) {
+	g, _ := graph.GridGraph(3, 0, 1)
+	s, err := NewThm21(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.NextHop(0, fakeHeader{}); err == nil {
+		t.Error("accepted foreign header")
+	}
+	if _, err := s.InitHeader(0, 99); err == nil {
+		t.Error("accepted invalid target")
+	}
+}
+
+type fakeHeader struct{}
+
+func (fakeHeader) Bits() int { return 0 }

@@ -1,0 +1,192 @@
+package routing
+
+import (
+	"testing"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+func TestThm41OnJitteredGrid(t *testing.T) {
+	g, err := graph.GridGraph(6, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	s, err := NewThm41(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := evaluateScheme(t, s, apsp.Metric(), delta, 1)
+	if stats.MaxTableBits <= stats.MaxLabelBits {
+		t.Errorf("thm4.1 tables (%d bits) should dominate labels (%d bits)", stats.MaxTableBits, stats.MaxLabelBits)
+	}
+	if s.MaxNeighbors() <= 0 {
+		t.Error("no overlay neighbors")
+	}
+}
+
+func TestThm41OnExponentialPath(t *testing.T) {
+	g, err := graph.ExponentialPath(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	s, err := NewThm41(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluateScheme(t, s, apsp.Metric(), delta, 1)
+}
+
+func TestThm41MetricMode(t *testing.T) {
+	g, err := metric.NewGrid(5, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(g)
+	delta := 0.5
+	s, err := NewThm41Metric(idx, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluateScheme(t, s, idx, delta, 1)
+	if deg := s.Graph().MaxOutDegree(); deg <= 0 {
+		t.Error("overlay has no edges")
+	}
+}
+
+func TestThm41HeaderVsThm21Header(t *testing.T) {
+	// Table 1's key contrast on huge-aspect graphs: Theorem 2.1 headers
+	// grow with log∆ while Theorem 4.1 headers grow with φ·log n.
+	g, err := graph.ExponentialPath(20, 8) // log∆ = 3*19 = 57
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	s21, err := NewThm21(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s41, err := NewThm41(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h21, err := s21.InitHeader(0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h41, err := s41.InitHeader(0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("thm2.1 header = %d bits, thm4.1 header = %d bits", h21.Bits(), h41.Bits())
+	if h21.Bits() <= 0 || h41.Bits() <= 0 {
+		t.Fatal("headers not measured")
+	}
+}
+
+func TestThm41RejectsBadInput(t *testing.T) {
+	g, _ := graph.GridGraph(3, 0, 1)
+	for _, d := range []float64{0, -1, 1.5} {
+		if _, err := NewThm41(g, d); err == nil {
+			t.Errorf("accepted delta=%v", d)
+		}
+	}
+	s, err := NewThm41(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InitHeader(0, 1000); err == nil {
+		t.Error("accepted invalid target")
+	}
+	if _, _, err := s.NextHop(0, fakeHeader{}); err == nil {
+		t.Error("accepted foreign header")
+	}
+}
+
+func TestFullTableBaseline(t *testing.T) {
+	g, err := graph.GridGraph(5, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFullTable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Evaluate(s, apsp.Metric(), 1, 10*g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxStretch > 1+1e-9 {
+		t.Errorf("full table stretch %v, want 1", stats.MaxStretch)
+	}
+	tb, _ := s.TableBits(0)
+	if tb < g.N() {
+		t.Errorf("full table bits %d suspiciously small", tb)
+	}
+	if _, _, err := s.NextHop(0, fakeHeader{}); err == nil {
+		t.Error("accepted foreign header")
+	}
+	if _, err := s.InitHeader(0, -1); err == nil {
+		t.Error("accepted invalid target")
+	}
+}
+
+func TestThm21GlobalMatchesStretchWithBiggerLabels(t *testing.T) {
+	g, err := graph.GridGraph(6, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	global, err := NewThm21Global(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewThm21(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gStats := evaluateScheme(t, global, apsp.Metric(), delta, 1)
+	lStats := evaluateScheme(t, local, apsp.Metric(), delta, 1)
+	// The host-enumeration machinery exists to shrink labels/headers:
+	// global-id labels must be at least as large.
+	if gStats.MaxLabelBits < lStats.MaxLabelBits {
+		t.Errorf("global-id labels (%d) smaller than local-id labels (%d)",
+			gStats.MaxLabelBits, lStats.MaxLabelBits)
+	}
+	// And the local scheme pays for it in ζ tables.
+	if lStats.MaxTableBits <= 0 {
+		t.Error("no table accounting")
+	}
+}
+
+func TestThm21GlobalMetricMode(t *testing.T) {
+	line, err := metric.ExponentialLine(24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := metric.NewIndex(line)
+	delta := 0.5
+	s, err := NewThm21GlobalMetric(idx, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluateScheme(t, s, idx, delta, 1)
+}

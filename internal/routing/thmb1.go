@@ -1,0 +1,480 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rings/internal/bitio"
+	"rings/internal/distlabel"
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+// ThmB1 is the two-mode routing scheme of Theorem B.1 (Theorem 4.2 in the
+// body): the culmination of the paper's techniques, combining Theorem
+// 3.4's zooming/virtual-enumeration machinery with rings-of-neighbors
+// routing, for graphs whose node pairs admit (1+δ)-stretch paths of at
+// most N_δ hops.
+//
+// Mode M1 zooms toward the target through "(u,i,j)-good" landmarks —
+// friends of the target (nearest X-neighbors x_ti and nearest net points
+// y_tj, j ∈ J_ti) identified without global IDs via the label's virtual
+// pointers and the table's translation maps (conditions (c1)–(c5) of the
+// appendix). When identification fails — which Lemma B.5 shows can happen
+// only when the target hides in a radius gap — the packet switches to
+// mode M2: it routes to the center w of a packing ball B near u, descends
+// an ID-range-labeled balanced search tree over B's members to the node
+// v_t responsible for ID(t), and v_t writes a stored N_δ-hop route to t
+// into the header.
+//
+// Three mechanisms the appendix leaves implicit are made concrete here
+// (see DESIGN.md §4): (1) M2 headers carry ID(w) and nodes keep an
+// ID-to-slot map for their X-neighbors so intermediate nodes can forward
+// the M2 leg; (2) T_B is a balanced in-order BST over B's members so
+// every tree link is labeled by one contiguous ID range; (3) the switch
+// node estimates d(u,t) one-sidedly from the label (always an upper
+// bound) and tries candidate levels from finest to coarsest — the
+// coarsest level always succeeds because its B' covers the whole graph —
+// with tree legs and final routes source-routed in the header, which is
+// the same mechanism the paper already uses for v_t's stored path.
+type ThmB1 struct {
+	name  string
+	g     *graph.Graph
+	idx   *metric.Index
+	apsp  *graph.APSP
+	delta float64 // target stretch slack
+	dp    float64 // internal δ'
+
+	dls *distlabel.Scheme
+	// friends per node per level.
+	labels []*b1Label
+	// hostInfo[u]: per host slot of u: first-hop edge, X/Y level
+	// membership, node id (for M2's ID-keyed forwarding of X-neighbors).
+	firstHop [][]int32
+	isX      [][]uint16 // bitmask of levels (IMax <= 15 assumed checked)
+	isY      [][]uint16
+	hostID   [][]int32
+	// jOwn[u][i] = J_ui bounds for condition (c2).
+	jLo, jHi [][]int16
+
+	m2 *m2State
+
+	idW, doutW, distBits int
+	nDelta               int
+}
+
+var _ Scheme = (*ThmB1)(nil)
+
+// b1Label is the routing label of a target t.
+type b1Label struct {
+	id       int
+	zoom     *distlabel.Label // reused for the zoom ψ-pointers only
+	zoomDist []float64        // d(t, f_ti) per level
+	x        []b1Friend       // per level i: x_ti
+	s        [][]b1Friend     // per level i: S_ti (indexed by j − jLo)
+	jLo      []int16
+	jHi      []int16
+	level    int // IMax
+}
+
+// b1Friend is one friend entry: its ψ-pointer in T_(f_(t,i−1)) (or -1),
+// its shared level-0 host index (level 0 only, or -1), and its distance
+// from t.
+type b1Friend struct {
+	psi   int32
+	host0 int32
+	dist  float64
+}
+
+// NewThmB1 builds the scheme for a weighted graph. nDelta bounds the hop
+// count of stored escape paths (pass 0 to use the graph's node count,
+// always sufficient).
+func NewThmB1(g *graph.Graph, delta float64, nDelta int) (*ThmB1, error) {
+	if delta <= 0 || delta > 1 {
+		return nil, fmt.Errorf("thmb1: delta = %v, want (0, 1]", delta)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		return nil, fmt.Errorf("thmb1: %w", err)
+	}
+	idx := metric.NewIndex(apsp.Metric())
+	// Internal δ per the appendix ("assume δ <= 1/8 and let δ' = δ/(1−δ)"),
+	// with the target stretch slack mapped down by the geometric-series
+	// constant of the stretch analysis.
+	dBase := math.Min(delta/6, 0.125)
+	dp := dBase / (1 - dBase)
+	dls, err := distlabel.NewInternal(idx, dp)
+	if err != nil {
+		return nil, err
+	}
+	cons := dls.Cons
+	if cons.IMax > 15 {
+		return nil, fmt.Errorf("thmb1: IMax %d exceeds level bitmask width", cons.IMax)
+	}
+	if nDelta <= 0 {
+		nDelta = g.N()
+	}
+	s := &ThmB1{
+		name:   "thmB.1/graph",
+		g:      g,
+		idx:    idx,
+		apsp:   apsp,
+		delta:  delta,
+		dp:     dp,
+		dls:    dls,
+		idW:    bitio.WidthFor(idx.N()),
+		doutW:  bitio.WidthFor(g.MaxOutDegree()),
+		nDelta: nDelta,
+	}
+	codec, err := bitio.NewDistCodec(idx.MinDistance(), idx.Diameter(), dp)
+	if err != nil {
+		return nil, err
+	}
+	s.distBits = codec.Bits()
+
+	n := idx.N()
+	// Host-slot info.
+	s.firstHop = make([][]int32, n)
+	s.isX = make([][]uint16, n)
+	s.isY = make([][]uint16, n)
+	s.hostID = make([][]int32, n)
+	for u := 0; u < n; u++ {
+		host := dls.HostEnum(u)
+		fh := make([]int32, host.Size())
+		xm := make([]uint16, host.Size())
+		ym := make([]uint16, host.Size())
+		ids := make([]int32, host.Size())
+		for slot := 0; slot < host.Size(); slot++ {
+			v := host.Node(slot)
+			ids[slot] = int32(v)
+			if v == u {
+				fh[slot] = -1
+			} else {
+				e := apsp.FirstHop(u, v)
+				if e < 0 {
+					return nil, fmt.Errorf("thmb1: no hop %d->%d", u, v)
+				}
+				fh[slot] = int32(e)
+			}
+		}
+		for i := 0; i <= cons.IMax; i++ {
+			for _, v := range cons.X[u][i] {
+				if slot, ok := host.IndexOf(v); ok {
+					xm[slot] |= 1 << uint(i)
+				}
+			}
+			for _, v := range cons.Y[u][i] {
+				if slot, ok := host.IndexOf(v); ok {
+					ym[slot] |= 1 << uint(i)
+				}
+			}
+		}
+		s.firstHop[u] = fh
+		s.isX[u] = xm
+		s.isY[u] = ym
+		s.hostID[u] = ids
+	}
+
+	// J_ui bounds and friend labels.
+	s.jLo = make([][]int16, n)
+	s.jHi = make([][]int16, n)
+	for u := 0; u < n; u++ {
+		lo := make([]int16, cons.IMax+1)
+		hi := make([]int16, cons.IMax+1)
+		for i := 0; i <= cons.IMax; i++ {
+			l, h := s.jRange(cons.R[u][i])
+			lo[i], hi[i] = int16(l), int16(h)
+		}
+		s.jLo[u], s.jHi[u] = lo, hi
+	}
+	s.labels = make([]*b1Label, n)
+	for t := 0; t < n; t++ {
+		lab, err := s.buildLabel(t)
+		if err != nil {
+			return nil, err
+		}
+		s.labels[t] = lab
+	}
+	if err := s.buildM2(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// jRange computes J_ti = [floor(log(δ'·r/4)), ceil(log(6r))] as ascending
+// net-scale indices.
+func (s *ThmB1) jRange(r float64) (lo, hi int) {
+	nets := s.dls.Cons.Nets
+	lo = nets.JForScale(s.dp * r / 4)
+	hi = nets.JForScale(6*r) + 1
+	if hi > nets.MaxJ() {
+		hi = nets.MaxJ()
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func (s *ThmB1) buildLabel(t int) (*b1Label, error) {
+	cons := s.dls.Cons
+	lab := &b1Label{
+		id:       t,
+		zoom:     s.dls.Label(t),
+		zoomDist: make([]float64, cons.IMax+1),
+		x:        make([]b1Friend, cons.IMax+1),
+		s:        make([][]b1Friend, cons.IMax+1),
+		jLo:      s.jLo[t],
+		jHi:      s.jHi[t],
+		level:    cons.IMax,
+	}
+	for i := 0; i <= cons.IMax; i++ {
+		lab.zoomDist[i] = s.idx.Dist(t, cons.Zoom[t][i])
+	}
+	sharedHost := func(w int) int32 {
+		slot, ok := s.dls.HostEnum(t).IndexOf(w)
+		if ok && slot < s.dls.Label(t).Level0Count {
+			return int32(slot)
+		}
+		return -1
+	}
+	psiOf := func(i, w int) int32 {
+		if i == 0 {
+			return -1
+		}
+		f := cons.Zoom[t][i-1]
+		if p, ok := s.dls.VirtualEnum(f).IndexOf(w); ok {
+			return int32(p)
+		}
+		return -1
+	}
+	for i := 0; i <= cons.IMax; i++ {
+		// X_ti can be empty when the radius ladder has no gap at level i
+		// (the friend is then never used — its uses in Claims B.2/B.5 are
+		// guarded by exactly the gap condition); store a null pointer.
+		lab.x[i] = b1Friend{psi: -1, host0: -1}
+		if x, ok := cons.NearestX(t, i); ok {
+			lab.x[i] = b1Friend{psi: psiOf(i, x), host0: -1, dist: s.idx.Dist(t, x)}
+			if i == 0 {
+				lab.x[i].host0 = sharedHost(x)
+			}
+		}
+		row := make([]b1Friend, int(lab.jHi[i])-int(lab.jLo[i])+1)
+		for j := int(lab.jLo[i]); j <= int(lab.jHi[i]); j++ {
+			y, _ := cons.Nets.Nearest(j, t)
+			fr := b1Friend{psi: psiOf(i, y), host0: -1, dist: s.idx.Dist(t, y)}
+			if i == 0 {
+				fr.host0 = sharedHost(y)
+			}
+			row[j-int(lab.jLo[i])] = fr
+		}
+		lab.s[i] = row
+	}
+	return lab, nil
+}
+
+// m2State holds mode-2 structures: per level, the packing cover ball of
+// every node, and per ball the ID-range search tree (a BST over member
+// indices rooted at the ball center, so every link guards one contiguous
+// ID range) plus stored escape routes and source-routed tree legs.
+type m2State struct {
+	// coverSlot[u][i]: host slot of u's cover-ball center at level i
+	// (-1 when the center is not a host neighbor — that level is skipped).
+	coverSlot [][]int32
+	// members[i][b] lists ball b's members sorted by id.
+	members [][][]int32
+	ballFor [][]int32 // ballFor[i][u] = ball index of u's cover ball
+	// memberIdx[u][i] = u's index within its ball at level i, or -1.
+	memberIdx [][]int32
+	// ballIdx[u][i] = the index of the ball u belongs to at level i.
+	ballIdx [][]int32
+	// children[i][b][k] = member indices of k's BST children (-1 = none).
+	children [][][][2]int32
+	// legs[i][b][k] = source-routed edge lists from member k to each
+	// child (parallel to children).
+	legs [][][][2][]int32
+	// routes[i][b*n+k]: member k's stored escape routes, keyed by target
+	// id (only ids in its chunk that lie in B').
+	routes []map[int32]map[int32][]int32
+	// routeBits[u]: total bits of stored routes, legs and range labels.
+	routeBits []int
+}
+
+// chunkOf reports which member's chunk an id falls into: member k owns
+// ids [floor(k·n/size), floor((k+1)·n/size)).
+func chunkOf(id, n, size int) int {
+	c := id * size / n
+	for c > 0 && c*n/size > id {
+		c--
+	}
+	for c+1 < size && (c+1)*n/size <= id {
+		c++
+	}
+	return c
+}
+
+func (s *ThmB1) buildM2() error {
+	cons := s.dls.Cons
+	n := s.idx.N()
+	m2 := &m2State{
+		coverSlot: make([][]int32, n),
+		members:   make([][][]int32, cons.IMax+1),
+		ballFor:   make([][]int32, cons.IMax+1),
+		memberIdx: make([][]int32, n),
+		children:  make([][][][2]int32, cons.IMax+1),
+		legs:      make([][][][2][]int32, cons.IMax+1),
+		routes:    make([]map[int32]map[int32][]int32, cons.IMax+1),
+		routeBits: make([]int, n),
+	}
+	m2.ballIdx = make([][]int32, n)
+	for u := 0; u < n; u++ {
+		m2.coverSlot[u] = make([]int32, cons.IMax+1)
+		m2.memberIdx[u] = make([]int32, cons.IMax+1)
+		m2.ballIdx[u] = make([]int32, cons.IMax+1)
+		for i := range m2.memberIdx[u] {
+			m2.memberIdx[u][i] = -1
+			m2.ballIdx[u][i] = -1
+		}
+	}
+	sourceRoute := func(from, to int) ([]int32, error) {
+		if from == to {
+			return nil, nil
+		}
+		path, ok := graph.BoundedHopPath(s.g, from, to, (1+s.dp)*s.idx.Dist(from, to), s.nDelta)
+		if !ok {
+			return nil, fmt.Errorf("thmb1: no %d-hop (1+δ)-path %d->%d; raise nDelta", s.nDelta, from, to)
+		}
+		edges := make([]int32, 0, len(path)-1)
+		for h := 1; h < len(path); h++ {
+			e := s.g.EdgeIndex(path[h-1], path[h])
+			if e < 0 {
+				return nil, fmt.Errorf("thmb1: path edge %d->%d missing", path[h-1], path[h])
+			}
+			edges = append(edges, int32(e))
+		}
+		return edges, nil
+	}
+	for i := 0; i <= cons.IMax; i++ {
+		p := cons.Packings[i]
+		m2.members[i] = make([][]int32, len(p.Balls))
+		m2.ballFor[i] = make([]int32, n)
+		m2.children[i] = make([][][2]int32, len(p.Balls))
+		m2.legs[i] = make([][][2][]int32, len(p.Balls))
+		m2.routes[i] = map[int32]map[int32][]int32{}
+		for bi := range p.Balls {
+			mem := append([]int(nil), p.Balls[bi].Nodes...)
+			sort.Ints(mem)
+			ms := make([]int32, len(mem))
+			for k, v := range mem {
+				ms[k] = int32(v)
+				m2.memberIdx[v][i] = int32(k)
+				m2.ballIdx[v][i] = int32(bi)
+			}
+			m2.members[i][bi] = ms
+
+			// BST over member indices rooted at the center's index.
+			kw := sort.SearchInts(mem, p.Balls[bi].Center)
+			children := make([][2]int32, len(mem))
+			for k := range children {
+				children[k] = [2]int32{-1, -1}
+			}
+			var build func(lo, hi, forced int) int32
+			build = func(lo, hi, forced int) int32 {
+				if lo >= hi {
+					return -1
+				}
+				k := (lo + hi) / 2
+				if forced >= 0 {
+					k = forced
+				}
+				children[k][0] = build(lo, k, -1)
+				children[k][1] = build(k+1, hi, -1)
+				return int32(k)
+			}
+			build(0, len(mem), kw)
+			m2.children[i][bi] = children
+
+			legs := make([][2][]int32, len(mem))
+			for k := range children {
+				for side := 0; side < 2; side++ {
+					c := children[k][side]
+					if c < 0 {
+						continue
+					}
+					leg, err := sourceRoute(mem[k], mem[c])
+					if err != nil {
+						return err
+					}
+					legs[k][side] = leg
+					// Leg storage + the contiguous range label per link.
+					m2.routeBits[mem[k]] += len(leg)*s.doutW + 2*s.idW
+				}
+			}
+			m2.legs[i][bi] = legs
+		}
+		for u := 0; u < n; u++ {
+			// Nearest usable cover ball: minimize d(u, center) + radius
+			// among balls whose center u can actually forward to. The
+			// packing guarantees one within 6·r_u(2^-i); taking the
+			// nearest tightens the M2 detour constant.
+			bestBi, bestSlot, bestCost := -1, -1, math.Inf(1)
+			for bi := range p.Balls {
+				b := &p.Balls[bi]
+				slot, ok := s.dls.HostEnum(u).IndexOf(b.Center)
+				if !ok {
+					continue
+				}
+				if cost := s.idx.Dist(u, b.Center) + b.Radius; cost < bestCost {
+					bestBi, bestSlot, bestCost = bi, slot, cost
+				}
+			}
+			if bestBi >= 0 {
+				m2.ballFor[i][u] = int32(bestBi)
+				m2.coverSlot[u][i] = int32(bestSlot)
+			} else {
+				m2.ballFor[i][u] = -1
+				m2.coverSlot[u][i] = -1
+			}
+		}
+		// Stored escape routes: member k of ball b keeps a (1+δ)-stretch
+		// N_δ-hop route for each id in its chunk that lies inside
+		// B' = B_(w, i−1).
+		for bi := range p.Balls {
+			w := p.Balls[bi].Center
+			radius := math.Inf(1)
+			if i > 0 {
+				radius = cons.R[w][i-1]
+			}
+			mem := m2.members[i][bi]
+			for k, vRaw := range mem {
+				v := int(vRaw)
+				var stored map[int32][]int32
+				lo := chunkBound(k, n, len(mem))
+				hi := chunkBound(k+1, n, len(mem))
+				for t := lo; t < hi; t++ {
+					if s.idx.Dist(w, t) > radius {
+						continue // outside B': this level cannot serve t
+					}
+					edges, err := sourceRoute(v, t)
+					if err != nil {
+						return err
+					}
+					if stored == nil {
+						stored = map[int32][]int32{}
+					}
+					stored[int32(t)] = edges
+					m2.routeBits[v] += bitio.WidthFor(s.nDelta+1) + len(edges)*s.doutW
+				}
+				if stored != nil {
+					m2.routes[i][int32(bi)*int32(n)+int32(k)] = stored
+				}
+			}
+		}
+	}
+	s.m2 = m2
+	return nil
+}
+
+// chunkBound reports floor(k·n/size).
+func chunkBound(k, n, size int) int { return k * n / size }

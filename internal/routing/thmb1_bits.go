@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"rings/internal/bitio"
+)
+
+// labelBitsOf measures the Theorem B.1 routing label: ID(t), the zoom
+// pointer chain, and per level the friend pointers (x_ti and S_ti), the
+// friend and zoom distances, and the J_ti bounds. The embedded Theorem
+// 3.4 label's ζ maps are NOT part of the routing label (they live in the
+// table) and are not counted.
+func (s *ThmB1) labelBitsOf(lab *b1Label) int {
+	psiW := bitio.WidthFor(s.dls.MaxT) + 1 // +1: null flag
+	host0W := bitio.WidthFor(lab.zoom.Level0Count) + 1
+	jW := bitio.WidthFor(s.maxJ() + 2)
+	bits := s.idW
+	// Zoom chain: shared-prefix index + ψ pointers + distances.
+	bits += bitio.WidthFor(lab.zoom.Level0Count)
+	bits += len(lab.zoom.ZoomPsi) * psiW
+	bits += len(lab.zoomDist) * s.distBits
+	for i := range lab.x {
+		// x_ti: pointer + distance.
+		if i == 0 {
+			bits += host0W
+		} else {
+			bits += psiW
+		}
+		bits += s.distBits
+		// J_ti bounds.
+		bits += 2 * jW
+		// S_ti entries.
+		for range lab.s[i] {
+			if i == 0 {
+				bits += host0W
+			} else {
+				bits += psiW
+			}
+			bits += s.distBits
+		}
+	}
+	return bits
+}
+
+// LabelBits implements Scheme.
+func (s *ThmB1) LabelBits(u int) (int, error) {
+	return s.labelBitsOf(s.labels[u]), nil
+}
+
+// M1TableBits reports the mode-M1 component of node u's table: its own
+// routing label, its radii, the distances to its host neighbors, the
+// translation maps ζ_ui, first-hop pointers, per-level X/Y membership
+// flags, and the ID-to-slot entries for X-neighbors (the documented M2
+// forwarding deviation, charged to M1 because the map covers M1 state).
+func (s *ThmB1) M1TableBits(u int) int {
+	cons := s.dls.Cons
+	hostSize := len(s.firstHop[u])
+	bits := s.labelBitsOf(s.labels[u])
+	bits += (cons.IMax + 1) * s.distBits                     // radii r_ui
+	bits += hostSize * s.distBits                            // distances to neighbors
+	bits += s.dls.TransBits(u)                               // ζ maps
+	bits += hostSize * s.doutW                               // first-hop pointers
+	bits += hostSize * 2 * (cons.IMax + 1)                   // X/Y membership flags
+	bits += 2 * (cons.IMax + 1) * bitio.WidthFor(s.maxJ()+2) // J_ui bounds
+	// ID map for X-neighbors.
+	xCount := 0
+	for _, mask := range s.isX[u] {
+		if mask != 0 {
+			xCount++
+		}
+	}
+	bits += xCount * s.idW
+	return bits
+}
+
+// M2TableBits reports the mode-M2 component: stored escape routes, tree
+// legs and range labels, cover-center pointers and per-level membership
+// bookkeeping.
+func (s *ThmB1) M2TableBits(u int) int {
+	cons := s.dls.Cons
+	bits := s.m2.routeBits[u]
+	// Cover-center slot per level + member index per level.
+	bits += (cons.IMax + 1) * (bitio.WidthFor(len(s.firstHop[u])+1) + s.idW)
+	return bits
+}
+
+// TableBits implements Scheme.
+func (s *ThmB1) TableBits(u int) (int, error) {
+	return s.M1TableBits(u) + s.M2TableBits(u), nil
+}
+
+// NDelta reports the hop bound used for stored escape paths.
+func (s *ThmB1) NDelta() int { return s.nDelta }
+
+// StartsInM1 reports whether a packet from u to t begins in mode M1
+// (i.e. the source finds a u-good intermediate target). The experiment
+// harness uses it to report the M1/M2 split of Table 3.
+func (s *ThmB1) StartsInM1(u, t int) bool {
+	_, ok := s.findGood(u, s.labels[t])
+	return ok
+}

@@ -1,0 +1,482 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"rings/internal/bitio"
+	"rings/internal/graph"
+)
+
+// jInf is the sentinel for "the x-friend" (the paper's j = ∞).
+const jInf = -2
+
+// b1Header is the packet header: the routing label of t, the mode, the
+// M1 intermediate-target id (i, j) plus Dest, and the M2 trial state with
+// its source-route buffer. Only fields the appendix grants the header are
+// counted by Bits(); the embedded zoom label contributes its zoom
+// pointers, friend pointers and friend distances, not its ζ maps.
+type b1Header struct {
+	scheme *ThmB1
+	label  *b1Label
+
+	mode byte // 0 = M1, 1 = M2
+	// M1 intermediate target id.
+	iTgt int
+	jTgt int
+	dest float64
+	// M2 state.
+	m2Level  int
+	m2WID    int // physical id of the current cover-ball center
+	m2Tree   bool
+	final    bool
+	srcRoute []int32
+}
+
+// Bits implements Header.
+func (h *b1Header) Bits() int {
+	s := h.scheme
+	b := s.labelBitsOf(h.label)
+	b++                                    // mode
+	b += bitio.WidthFor(h.label.level + 3) // i field
+	b += bitio.WidthFor(s.maxJ() + 3)      // j field (with ∞/null)
+	b += s.distBits                        // Dest
+	b += bitio.WidthFor(h.label.level + 2) // M2 trial level
+	b += s.idW + 2                         // ID(w) + flags
+	b += bitio.WidthFor(s.nDelta+1) + len(h.srcRoute)*s.doutW
+	return b
+}
+
+func (s *ThmB1) maxJ() int { return s.dls.Cons.Nets.MaxJ() }
+
+// Name implements Scheme.
+func (s *ThmB1) Name() string { return s.name }
+
+// Graph implements Scheme.
+func (s *ThmB1) Graph() *graph.Graph { return s.g }
+
+// InitHeader implements Scheme.
+func (s *ThmB1) InitHeader(source, target int) (Header, error) {
+	if target < 0 || target >= s.idx.N() {
+		return nil, fmt.Errorf("thmb1: invalid target %d", target)
+	}
+	return &b1Header{scheme: s, label: s.labels[target], iTgt: -1, jTgt: jInf, m2Level: -1, m2WID: -1}, nil
+}
+
+// identify walks the zoom chain of the label's target through node u's
+// translation maps, calling visit(level, hostSlot, distToTarget) for every
+// identified element (chain nodes and friends). It returns the host slots
+// of the chain, one per identified level.
+func (s *ThmB1) identify(u int, lab *b1Label, visit func(i, slot int, dwt float64) bool) []int {
+	uLab := s.dls.Label(u)
+	var chain []int
+	// Level 0: shared prefix.
+	a := lab.zoom.Zoom0
+	chain = append(chain, a)
+	if visit != nil && !visit(0, a, lab.zoomDist[0]) {
+		return chain
+	}
+	tryFriend := func(i int, fr b1Friend, prev int) (int, bool) {
+		if i == 0 {
+			if fr.host0 >= 0 {
+				return int(fr.host0), true
+			}
+			return -1, false
+		}
+		if fr.psi < 0 {
+			return -1, false
+		}
+		if slot := uLab.Translate(i-1, prev, fr.psi); slot >= 0 {
+			return slot, true
+		}
+		return -1, false
+	}
+	for i := 0; ; i++ {
+		prev := -1
+		if i > 0 {
+			prev = chain[i-1]
+		}
+		// Friends at level i (identified relative to f_(t,i−1), or via the
+		// shared prefix at level 0).
+		if slot, ok := tryFriend(i, lab.x[i], prev); ok && visit != nil {
+			if !visit(i, slot, lab.x[i].dist) {
+				return chain
+			}
+		}
+		for ji := range lab.s[i] {
+			if slot, ok := tryFriend(i, lab.s[i][ji], prev); ok && visit != nil {
+				if !visit(i, slot, lab.s[i][ji].dist) {
+					return chain
+				}
+			}
+		}
+		// Extend the chain to f_(t,i+1).
+		if i >= lab.level || i >= len(lab.zoom.ZoomPsi) {
+			break
+		}
+		next := uLab.Translate(i, chain[i], lab.zoom.ZoomPsi[i])
+		if next < 0 {
+			break
+		}
+		chain = append(chain, next)
+		if visit != nil && !visit(i+1, next, lab.zoomDist[i+1]) {
+			return chain
+		}
+	}
+	return chain
+}
+
+// estimateUpper computes the one-sided distance estimate d̂ >= d(u,t)
+// from u's table plus t's routing label.
+func (s *ThmB1) estimateUpper(u int, lab *b1Label) float64 {
+	uLab := s.dls.Label(u)
+	best := math.Inf(1)
+	s.identify(u, lab, func(i, slot int, dwt float64) bool {
+		if d := uLab.HostDist(slot) + dwt; d < best {
+			best = d
+		}
+		return true
+	})
+	return best
+}
+
+// goodTarget is a located (u,i,j)-good node.
+type goodTarget struct {
+	slot int
+	i, j int
+	duw  float64
+}
+
+// findGood searches for a u-good node (Claim B.3(a)): conditions
+// (c1)–(c5) of the appendix.
+func (s *ThmB1) findGood(u int, lab *b1Label) (goodTarget, bool) {
+	uLab := s.dls.Label(u)
+	var found goodTarget
+	ok := false
+	chain := s.identify(u, lab, nil)
+	for i := 0; i < len(chain) && !ok; i++ {
+		prev := -1
+		if i > 0 {
+			prev = chain[i-1]
+		}
+		check := func(fr b1Friend, j int) bool {
+			var slot int
+			if i == 0 {
+				if fr.host0 < 0 {
+					return false
+				}
+				slot = int(fr.host0)
+			} else {
+				if fr.psi < 0 {
+					return false
+				}
+				slot = uLab.Translate(i-1, prev, fr.psi)
+				if slot < 0 {
+					return false
+				}
+			}
+			if !s.checkC2(u, slot, i, j) {
+				return false
+			}
+			duw := uLab.HostDist(slot)
+			if duw <= 0 || !s.checkC4C5(u, i, j, duw, fr.dist) {
+				return false
+			}
+			found = goodTarget{slot: slot, i: i, j: j, duw: duw}
+			return true
+		}
+		if check(lab.x[i], jInf) {
+			ok = true
+			break
+		}
+		for ji := len(lab.s[i]) - 1; ji >= 0; ji-- { // descending j
+			if check(lab.s[i][ji], int(lab.jLo[i])+ji) {
+				ok = true
+				break
+			}
+		}
+	}
+	return found, ok
+}
+
+// checkC2 verifies condition (c2): the located node is an X_i-neighbor
+// (j = ∞) or a Y_i-neighbor with j ∈ J_ui.
+func (s *ThmB1) checkC2(u, slot, i, j int) bool {
+	if j == jInf {
+		return s.isX[u][slot]&(1<<uint(i)) != 0
+	}
+	if s.isY[u][slot]&(1<<uint(i)) == 0 {
+		return false
+	}
+	return int(s.jLo[u][i]) <= j && j <= int(s.jHi[u][i])
+}
+
+// checkC4C5 verifies conditions (c4) and (c5) of the goodness test.
+//
+// Note the direction of (c4)'s middle inequality: the paper's text prints
+// "6·r_ui <= δ'·d_uw", but that contradicts both Claim B.2(b)'s
+// hypothesis (δd/6 <= r_ui) and Lemma B.5's invocation of it
+// (6·r_ui >= (4/3)·δ·d_ut implies a u-good node exists). The consistent
+// reading — mode M1 engages exactly when u's radius ladder has NO gap at
+// the leg's scale, leaving gaps to M2 — requires ">=", which is what we
+// implement (see DESIGN.md §4).
+func (s *ThmB1) checkC4C5(u, i, j int, duw, dwt float64) bool {
+	dp := s.dp
+	cons := s.dls.Cons
+	// (c4)
+	if dwt > dp*duw || 6*cons.R[u][i] < dp*duw {
+		return false
+	}
+	if j != jInf {
+		if j < cons.Nets.JForScale(dp/(1+dp)*duw) {
+			return false
+		}
+	}
+	// (c5): exists β in [1−δ', 1/(1−δ')) with r_ui < 2β·duw <= r_(u,i−1).
+	prev := math.Inf(1)
+	if i > 0 {
+		prev = cons.R[u][i-1]
+	}
+	return cons.R[u][i] < 2*duw/(1-dp) && 2*(1-dp)*duw <= prev
+}
+
+// findLandmark locates the (u,i,j)-landmark (Claim B.3(b)): conditions
+// (c1)–(c3) only.
+func (s *ThmB1) findLandmark(u int, lab *b1Label, i, j int) (slot int, duw float64, ok bool) {
+	uLab := s.dls.Label(u)
+	chain := s.identify(u, lab, nil)
+	if i >= len(chain)+1 && i > 0 {
+		return 0, 0, false
+	}
+	var fr b1Friend
+	if j == jInf {
+		fr = lab.x[i]
+	} else {
+		ji := j - int(lab.jLo[i])
+		if ji < 0 || ji >= len(lab.s[i]) {
+			return 0, 0, false
+		}
+		fr = lab.s[i][ji]
+	}
+	if i == 0 {
+		if fr.host0 < 0 {
+			return 0, 0, false
+		}
+		slot = int(fr.host0)
+	} else {
+		if i-1 >= len(chain) || fr.psi < 0 {
+			return 0, 0, false
+		}
+		slot = uLab.Translate(i-1, chain[i-1], fr.psi)
+		if slot < 0 {
+			return 0, 0, false
+		}
+	}
+	if !s.checkC2(u, slot, i, j) {
+		return 0, 0, false
+	}
+	return slot, uLab.HostDist(slot), true
+}
+
+// NextHop implements Scheme.
+func (s *ThmB1) NextHop(u int, hdr Header) (int, bool, error) {
+	h, ok := hdr.(*b1Header)
+	if !ok {
+		return 0, false, fmt.Errorf("thmb1: foreign header %T", hdr)
+	}
+	if u == h.label.id {
+		return 0, true, nil
+	}
+	if h.mode == 1 {
+		return s.m2Step(u, h)
+	}
+	// Mode M1.
+	var slot int
+	var duw float64
+	if h.iTgt < 0 {
+		g, found := s.findGood(u, h.label)
+		if !found {
+			s.m2Init(u, h)
+			return s.m2Step(u, h)
+		}
+		h.iTgt, h.jTgt, h.dest = g.i, g.j, g.duw
+		slot, duw = g.slot, g.duw
+	} else {
+		var found bool
+		slot, duw, found = s.findLandmark(u, h.label, h.iTgt, h.jTgt)
+		if !found {
+			s.m2Init(u, h)
+			return s.m2Step(u, h)
+		}
+	}
+	e := s.firstHop[u][slot]
+	if e < 0 {
+		// u is the landmark itself: pick a fresh intermediate target.
+		h.iTgt = -1
+		g, found := s.findGood(u, h.label)
+		if !found {
+			s.m2Init(u, h)
+			return s.m2Step(u, h)
+		}
+		h.iTgt, h.jTgt, h.dest = g.i, g.j, g.duw
+		slot, duw = g.slot, g.duw
+		e = s.firstHop[u][slot]
+		if e < 0 {
+			return 0, false, fmt.Errorf("thmb1: node %d is its own fresh landmark", u)
+		}
+	}
+	edgeW := s.g.Out(u)[e].Weight
+	if duw-edgeW <= 2*s.dp*h.dest {
+		h.iTgt = -1 // next node picks a new intermediate target
+	}
+	return int(e), false, nil
+}
+
+// m2Init switches the packet to mode M2 at node u, choosing the starting
+// trial level from the one-sided estimate d̂: first Lemma B.5's gap level
+// (which makes the detour O(δ·d)), else the deepest level whose B' still
+// safely contains the target (detour O(d); this is the off-spec lab-scale
+// regime where M1's gap conditions are unsatisfiable — see DESIGN.md §4).
+// Coarser trials follow automatically on failure; level 0 always works.
+func (s *ThmB1) m2Init(u int, h *b1Header) {
+	dHat := s.estimateUpper(u, h.label)
+	cons := s.dls.Cons
+	level := -1
+	for i := cons.IMax; i >= 0; i-- {
+		if s.m2.coverSlot[u][i] < 0 {
+			continue
+		}
+		prev := math.Inf(1)
+		if i > 0 {
+			prev = cons.R[u][i-1]
+		}
+		if 6*cons.R[u][i]/s.dp < (4.0/3)*dHat && (4.0/3)*dHat <= prev {
+			level = i
+			break
+		}
+	}
+	if level < 0 {
+		for i := cons.IMax; i >= 0; i-- {
+			if s.m2.coverSlot[u][i] < 0 {
+				continue
+			}
+			prev := math.Inf(1)
+			if i > 0 {
+				prev = cons.R[u][i-1]
+			}
+			if (4.0/3)*dHat <= prev {
+				level = i
+				break
+			}
+		}
+	}
+	if level < 0 {
+		level = 0
+	}
+	h.mode = 1
+	h.m2Level = level
+	h.m2Tree = false
+	h.m2WID = int(s.hostID[u][s.m2.coverSlot[u][level]])
+	h.iTgt = -1
+}
+
+// m2Step executes one hop of mode M2.
+func (s *ThmB1) m2Step(u int, h *b1Header) (int, bool, error) {
+	// Consume any pending source route (tree legs and the final path).
+	if len(h.srcRoute) > 0 {
+		e := h.srcRoute[0]
+		h.srcRoute = h.srcRoute[1:]
+		if int(e) >= len(s.g.Out(u)) {
+			return 0, false, fmt.Errorf("thmb1: bad source-route edge %d at %d", e, u)
+		}
+		return int(e), false, nil
+	}
+	if h.final {
+		return 0, false, fmt.Errorf("thmb1: final route exhausted at %d but target is %d", u, h.label.id)
+	}
+	for {
+		if !h.m2Tree {
+			if u != h.m2WID {
+				// Forward toward the cover center by id (the documented
+				// M2 deviation: nodes map X-neighbor ids to slots).
+				slot := s.slotOfID(u, h.m2WID)
+				if slot < 0 {
+					return 0, false, fmt.Errorf("thmb1: node %d cannot locate M2 center %d", u, h.m2WID)
+				}
+				e := s.firstHop[u][slot]
+				if e < 0 {
+					return 0, false, fmt.Errorf("thmb1: missing hop toward M2 center at %d", u)
+				}
+				return int(e), false, nil
+			}
+			h.m2Tree = true
+		}
+		// Tree descent at member u.
+		i := h.m2Level
+		bi := s.m2.ballOf(u, i)
+		k := int(s.m2.memberIdx[u][i])
+		if bi < 0 || k < 0 {
+			return 0, false, fmt.Errorf("thmb1: node %d is not a level-%d ball member", u, i)
+		}
+		mem := s.m2.members[i][bi]
+		c := chunkOf(h.label.id, s.idx.N(), len(mem))
+		if c == k {
+			stored := s.m2.routes[i][int32(bi)*int32(s.idx.N())+int32(k)]
+			route, okR := stored[int32(h.label.id)]
+			if okR {
+				if len(route) == 0 {
+					return 0, false, fmt.Errorf("thmb1: empty stored route at %d for %d", u, h.label.id)
+				}
+				h.final = true
+				h.srcRoute = append([]int32(nil), route[1:]...)
+				return int(route[0]), false, nil
+			}
+			// Wrong trial level: t lies outside B'. Retry coarser.
+			next := i - 1
+			for next >= 0 && s.m2.coverSlot[u][next] < 0 {
+				next--
+			}
+			if next < 0 {
+				return 0, false, fmt.Errorf("thmb1: level trials exhausted at %d for target %d", u, h.label.id)
+			}
+			h.m2Level = next
+			h.m2Tree = false
+			h.m2WID = int(s.hostID[u][s.m2.coverSlot[u][next]])
+			continue // may already be at the new center
+		}
+		side := 0
+		if c > k {
+			side = 1
+		}
+		child := s.m2.children[i][bi][k][side]
+		if child < 0 {
+			return 0, false, fmt.Errorf("thmb1: BST descent fell off at %d (k=%d c=%d)", u, k, c)
+		}
+		leg := s.m2.legs[i][bi][k][side]
+		if len(leg) == 0 {
+			return 0, false, fmt.Errorf("thmb1: missing tree leg at %d", u)
+		}
+		h.srcRoute = append([]int32(nil), leg[1:]...)
+		return int(leg[0]), false, nil
+	}
+}
+
+// slotOfID finds the host slot of a node id at u (-1 when not a host
+// neighbor).
+func (s *ThmB1) slotOfID(u, id int) int {
+	for slot, v := range s.hostID[u] {
+		if int(v) == id {
+			return slot
+		}
+	}
+	return -1
+}
+
+// ballOf reports the ball index node u belongs to at level i (-1 = none).
+func (m2 *m2State) ballOf(u, i int) int {
+	k := m2.memberIdx[u][i]
+	if k < 0 {
+		return -1
+	}
+	return int(m2.ballIdx[u][i])
+}

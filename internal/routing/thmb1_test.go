@@ -1,0 +1,118 @@
+package routing
+
+import (
+	"testing"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+// ringOverlayGraph builds a workload with logarithmic-hop near-shortest
+// paths: the symmetrized overlay of a Theorem 4.1 metric scheme. This is
+// the natural habitat of Theorem B.1 ("a natural property of a good
+// network topology").
+func ringOverlayGraph(t *testing.T, space metric.Space, delta float64) *graph.Graph {
+	t.Helper()
+	over, err := RingOverlay(metric.NewIndex(space), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return over
+}
+
+func runB1(t *testing.T, g *graph.Graph, delta float64, maxStretch float64) Stats {
+	t.Helper()
+	s, err := NewThmB1(g, delta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Evaluate(s, apsp.Metric(), 1, 80*g.N())
+	if err != nil {
+		t.Fatalf("thmB.1: %v", err)
+	}
+	if stats.MaxStretch > maxStretch {
+		t.Fatalf("thmB.1: max stretch %v exceeds %v", stats.MaxStretch, maxStretch)
+	}
+	if stats.MaxTableBits <= 0 || stats.MaxLabelBits <= 0 || stats.MaxHeaderBits <= 0 {
+		t.Fatalf("thmB.1: missing size accounting %+v", stats)
+	}
+	return stats
+}
+
+func TestThmB1OnRingOverlay(t *testing.T) {
+	g, err := metric.NewGrid(5, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 0.5
+	over := ringOverlayGraph(t, g, delta)
+	runB1(t, over, delta, 1+6*delta)
+}
+
+func TestThmB1OnJitteredGrid(t *testing.T) {
+	g, err := graph.GridGraph(5, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid graphs have large hop counts; nDelta defaults to n which makes
+	// the scheme valid (if space-hungry) — the point here is delivery and
+	// stretch, not the N_δ regime.
+	runB1(t, g, 0.5, 1+6*0.5)
+}
+
+func TestThmB1OnExponentialPath(t *testing.T) {
+	g, err := graph.ExponentialPath(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB1(t, g, 0.5, 1+6*0.5)
+}
+
+func TestThmB1ModeSplitBits(t *testing.T) {
+	g, err := metric.NewGrid(4, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := ringOverlayGraph(t, g, 0.5)
+	s, err := NewThmB1(over, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < over.N(); u++ {
+		m1 := s.M1TableBits(u)
+		m2 := s.M2TableBits(u)
+		total, err := s.TableBits(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 <= 0 || m2 <= 0 || total != m1+m2 {
+			t.Fatalf("node %d: m1=%d m2=%d total=%d", u, m1, m2, total)
+		}
+	}
+	if s.NDelta() <= 0 {
+		t.Error("NDelta not set")
+	}
+}
+
+func TestThmB1RejectsBadInput(t *testing.T) {
+	g, _ := graph.GridGraph(3, 0, 1)
+	for _, d := range []float64{0, -1, 1.5} {
+		if _, err := NewThmB1(g, d, 0); err == nil {
+			t.Errorf("accepted delta=%v", d)
+		}
+	}
+	s, err := NewThmB1(g, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InitHeader(0, 1000); err == nil {
+		t.Error("accepted invalid target")
+	}
+	if _, _, err := s.NextHop(0, fakeHeader{}); err == nil {
+		t.Error("accepted foreign header")
+	}
+}

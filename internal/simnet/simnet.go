@@ -1,0 +1,170 @@
+// Package simnet is a small message-passing simulation substrate: each
+// node runs as its own goroutine with an unbounded mailbox, and nodes may
+// only react to messages using their local state. The p2p example and the
+// small-world integration tests use it to run the paper's strongly local
+// routing as an actual distributed protocol — a node never touches
+// anything but its own contact list and the incoming message.
+//
+// The paper's Section 6 closes by noting that rings of neighbors are the
+// framework behind Meridian [57], a working P2P system for nearest-
+// neighbor queries; this package is the lab-scale stand-in for that
+// deployment surface.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is a routed payload.
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+// Handler reacts to one message at a node. It may call ctx.Send; it must
+// not block on anything else.
+type Handler func(ctx *Context, msg Message)
+
+// Context gives a handler its node identity and the send primitive.
+type Context struct {
+	// Node is the id of the handling node.
+	Node int
+	net  *Network
+}
+
+// Send enqueues a message from the handling node.
+func (c *Context) Send(to int, payload any) error {
+	return c.net.send(c.Node, to, payload)
+}
+
+// Network runs n goroutine nodes.
+type Network struct {
+	handler Handler
+	boxes   []*mailbox
+	pending sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg Message) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	return true
+}
+
+func (m *mailbox) pop() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// New starts a network of n nodes running handler. Callers must
+// eventually call Shutdown.
+func New(n int, handler Handler) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("simnet: need at least one node")
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("simnet: nil handler")
+	}
+	net := &Network{handler: handler, boxes: make([]*mailbox, n)}
+	for i := range net.boxes {
+		net.boxes[i] = newMailbox()
+	}
+	net.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go net.run(i)
+	}
+	return net, nil
+}
+
+func (n *Network) run(node int) {
+	defer n.wg.Done()
+	ctx := &Context{Node: node, net: n}
+	for {
+		msg, ok := n.boxes[node].pop()
+		if !ok {
+			return
+		}
+		n.handler(ctx, msg)
+		n.pending.Done()
+	}
+}
+
+func (n *Network) send(from, to int, payload any) error {
+	if to < 0 || to >= len(n.boxes) {
+		return fmt.Errorf("simnet: invalid destination %d", to)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("simnet: network is shut down")
+	}
+	n.pending.Add(1)
+	n.mu.Unlock()
+	if !n.boxes[to].push(Message{From: from, To: to, Payload: payload}) {
+		n.pending.Done()
+		return fmt.Errorf("simnet: node %d mailbox closed", to)
+	}
+	return nil
+}
+
+// Inject delivers an external message into the network (From = -1).
+func (n *Network) Inject(to int, payload any) error {
+	return n.send(-1, to, payload)
+}
+
+// Quiesce blocks until every injected and induced message has been
+// handled.
+func (n *Network) Quiesce() { n.pending.Wait() }
+
+// Shutdown quiesces and stops all node goroutines. The network cannot be
+// reused afterwards.
+func (n *Network) Shutdown() {
+	n.pending.Wait()
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	for _, b := range n.boxes {
+		b.close()
+	}
+	n.wg.Wait()
+}
+
+// N reports the number of nodes.
+func (n *Network) N() int { return len(n.boxes) }

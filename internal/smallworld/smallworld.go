@@ -1,0 +1,242 @@
+// Package smallworld implements Section 5 of the paper: searchable
+// small-world networks on doubling metrics, extending Kleinberg's model
+// beyond grids and hierarchies.
+//
+// A small-world model is a random graph of out-links ("contacts", chosen
+// independently per node) together with a strongly local routing
+// algorithm: the next hop is chosen among the current node's contacts by
+// looking only at distances involving those contacts and the target
+// (every node can compute its distance to any node from its label —
+// Section 5's ambient assumption).
+//
+//   - Theorem 5.2(a): X-type contacts (uniform in the cardinality-scaled
+//     balls B_ui) plus Y-type contacts (doubling-measure-weighted in the
+//     radius-scaled balls B_u(2^j)); greedy routing reaches any target in
+//     O(log n) hops w.h.p. — even when the aspect ratio is 2^Θ(n).
+//   - Theorem 5.2(b): the out-degree breaks the log ∆ barrier — pruned
+//     Y-rings around each cardinality scale plus Z-type annulus contacts
+//     at radii 2^(1+1/x)^j, x = sqrt(log ∆) — at the cost of a non-greedy
+//     rule (**): when no contact lands within d/4 of the target, jump to
+//     the farthest contact not beyond the target. This is the paper's
+//     claim to the first non-greedy strongly local routing algorithm.
+//   - Theorem 5.5: the single-link-per-node setting over a graph of local
+//     contacts (Kleinberg's original model, generalized): greedy completes
+//     in 2^O(α)·log²∆ hops.
+//   - STRUCTURES: Kleinberg's group-structure model [32] as the baseline
+//     Theorem 5.4 compares against (P[v is a contact of u] ~ c/x_uv).
+package smallworld
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rings/internal/measure"
+	"rings/internal/metric"
+)
+
+// Model is a sampled small-world network plus its routing rule.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Contacts returns node u's out-links (shared slice; do not modify).
+	Contacts(u int) []int
+	// NextHop picks the next hop toward t among u's contacts, given the
+	// previously visited node (-1 at the source; the paper's Section 5.1
+	// remark sanctions one step of memory). sideways reports a non-greedy
+	// (**) step. It must be strongly local.
+	NextHop(prev, u, t int) (next int, sideways bool, err error)
+	// OutDegree reports the maximum number of contacts.
+	OutDegree() int
+}
+
+// greedyNext returns the contact closest to the target.
+func greedyNext(idx *metric.Index, contacts []int, t int) (int, bool) {
+	best, bestD := -1, math.Inf(1)
+	for _, c := range contacts {
+		if d := idx.Dist(c, t); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, best >= 0
+}
+
+// uniformBallSamples draws k independent uniform samples (with
+// replacement, deduplicated) from the closed ball B_u(r).
+func uniformBallSamples(idx *metric.Index, u int, r float64, k int, rng *rand.Rand) []int {
+	ball := idx.Ball(u, r)
+	if len(ball) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		seen[ball[rng.Intn(len(ball))].Node] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}
+
+// measureBallSamples draws k µ-weighted samples from B_u(r).
+func measureBallSamples(smp *measure.Sampler, u int, r float64, k int, rng *rand.Rand) []int {
+	seen := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		if v, ok := smp.SampleBall(u, r, rng); ok {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}
+
+// logN reports ceil(log2 n), at least 1.
+func logN(n int) int {
+	l := int(math.Ceil(math.Log2(float64(n))))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// xContacts samples the X-type contacts of Theorem 5.2: for each
+// cardinality scale i, samplesPerLevel uniform draws from the smallest
+// ball around u holding at least ceil(n/2^i) nodes.
+func xContacts(idx *metric.Index, u, samplesPerLevel int, rng *rand.Rand) []int {
+	n := idx.N()
+	var out []int
+	for i := 0; i <= logN(n); i++ {
+		k := int(math.Ceil(float64(n) / math.Pow(2, float64(i))))
+		r := idx.RadiusForCount(u, k)
+		out = append(out, uniformBallSamples(idx, u, r, samplesPerLevel, rng)...)
+	}
+	return dedup(out)
+}
+
+func dedup(in []int) []int {
+	seen := make(map[int]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dedupExcl deduplicates and drops the node's own id (self-samples from
+// ball draws are useless as contacts).
+func dedupExcl(in []int, self int) []int {
+	out := dedup(in)
+	for i, v := range out {
+		if v == self {
+			return append(out[:i], out[i+1:]...)
+		}
+	}
+	return out
+}
+
+// QueryResult describes one routed query.
+type QueryResult struct {
+	Hops     int
+	Sideways int
+	Path     []int
+}
+
+// Query routes from s to t with the model's rule, failing loudly on hop
+// exhaustion (the w.h.p. guarantees mean failures indicate bugs or
+// unlucky seeds, both worth surfacing).
+func Query(m Model, s, t, maxHops int) (QueryResult, error) {
+	res := QueryResult{Path: []int{s}}
+	cur, prev := s, -1
+	for cur != t {
+		if res.Hops >= maxHops {
+			return res, fmt.Errorf("smallworld: %s: query %d->%d exceeded %d hops", m.Name(), s, t, maxHops)
+		}
+		next, sideways, err := m.NextHop(prev, cur, t)
+		if err != nil {
+			return res, fmt.Errorf("smallworld: %s: at %d for %d->%d: %w", m.Name(), cur, s, t, err)
+		}
+		if sideways {
+			res.Sideways++
+		}
+		prev, cur = cur, next
+		res.Hops++
+		res.Path = append(res.Path, cur)
+	}
+	return res, nil
+}
+
+// Stats aggregates a query sweep.
+type Stats struct {
+	Queries  int
+	MaxHops  int
+	MeanHops float64
+	Sideways int
+}
+
+// EvaluateAll routes every ordered pair in parallel (stride thins the
+// pair set for large n).
+func EvaluateAll(m Model, n, stride, maxHops int) (Stats, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	stats := make([]Stats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			total := 0
+			for s := w * stride; s < n; s += workers * stride {
+				for t := 0; t < n; t += stride {
+					if s == t {
+						continue
+					}
+					res, err := Query(m, s, t, maxHops)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					st.Queries++
+					total += res.Hops
+					st.Sideways += res.Sideways
+					if res.Hops > st.MaxHops {
+						st.MaxHops = res.Hops
+					}
+				}
+			}
+			if st.Queries > 0 {
+				st.MeanHops = float64(total) / float64(st.Queries)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var out Stats
+	sum := 0.0
+	for w := range stats {
+		if errs[w] != nil {
+			return out, errs[w]
+		}
+		out.Queries += stats[w].Queries
+		out.Sideways += stats[w].Sideways
+		if stats[w].MaxHops > out.MaxHops {
+			out.MaxHops = stats[w].MaxHops
+		}
+		sum += stats[w].MeanHops * float64(stats[w].Queries)
+	}
+	if out.Queries > 0 {
+		out.MeanHops = sum / float64(out.Queries)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package smallworld
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rings/internal/metric"
+)
+
+// Structures is Kleinberg's group-structure small world [32] applied to
+// metric balls — the model Theorem 5.4 proves ours coincides with on
+// UL-constrained metrics. x_uv is the smallest cardinality of a ball
+// containing both u and v; each node draws Θ(log²n) contacts from
+// π_u(v) ∝ 1/x_uv and routes greedily.
+type Structures struct {
+	idx      *metric.Index
+	contacts [][]int
+	deg      int
+	exact    bool
+}
+
+var _ Model = (*Structures)(nil)
+
+// MinBallApprox approximates x_uv by min(|B_u(d)|, |B_v(d)|), d = d(u,v):
+// on doubling metrics this is within a 2^O(α) factor of the exact
+// minimum, because any ball containing both u and v has radius >= d/2 and
+// the doubling property relates |B_w(r)| across centers within r.
+func MinBallApprox(idx *metric.Index, u, v int) int {
+	d := idx.Dist(u, v)
+	bu, bv := idx.BallCount(u, d), idx.BallCount(v, d)
+	if bu < bv {
+		return bu
+	}
+	return bv
+}
+
+// MinBallExact computes x_uv exactly by scanning all centers: the
+// smallest |B_w(max(d_wu, d_wv))|. It is O(n·log n) per pair; use it for
+// validation on small instances.
+func MinBallExact(idx *metric.Index, u, v int) int {
+	best := idx.N()
+	for w := 0; w < idx.N(); w++ {
+		r := math.Max(idx.Dist(w, u), idx.Dist(w, v))
+		if c := idx.BallCount(w, r); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// NewStructures samples the model with k = ceil(c·log²n) contacts per
+// node. exact selects the exact x_uv (quadratic per node; small n only).
+func NewStructures(idx *metric.Index, c float64, exact bool, seed int64) (*Structures, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("smallworld: c = %v, want positive", c)
+	}
+	n := idx.N()
+	ln := float64(logN(n))
+	k := int(math.Ceil(c * ln * ln))
+	m := &Structures{idx: idx, contacts: make([][]int, n), exact: exact}
+	buildParallel(n, func(u int) {
+		rng := rand.New(rand.NewSource(seed + int64(u)*31337))
+		weights := make([]float64, n)
+		total := 0.0
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			x := 0
+			if exact {
+				x = MinBallExact(idx, u, v)
+			} else {
+				x = MinBallApprox(idx, u, v)
+			}
+			weights[v] = 1 / float64(x)
+			total += weights[v]
+		}
+		seen := make(map[int]bool, k)
+		// Property 5.4(d) puts P[v is a contact of u] at Θ(log n)/x_uv,
+		// which saturates at 1 for x_uv <= log n: those near-group members
+		// are contacts deterministically. (This is also what makes greedy
+		// complete the last hop: Kleinberg's grid model gets the same
+		// effect from its guaranteed lattice links.)
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			x := 0
+			if exact {
+				x = MinBallExact(idx, u, v)
+			} else {
+				x = MinBallApprox(idx, u, v)
+			}
+			if x <= logN(n) {
+				seen[v] = true
+			}
+		}
+		for i := 0; i < k; i++ {
+			r := rng.Float64() * total
+			acc := 0.0
+			for v := 0; v < n; v++ {
+				acc += weights[v]
+				if acc >= r {
+					if v != u {
+						seen[v] = true
+					}
+					break
+				}
+			}
+		}
+		cs := make([]int, 0, len(seen))
+		for v := range seen {
+			cs = append(cs, v)
+		}
+		m.contacts[u] = cs
+	})
+	for _, cs := range m.contacts {
+		if len(cs) > m.deg {
+			m.deg = len(cs)
+		}
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *Structures) Name() string { return "kleinberg-structures" }
+
+// Contacts implements Model.
+func (m *Structures) Contacts(u int) []int { return m.contacts[u] }
+
+// OutDegree implements Model.
+func (m *Structures) OutDegree() int { return m.deg }
+
+// NextHop implements Model: pure greedy.
+func (m *Structures) NextHop(prev, u, t int) (int, bool, error) {
+	next, ok := greedyNext(m.idx, m.contacts[u], t)
+	if !ok {
+		return 0, false, fmt.Errorf("node %d has no contacts", u)
+	}
+	if m.idx.Dist(next, t) >= m.idx.Dist(u, t) {
+		return 0, false, fmt.Errorf("greedy stuck at %d (target %d)", u, t)
+	}
+	return next, false, nil
+}
+
+// ContactFrequency estimates, over rebuilds with different seeds, the
+// empirical probability that v appears among u's contacts — the quantity
+// Theorem 5.4(d) pins to Θ(log n)/x_uv.
+func ContactFrequency(build func(seed int64) (Model, error), u, v, trials int) (float64, error) {
+	hit := 0
+	for s := 0; s < trials; s++ {
+		m, err := build(int64(s) * 997)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range m.Contacts(u) {
+			if c == v {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(trials), nil
+}

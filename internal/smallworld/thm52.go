@@ -1,0 +1,292 @@
+package smallworld
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"rings/internal/measure"
+	"rings/internal/metric"
+)
+
+// Params tunes the sampling intensities of the Theorem 5.2 models. The
+// paper's Chernoff constant c is split per contact family.
+type Params struct {
+	// CX scales the per-level X samples: ceil(CX · log2 n) draws.
+	CX float64
+	// CY scales the per-level Y samples: ceil(CY · log2 n) draws (the
+	// paper's 2cα).
+	CY float64
+	// Seed drives all sampling (per-node streams derived from it).
+	Seed int64
+}
+
+// DefaultParams returns sampling intensities that keep the w.h.p.
+// guarantees comfortable at lab scale.
+func DefaultParams(seed int64) Params {
+	return Params{CX: 2, CY: 3, Seed: seed}
+}
+
+// Thm52a is the greedy small-world model of Theorem 5.2(a): X-type plus
+// full Y-type contacts, out-degree 2^O(α)·(log n)(log ∆).
+type Thm52a struct {
+	idx      *metric.Index
+	contacts [][]int
+	deg      int
+	budget   int
+}
+
+var _ Model = (*Thm52a)(nil)
+
+// NewThm52a samples the model. The doubling measure is constructed
+// internally (Theorem 1.3).
+func NewThm52a(idx *metric.Index, p Params) (*Thm52a, error) {
+	smp, err := doublingSampler(idx)
+	if err != nil {
+		return nil, err
+	}
+	n := idx.N()
+	m := &Thm52a{idx: idx, contacts: make([][]int, n)}
+	perLevelX := int(math.Ceil(p.CX * float64(logN(n))))
+	perLevelY := int(math.Ceil(p.CY * float64(logN(n))))
+	scales := radiusScales(idx)
+	buildParallel(n, func(u int) {
+		rng := rand.New(rand.NewSource(p.Seed + int64(u)*7919))
+		var cs []int
+		cs = append(cs, xContacts(idx, u, perLevelX, rng)...)
+		for _, r := range scales {
+			cs = append(cs, measureBallSamples(smp, u, r, perLevelY, rng)...)
+		}
+		m.contacts[u] = dedupExcl(cs, u)
+	})
+	for _, cs := range m.contacts {
+		if len(cs) > m.deg {
+			m.deg = len(cs)
+		}
+	}
+	m.budget = (logN(n)+1)*perLevelX + len(scales)*perLevelY
+	return m, nil
+}
+
+// Name implements Model.
+func (m *Thm52a) Name() string { return "thm5.2a/greedy" }
+
+// PointerBudget reports the structural per-node link budget (ring slots
+// allocated before deduplication) — the quantity the paper's out-degree
+// formula 2^O(α)(log n)(log ∆) counts. At lab scale the realized
+// OutDegree saturates at n while the budget still shows the log ∆ shape.
+func (m *Thm52a) PointerBudget() int { return m.budget }
+
+// Contacts implements Model.
+func (m *Thm52a) Contacts(u int) []int { return m.contacts[u] }
+
+// OutDegree implements Model.
+func (m *Thm52a) OutDegree() int { return m.deg }
+
+// NextHop implements Model: pure greedy (prev unused).
+func (m *Thm52a) NextHop(prev, u, t int) (int, bool, error) {
+	next, ok := greedyNext(m.idx, m.contacts[u], t)
+	if !ok {
+		return 0, false, fmt.Errorf("node %d has no contacts", u)
+	}
+	if m.idx.Dist(next, t) >= m.idx.Dist(u, t) {
+		return 0, false, fmt.Errorf("greedy stuck at %d (target %d)", u, t)
+	}
+	return next, false, nil
+}
+
+// radiusScales returns the Y-ring radii dmin·2^j up to the diameter.
+func radiusScales(idx *metric.Index) []float64 {
+	var out []float64
+	d := idx.Diameter()
+	for r := idx.MinDistance(); ; r *= 2 {
+		out = append(out, r)
+		if r >= d {
+			break
+		}
+	}
+	return out
+}
+
+func doublingSampler(idx *metric.Index) (*measure.Sampler, error) {
+	mu, err := measure.Doubling(idx)
+	if err != nil {
+		return nil, err
+	}
+	return measure.NewSampler(idx, mu)
+}
+
+func buildParallel(n int, build func(u int)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	wg.Add(n)
+	for u := 0; u < n; u++ {
+		sem <- struct{}{}
+		go func(u int) {
+			defer func() { <-sem; wg.Done() }()
+			build(u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// Thm52b is the barrier-breaking model of Theorem 5.2(b): X-type contacts,
+// pruned Y-rings around each cardinality scale, and Z-type annulus
+// contacts at radii 2^(1+1/x)^j with x = sqrt(log ∆); out-degree
+// 2^O(α)·(log²n)·sqrt(log ∆)·(log log ∆). Routing uses the non-greedy
+// rule (**).
+type Thm52b struct {
+	idx      *metric.Index
+	contacts [][]int
+	deg      int
+	budget   int
+}
+
+var _ Model = (*Thm52b)(nil)
+
+// NewThm52b samples the model.
+func NewThm52b(idx *metric.Index, p Params) (*Thm52b, error) {
+	smp, err := doublingSampler(idx)
+	if err != nil {
+		return nil, err
+	}
+	n := idx.N()
+	m := &Thm52b{idx: idx, contacts: make([][]int, n)}
+	perLevelX := int(math.Ceil(p.CX * float64(logN(n))))
+	perLevelY := int(math.Ceil(p.CY * float64(logN(n))))
+
+	logAspect := math.Max(metric.LogAspect(idx), 2)
+	x := math.Sqrt(logAspect)
+	jBound := int(math.Ceil((3*x + 3) * math.Log2(math.Max(logAspect, 2))))
+	dmin := idx.MinDistance()
+	diam := idx.Diameter()
+	imax := logN(n)
+
+	budgets := make([]int, n)
+	buildParallel(n, func(u int) {
+		rng := rand.New(rand.NewSource(p.Seed + int64(u)*104729))
+		budget := 0
+		var cs []int
+		cs = append(cs, xContacts(idx, u, perLevelX, rng)...)
+		budget += (logN(n) + 1) * perLevelX
+		// Z-type contacts: one per annulus.
+		prev := 0.0
+		for j := 0; ; j++ {
+			rho := dmin * math.Pow(2, math.Pow(1+1/x, float64(j)))
+			if rho > diam*2 {
+				break
+			}
+			cs = append(cs, sampleAnnulus(m.idx, u, prev, rho, rng)...)
+			budget++
+			prev = rho
+		}
+		// Pruned Y-rings: scales r_ui·2^j near each cardinality scale.
+		for i := 0; i <= imax; i++ {
+			k := int(math.Ceil(float64(n) / math.Pow(2, float64(i))))
+			rui := m.idx.RadiusForCount(u, k)
+			if rui <= 0 {
+				continue
+			}
+			rNext := 0.0
+			if kn := int(math.Ceil(float64(n) / math.Pow(2, float64(i+1)))); kn >= 1 {
+				rNext = m.idx.RadiusForCount(u, kn)
+			}
+			rPrev := math.Inf(1)
+			if i > 0 {
+				k0 := int(math.Ceil(float64(n) / math.Pow(2, float64(i-1))))
+				rPrev = m.idx.RadiusForCount(u, k0)
+			}
+			for j := -jBound; j <= jBound; j++ {
+				r := rui * math.Pow(2, float64(j))
+				if r <= rNext || r >= rPrev {
+					continue
+				}
+				cs = append(cs, measureBallSamples(smp, u, r, perLevelY, rng)...)
+				budget += perLevelY
+			}
+		}
+		m.contacts[u] = dedupExcl(cs, u)
+		budgets[u] = budget
+	})
+	for u, cs := range m.contacts {
+		if len(cs) > m.deg {
+			m.deg = len(cs)
+		}
+		if budgets[u] > m.budget {
+			m.budget = budgets[u]
+		}
+	}
+	return m, nil
+}
+
+// PointerBudget reports the structural per-node link budget; see
+// Thm52a.PointerBudget. For 5.2b it carries the sqrt(log ∆)·(log log ∆)
+// shape the theorem trades the log ∆ factor for.
+func (m *Thm52b) PointerBudget() int { return m.budget }
+
+// sampleAnnulus picks one node uniformly from the annulus
+// (prev, rho] around u, falling back to the closest node outside B_u(rho)
+// when the annulus is empty (the paper's rule), or nothing when no node
+// lies beyond prev.
+func sampleAnnulus(idx *metric.Index, u int, prev, rho float64, rng *rand.Rand) []int {
+	inner := idx.BallCount(u, prev)
+	outer := idx.BallCount(u, rho)
+	sorted := idx.Sorted(u)
+	if outer > inner {
+		return []int{sorted[inner+rng.Intn(outer-inner)].Node}
+	}
+	if outer < len(sorted) {
+		return []int{sorted[outer].Node} // closest node outside B_u(rho)
+	}
+	return nil
+}
+
+// Name implements Model.
+func (m *Thm52b) Name() string { return "thm5.2b/non-greedy" }
+
+// Contacts implements Model.
+func (m *Thm52b) Contacts(u int) []int { return m.contacts[u] }
+
+// OutDegree implements Model.
+func (m *Thm52b) OutDegree() int { return m.deg }
+
+// NextHop implements Model: greedy when some contact lands within
+// d(u,t)/4 of the target, else the (**) sideways rule — the farthest
+// contact not beyond the target.
+func (m *Thm52b) NextHop(prev, u, t int) (int, bool, error) {
+	contacts := m.contacts[u]
+	if len(contacts) == 0 {
+		return 0, false, fmt.Errorf("node %d has no contacts", u)
+	}
+	d := m.idx.Dist(u, t)
+	best, bestD := -1, math.Inf(1)
+	for _, c := range contacts {
+		if dc := m.idx.Dist(c, t); dc < bestD {
+			best, bestD = c, dc
+		}
+	}
+	if bestD <= d/4 {
+		return best, false, nil
+	}
+	// (**): farthest contact v with d(u,v) <= d(u,t), excluding the node
+	// we just came from (the one step of memory Section 5.1 allows; it
+	// cuts the two-cycle a pure memoryless (**) can fall into).
+	side, sideD := -1, -1.0
+	for _, c := range contacts {
+		if c == prev {
+			continue
+		}
+		if dc := m.idx.Dist(u, c); dc <= d && dc > sideD {
+			side, sideD = c, dc
+		}
+	}
+	if side < 0 {
+		// No sideways candidate: fall back to greedy progress if any.
+		if best >= 0 && bestD < d {
+			return best, false, nil
+		}
+		return 0, false, fmt.Errorf("rule (**) found no candidate at %d (target %d)", u, t)
+	}
+	return side, true, nil
+}

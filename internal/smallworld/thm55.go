@@ -1,0 +1,98 @@
+package smallworld
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+// Thm55 is the single-link-per-node model of Theorem 5.5: the setting of
+// Kleinberg's original grid result [30], generalized to any graph whose
+// shortest-path metric is doubling. Every node keeps its graph neighbors
+// as local contacts plus exactly one long-range contact, drawn by picking
+// a scale j uniformly from [log ∆] and then sampling B_u(2^j) by the
+// doubling measure. Greedy routing completes in 2^O(α)·log²∆ hops w.h.p.
+type Thm55 struct {
+	idx      *metric.Index
+	g        *graph.Graph
+	long     []int
+	contacts [][]int
+	deg      int
+}
+
+var _ Model = (*Thm55)(nil)
+
+// NewThm55 samples the model over a connected graph of local contacts.
+// The metric index must be the graph's shortest-path metric (built by the
+// caller so it can be shared across models).
+func NewThm55(g *graph.Graph, idx *metric.Index, seed int64) (*Thm55, error) {
+	if g.N() != idx.N() {
+		return nil, fmt.Errorf("smallworld: graph has %d nodes, metric %d", g.N(), idx.N())
+	}
+	smp, err := doublingSampler(idx)
+	if err != nil {
+		return nil, err
+	}
+	n := idx.N()
+	m := &Thm55{idx: idx, g: g, long: make([]int, n), contacts: make([][]int, n)}
+	scales := radiusScales(idx)
+	rng := rand.New(rand.NewSource(seed))
+	for u := 0; u < n; u++ {
+		r := scales[rng.Intn(len(scales))]
+		v, ok := smp.SampleBall(u, r, rng)
+		if !ok {
+			v = u
+		}
+		m.long[u] = v
+		cs := make([]int, 0, g.OutDegree(u)+1)
+		for _, e := range g.Out(u) {
+			cs = append(cs, e.To)
+		}
+		if v != u {
+			cs = append(cs, v)
+		}
+		m.contacts[u] = dedup(cs)
+		if len(m.contacts[u]) > m.deg {
+			m.deg = len(m.contacts[u])
+		}
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *Thm55) Name() string { return "thm5.5/single-link" }
+
+// Contacts implements Model.
+func (m *Thm55) Contacts(u int) []int { return m.contacts[u] }
+
+// OutDegree implements Model.
+func (m *Thm55) OutDegree() int { return m.deg }
+
+// LongContact reports u's long-range contact (u itself when the draw
+// degenerated).
+func (m *Thm55) LongContact(u int) int { return m.long[u] }
+
+// NextHop implements Model: pure greedy. Local contacts guarantee strict
+// progress (some graph neighbor lies on a shortest path to t), so greedy
+// can never get stuck.
+func (m *Thm55) NextHop(prev, u, t int) (int, bool, error) {
+	next, ok := greedyNext(m.idx, m.contacts[u], t)
+	if !ok {
+		return 0, false, fmt.Errorf("node %d has no contacts", u)
+	}
+	if m.idx.Dist(next, t) >= m.idx.Dist(u, t) {
+		return 0, false, fmt.Errorf("greedy stuck at %d (target %d): local contacts must make progress", u, t)
+	}
+	return next, false, nil
+}
+
+// ExpectedHopBound reports the paper's 2^O(α)·log²∆ hop budget with the
+// measured dimension estimate, for tests and experiment tables.
+func (m *Thm55) ExpectedHopBound() float64 {
+	la := math.Max(metric.LogAspect(m.idx), 1)
+	alpha := metric.DoublingDimension(m.idx)
+	return math.Pow(2, alpha) * la * la
+}

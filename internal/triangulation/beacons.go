@@ -1,0 +1,78 @@
+package triangulation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rings/internal/metric"
+)
+
+// SharedBeacons is the baseline triangulation of Kleinberg–Slivkins–Wexler
+// [33] and Slivkins [50]: every node stores distances to one global
+// random beacon set. It yields an (ε,δ)-triangulation — an ε fraction of
+// pairs gets no useful certificate — which is exactly the "obvious flaw"
+// (Section 1) that Theorem 3.2's per-node ring beacons repair.
+type SharedBeacons struct {
+	idx     *metric.Index
+	Beacons []int
+	dists   [][]float64 // dists[u][k] = d(u, Beacons[k])
+}
+
+// NewSharedBeacons samples k distinct beacons uniformly at random.
+func NewSharedBeacons(idx *metric.Index, k int, rng *rand.Rand) (*SharedBeacons, error) {
+	n := idx.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("triangulation: k = %d beacons for n = %d nodes", k, n)
+	}
+	perm := rng.Perm(n)
+	beacons := append([]int(nil), perm[:k]...)
+	s := &SharedBeacons{idx: idx, Beacons: beacons, dists: make([][]float64, n)}
+	for u := 0; u < n; u++ {
+		row := make([]float64, k)
+		for j, b := range beacons {
+			row[j] = idx.Dist(u, b)
+		}
+		s.dists[u] = row
+	}
+	return s, nil
+}
+
+// Order reports the beacon count (every node stores all of them).
+func (s *SharedBeacons) Order() int { return len(s.Beacons) }
+
+// Estimate reports the D−/D+ bounds for a pair using the shared beacons,
+// with the same ulp discount on the lower bound as Triangulation.Estimate.
+func (s *SharedBeacons) Estimate(u, v int) (lower, upper float64) {
+	upper = math.Inf(1)
+	for j := range s.Beacons {
+		da, db := s.dists[u][j], s.dists[v][j]
+		if t := da + db; t < upper {
+			upper = t
+		}
+		if g := math.Abs(da-db) - ulpGuard*math.Max(da, db); g > lower {
+			lower = g
+		}
+	}
+	return lower, upper
+}
+
+// BadPairFraction measures the realized ε: the fraction of node pairs
+// whose certificate ratio D+/D− exceeds 1+delta.
+func (s *SharedBeacons) BadPairFraction(delta float64) float64 {
+	n := s.idx.N()
+	bad, total := 0, 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			lo, hi := s.Estimate(u, v)
+			total++
+			if lo <= 0 || hi/lo > 1+delta {
+				bad++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total)
+}

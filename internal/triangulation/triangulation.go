@@ -1,0 +1,251 @@
+package triangulation
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rings/internal/bitio"
+	"rings/internal/metric"
+)
+
+// Triangulation is a (0,δ)-triangulation per Theorem 3.2: every node
+// carries a beacon set with distances, and every pair of nodes shares a
+// beacon close enough that D+/D− <= 1+δ.
+type Triangulation struct {
+	// Delta is the target approximation: D+/D− <= 1+Delta for all pairs.
+	Delta float64
+	// Cons is the underlying shared construction (internal δ' = Delta/6).
+	Cons *Construction
+	// beacons[u] maps beacon id -> distance from u.
+	beacons []map[int]float64
+}
+
+// New builds a (0,delta)-triangulation; delta must lie in (0, 1].
+// Internally the construction runs with δ' = delta/6, which turns the
+// proof's "common beacon within δ'·d of u or v" into the advertised
+// (1+delta) ratio bound.
+func New(idx *metric.Index, delta float64) (*Triangulation, error) {
+	if delta <= 0 || delta > 1 {
+		return nil, fmt.Errorf("triangulation: delta = %v, want (0, 1]", delta)
+	}
+	cons, err := NewConstruction(idx, delta/6)
+	if err != nil {
+		return nil, err
+	}
+	return FromConstruction(cons, delta), nil
+}
+
+// FromConstruction wraps an existing construction as a triangulation
+// (sharing it with, e.g., a distance labeling built on the same δ').
+func FromConstruction(cons *Construction, delta float64) *Triangulation {
+	n := cons.Idx.N()
+	t := &Triangulation{Delta: delta, Cons: cons, beacons: make([]map[int]float64, n)}
+	for u := 0; u < n; u++ {
+		m := make(map[int]float64)
+		for i := 0; i <= cons.IMax; i++ {
+			for _, w := range cons.X[u][i] {
+				m[w] = cons.Idx.Dist(u, w)
+			}
+			for _, w := range cons.Y[u][i] {
+				m[w] = cons.Idx.Dist(u, w)
+			}
+		}
+		t.beacons[u] = m
+	}
+	return t
+}
+
+// Beacons returns node u's beacon set S_u as a map from beacon id to
+// distance (shared; do not modify).
+func (t *Triangulation) Beacons(u int) map[int]float64 { return t.beacons[u] }
+
+// Order reports the triangulation order: the largest beacon set size.
+// Theorem 3.2 bounds it by (1/δ)^O(α) · log n.
+func (t *Triangulation) Order() int {
+	k := 0
+	for _, m := range t.beacons {
+		if len(m) > k {
+			k = len(m)
+		}
+	}
+	return k
+}
+
+// ulpGuard discounts each beacon's lower-bound contribution by a small
+// multiple of its distance magnitude. On metrics with astronomical aspect
+// ratios (the exponential line with ∆ ~ 2^900), float64 rounding of
+// distances to far-away beacons can inflate |d_ub − d_vb| beyond the true
+// d_uv by up to ulp(max distance)/2; discounting restores D− <= d while
+// costing only an O(2^-43)·d additive term on the informative nearby
+// beacons.
+const ulpGuard = 1e-13
+
+// Estimate reports the triangle-inequality bounds for the pair (u, v):
+// lower = max (|d_ub − d_vb| − ulpGuard·max) and upper = min (d_ub + d_vb)
+// over common beacons. ok is false when the pair shares no beacon (cannot
+// happen for a verified construction, but callers should not assume).
+func (t *Triangulation) Estimate(u, v int) (lower, upper float64, ok bool) {
+	a, b := t.beacons[u], t.beacons[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	upper = math.Inf(1)
+	for w, da := range a {
+		db, shared := b[w]
+		if !shared {
+			continue
+		}
+		ok = true
+		if s := da + db; s < upper {
+			upper = s
+		}
+		if g := math.Abs(da-db) - ulpGuard*math.Max(da, db); g > lower {
+			lower = g
+		}
+	}
+	return lower, upper, ok
+}
+
+// PairStats summarizes a full-pairs verification sweep.
+type PairStats struct {
+	Pairs int
+	// WorstRatio is max over pairs of D+/D− (1 means exact).
+	WorstRatio float64
+	// WorstUpperSlack is max over pairs of D+/d.
+	WorstUpperSlack float64
+	// BadPairs counts pairs with D+/D− > 1+Delta (must be 0 for a
+	// (0,δ)-triangulation).
+	BadPairs int
+	// MeanRatio is the average D+/D−.
+	MeanRatio float64
+}
+
+// VerifyAllPairs checks every node pair in parallel: sandwich
+// D− <= d <= D+ and the ratio bound. It returns stats and the first
+// violation found, if any.
+func (t *Triangulation) VerifyAllPairs() (PairStats, error) {
+	idx := t.Cons.Idx
+	n := idx.N()
+	workers := runtime.GOMAXPROCS(0)
+	type result struct {
+		stats PairStats
+		err   error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			st := &results[w].stats
+			st.WorstRatio = 1
+			st.WorstUpperSlack = 1
+			sum := 0.0
+			for u := w; u < n; u += workers {
+				for v := u + 1; v < n; v++ {
+					d := idx.Dist(u, v)
+					lo, hi, ok := t.Estimate(u, v)
+					if !ok {
+						results[w].err = fmt.Errorf("pair (%d,%d) shares no beacon", u, v)
+						return
+					}
+					if lo > d*(1+1e-9) || hi < d*(1-1e-9) {
+						results[w].err = fmt.Errorf("pair (%d,%d): sandwich violated: %v <= %v <= %v", u, v, lo, d, hi)
+						return
+					}
+					ratio := math.Inf(1)
+					if lo > 0 {
+						ratio = hi / lo
+					}
+					st.Pairs++
+					sum += ratio
+					if ratio > st.WorstRatio {
+						st.WorstRatio = ratio
+					}
+					if s := hi / d; s > st.WorstUpperSlack {
+						st.WorstUpperSlack = s
+					}
+					if ratio > 1+t.Delta+1e-9 {
+						st.BadPairs++
+					}
+				}
+			}
+			if st.Pairs > 0 {
+				st.MeanRatio = sum / float64(st.Pairs)
+			}
+			results[w].stats = *st
+		}(w)
+	}
+	wg.Wait()
+	var total PairStats
+	total.WorstRatio = 1
+	total.WorstUpperSlack = 1
+	sum := 0.0
+	for _, r := range results {
+		if r.err != nil {
+			return total, r.err
+		}
+		total.Pairs += r.stats.Pairs
+		total.BadPairs += r.stats.BadPairs
+		if r.stats.WorstRatio > total.WorstRatio {
+			total.WorstRatio = r.stats.WorstRatio
+		}
+		if r.stats.WorstUpperSlack > total.WorstUpperSlack {
+			total.WorstUpperSlack = r.stats.WorstUpperSlack
+		}
+		sum += r.stats.MeanRatio * float64(r.stats.Pairs)
+	}
+	if total.Pairs > 0 {
+		total.MeanRatio = sum / float64(total.Pairs)
+	}
+	if total.BadPairs > 0 {
+		return total, fmt.Errorf("%d of %d pairs exceed ratio 1+%v (worst %v)",
+			total.BadPairs, total.Pairs, t.Delta, total.WorstRatio)
+	}
+	return total, nil
+}
+
+// LabelBits measures the serialized size, in bits, of node u's label in
+// the [44]-style distance labeling derived from this triangulation: each
+// beacon is stored as a ceil(log n)-bit global identifier plus a
+// mantissa/exponent distance. This is the baseline Theorem 3.4 improves on.
+func (t *Triangulation) LabelBits(u int) (int, error) {
+	idx := t.Cons.Idx
+	codec, err := bitio.NewDistCodec(idx.MinDistance(), idx.Diameter(), t.Delta/6)
+	if err != nil {
+		return 0, err
+	}
+	idBits := bitio.WidthFor(idx.N())
+	var w bitio.Writer
+	for beacon, d := range t.beacons[u] {
+		if err := w.WriteBits(uint64(beacon), idBits); err != nil {
+			return 0, err
+		}
+		if d == 0 {
+			// Self-beacon: store the minimum distance slot; decoders treat
+			// the self id as distance zero, but we still pay its bits.
+			d = idx.MinDistance()
+		}
+		if err := codec.Encode(&w, d); err != nil {
+			return 0, err
+		}
+	}
+	return w.Len(), nil
+}
+
+// MaxLabelBits reports the largest label across nodes.
+func (t *Triangulation) MaxLabelBits() (int, error) {
+	max := 0
+	for u := 0; u < t.Cons.Idx.N(); u++ {
+		b, err := t.LabelBits(u)
+		if err != nil {
+			return 0, err
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return max, nil
+}

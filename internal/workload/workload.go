@@ -1,0 +1,119 @@
+// Package workload centralizes the experiment inputs so the benchmark
+// harness, the benches and the examples all draw from one catalogue of
+// reproducible instances (every generator takes an explicit seed).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+// MetricInstance is a named, indexed metric space.
+type MetricInstance struct {
+	Name string
+	Idx  *metric.Index
+}
+
+// GraphInstance is a named weighted graph with its shortest-path metric.
+type GraphInstance struct {
+	Name string
+	G    *graph.Graph
+	APSP *graph.APSP
+	Idx  *metric.Index
+}
+
+// Grid returns the side x side unit grid metric (UL-constrained; the
+// Kleinberg substrate).
+func Grid(side int) (MetricInstance, error) {
+	g, err := metric.NewGrid(side, 2, metric.L2)
+	if err != nil {
+		return MetricInstance{}, err
+	}
+	return MetricInstance{
+		Name: fmt.Sprintf("grid-%dx%d", side, side),
+		Idx:  metric.NewIndex(g),
+	}, nil
+}
+
+// Cube returns n uniform points in a 2D square (doubling, random).
+func Cube(n int, seed int64) (MetricInstance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.UniformCube(n, 2, 100, rng)
+	return MetricInstance{
+		Name: fmt.Sprintf("cube-n%d", n),
+		Idx:  metric.NewIndex(space),
+	}, nil
+}
+
+// ExpLine returns the exponential line sized for a target log2 aspect —
+// the paper's super-polynomial-∆ workload.
+func ExpLine(n int, log2Aspect float64) (MetricInstance, error) {
+	l, err := metric.ExponentialLineForAspect(n, log2Aspect)
+	if err != nil {
+		return MetricInstance{}, err
+	}
+	return MetricInstance{
+		Name: fmt.Sprintf("expline-n%d-logA%.0f", n, log2Aspect),
+		Idx:  metric.NewIndex(l),
+	}, nil
+}
+
+// Latency returns the clustered Internet-latency metric (the Meridian
+// motivation).
+func Latency(n int, seed int64) (MetricInstance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	space, err := metric.NewClusteredLatency(n, 3, []int{4, 4}, []float64{300, 60, 10}, 3, rng)
+	if err != nil {
+		return MetricInstance{}, err
+	}
+	return MetricInstance{
+		Name: fmt.Sprintf("latency-n%d", n),
+		Idx:  metric.NewIndex(space),
+	}, nil
+}
+
+// GridGraph returns the jittered grid graph instance (distinct pairwise
+// distances, doubling shortest-path metric).
+func GridGraph(side int, seed int64) (GraphInstance, error) {
+	g, err := graph.GridGraph(side, 0.3, seed)
+	if err != nil {
+		return GraphInstance{}, err
+	}
+	return finishGraph(fmt.Sprintf("gridgraph-%dx%d", side, side), g)
+}
+
+// ExpPath returns the exponential path graph (aspect ratio ~ base^(n-1)).
+func ExpPath(n int, base float64) (GraphInstance, error) {
+	g, err := graph.ExponentialPath(n, base)
+	if err != nil {
+		return GraphInstance{}, err
+	}
+	return finishGraph(fmt.Sprintf("exppath-n%d-b%g", n, base), g)
+}
+
+// Geometric returns a random geometric graph over a uniform point cloud.
+func Geometric(n int, radius float64, seed int64) (GraphInstance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.UniformCube(n, 2, 100, rng)
+	g, err := graph.GeometricGraph(space, radius)
+	if err != nil {
+		return GraphInstance{}, err
+	}
+	return finishGraph(fmt.Sprintf("geometric-n%d-r%g", n, radius), g)
+}
+
+func finishGraph(name string, g *graph.Graph) (GraphInstance, error) {
+	apsp, err := graph.AllPairs(g)
+	if err != nil {
+		return GraphInstance{}, err
+	}
+	return GraphInstance{
+		Name: name,
+		G:    g,
+		APSP: apsp,
+		Idx:  metric.NewIndex(apsp.Metric()),
+	}, nil
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"rings/internal/metric"
+)
+
+func TestMetricInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() (MetricInstance, error)
+	}{
+		{"grid", func() (MetricInstance, error) { return Grid(5) }},
+		{"cube", func() (MetricInstance, error) { return Cube(40, 1) }},
+		{"expline", func() (MetricInstance, error) { return ExpLine(24, 60) }},
+		{"latency", func() (MetricInstance, error) { return Latency(40, 2) }},
+	}
+	for _, c := range cases {
+		inst, err := c.make()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if inst.Name == "" || inst.Idx == nil || inst.Idx.N() < 2 {
+			t.Errorf("%s: incomplete instance %+v", c.name, inst.Name)
+		}
+		if err := metric.Validate(inst.Idx.Space()); err != nil {
+			t.Errorf("%s: invalid metric: %v", c.name, err)
+		}
+	}
+}
+
+func TestGraphInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() (GraphInstance, error)
+	}{
+		{"gridgraph", func() (GraphInstance, error) { return GridGraph(4, 1) }},
+		{"exppath", func() (GraphInstance, error) { return ExpPath(12, 2) }},
+		{"geometric", func() (GraphInstance, error) { return Geometric(30, 20, 3) }},
+	}
+	for _, c := range cases {
+		inst, err := c.make()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if inst.G == nil || inst.APSP == nil || inst.Idx == nil {
+			t.Fatalf("%s: incomplete instance", c.name)
+		}
+		if inst.Idx.N() != inst.G.N() {
+			t.Errorf("%s: metric/graph size mismatch", c.name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Cube(30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cube(30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 30; u++ {
+		for v := 0; v < 30; v++ {
+			if a.Idx.Dist(u, v) != b.Idx.Dist(u, v) {
+				t.Fatal("Cube not deterministic for equal seeds")
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package rings is a Go implementation of Aleksandrs Slivkins'
+// "Distance Estimation and Object Location via Rings of Neighbors"
+// (PODC 2005; full version 2006).
+//
+// The paper attacks four node-labeling problems on metrics of low
+// doubling dimension with one sparse distributed data structure — rings
+// of neighbors — and this module implements all four results plus every
+// substrate they stand on:
+//
+//   - Compact (1+δ)-stretch routing schemes on doubling graphs and
+//     metrics (Theorems 2.1, 4.1 and the two-mode Theorem 4.2/B.1),
+//   - (0,δ)-triangulation: distance bounds D− <= d <= D+ with a quality
+//     certificate for every node pair (Theorem 3.2),
+//   - (1+δ)-approximate distance labeling without global node
+//     identifiers, optimal for huge aspect ratios (Theorem 3.4),
+//   - searchable small worlds on doubling metrics, including the first
+//     non-greedy strongly local routing rule (Theorems 5.2(a,b), 5.5).
+//
+// This facade re-exports the main entry points; the implementation lives
+// under internal/ (one package per substrate — see DESIGN.md for the map
+// from paper sections to packages, and EXPERIMENTS.md for the measured
+// reproduction of every table and figure).
+package rings
+
+import (
+	"rings/internal/distlabel"
+	"rings/internal/graph"
+	"rings/internal/metric"
+	"rings/internal/nnsearch"
+	"rings/internal/routing"
+	"rings/internal/smallworld"
+	"rings/internal/triangulation"
+)
+
+// Space is a finite metric space on nodes 0..N-1 (see metric.Space).
+type Space = metric.Space
+
+// Index is a ball-query index over a Space.
+type Index = metric.Index
+
+// NewIndex builds the distance index every construction starts from.
+func NewIndex(space Space) *Index { return metric.NewIndex(space) }
+
+// Graph is a weighted directed graph with enumerated out-edges.
+type Graph = graph.Graph
+
+// Triangulation is a Theorem 3.2 (0,δ)-triangulation.
+type Triangulation = triangulation.Triangulation
+
+// NewTriangulation builds a (0,delta)-triangulation: for every pair,
+// Estimate returns bounds with D+/D− <= 1+delta.
+func NewTriangulation(idx *Index, delta float64) (*Triangulation, error) {
+	return triangulation.New(idx, delta)
+}
+
+// DistanceLabels is a Theorem 3.4 labeling scheme: (1+δ)-approximate
+// estimates from labels alone, no global identifiers.
+type DistanceLabels = distlabel.Scheme
+
+// NewDistanceLabels builds the Theorem 3.4 scheme.
+func NewDistanceLabels(idx *Index, delta float64) (*DistanceLabels, error) {
+	return distlabel.New(idx, delta)
+}
+
+// EstimateFromLabels bounds the distance between the two labeled nodes
+// using only the labels.
+func EstimateFromLabels(a, b *distlabel.Label) (lower, upper float64, ok bool) {
+	return distlabel.Estimate(a, b)
+}
+
+// RoutingScheme is a compact routing scheme (labels, tables, local
+// forwarding).
+type RoutingScheme = routing.Scheme
+
+// NewRouter builds the Theorem 2.1 (1+delta)-stretch scheme for a
+// connected weighted graph.
+func NewRouter(g *Graph, delta float64) (RoutingScheme, error) {
+	return routing.NewThm21(g, delta)
+}
+
+// NewMetricRouter builds the Section 4.1 overlay variant on a metric.
+func NewMetricRouter(idx *Index, delta float64) (RoutingScheme, error) {
+	return routing.NewThm21Metric(idx, delta)
+}
+
+// Route simulates one packet under a scheme.
+func Route(s RoutingScheme, source, target, maxHops int) (routing.RouteResult, error) {
+	return routing.Route(s, source, target, maxHops)
+}
+
+// SmallWorld is a sampled small-world model with its strongly local
+// routing rule.
+type SmallWorld = smallworld.Model
+
+// NewSmallWorld samples the Theorem 5.2(a) greedy model.
+func NewSmallWorld(idx *Index, seed int64) (SmallWorld, error) {
+	return smallworld.NewThm52a(idx, smallworld.DefaultParams(seed))
+}
+
+// NewSmallWorldCompact samples the Theorem 5.2(b) model (sqrt(log ∆)
+// out-degree scaling, non-greedy rule (**)).
+func NewSmallWorldCompact(idx *Index, seed int64) (SmallWorld, error) {
+	return smallworld.NewThm52b(idx, smallworld.DefaultParams(seed))
+}
+
+// LocateObject routes a small-world query and reports the hop count.
+func LocateObject(m SmallWorld, source, target, maxHops int) (smallworld.QueryResult, error) {
+	return smallworld.Query(m, source, target, maxHops)
+}
+
+// NearestNeighborOverlay is a Meridian-style ring overlay over a member
+// subset, answering nearest-member and multi-range queries (the Section 6
+// application of rings of neighbors).
+type NearestNeighborOverlay = nnsearch.Overlay
+
+// NewNearestNeighborOverlay builds the overlay over the given member
+// subset with Meridian's default ring constants.
+func NewNearestNeighborOverlay(idx *Index, members []int, seed int64) (*NearestNeighborOverlay, error) {
+	return nnsearch.New(idx, members, nnsearch.DefaultConfig(seed))
+}

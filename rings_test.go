@@ -1,0 +1,96 @@
+package rings
+
+import (
+	"testing"
+
+	"rings/internal/graph"
+	"rings/internal/metric"
+)
+
+// TestFacadeEndToEnd drives every facade entry point once, as the
+// quickstart example does.
+func TestFacadeEndToEnd(t *testing.T) {
+	grid, err := metric.NewGrid(5, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(grid)
+
+	tri, err := NewTriangulation(idx, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := tri.Estimate(0, 24)
+	d := idx.Dist(0, 24)
+	if !ok || lo > d*(1+1e-9) || hi < d*(1-1e-9) {
+		t.Fatalf("triangulation estimate (%v,%v,%v) for d=%v", lo, hi, ok, d)
+	}
+
+	dls, err := NewDistanceLabels(idx, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok = EstimateFromLabels(dls.Label(3), dls.Label(21))
+	d = idx.Dist(3, 21)
+	if !ok || lo > d*(1+1e-9) || hi < d*(1-1e-9) || hi > d*1.5+1e-9 {
+		t.Fatalf("label estimate (%v,%v,%v) for d=%v", lo, hi, ok, d)
+	}
+
+	g, err := graph.GridGraph(5, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(router, 0, 24, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops < 1 {
+		t.Fatal("no hops routed")
+	}
+
+	mrouter, err := NewMetricRouter(idx, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Route(mrouter, 24, 0, 500); err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := NewSmallWorld(idx, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := LocateObject(sw, 0, 24, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Hops < 1 {
+		t.Fatal("no query hops")
+	}
+
+	swb, err := NewSmallWorldCompact(idx, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LocateObject(swb, 24, 0, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	// Meridian-style nearest-member search over a member subset.
+	overlay, err := NewNearestNeighborOverlay(idx, []int{0, 6, 12, 18, 24}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := overlay.NearestMember(0, 13, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestD := overlay.TrueNearest(13)
+	if nn.Dist > 3*bestD {
+		t.Fatalf("nearest-member dist %v vs optimal %v", nn.Dist, bestD)
+	}
+}

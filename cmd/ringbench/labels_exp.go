@@ -33,7 +33,7 @@ func expTriangulation(seed int64, quick bool) error {
 		if err != nil {
 			return err
 		}
-		idx := metric.NewIndex(line)
+		idx := workload.NewIndex(line)
 		tri, err := triangulation.New(idx, delta)
 		if err != nil {
 			return err

@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"rings/internal/metric"
+	"rings/internal/workload"
 )
 
 func main() {
@@ -24,11 +27,24 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiments to run (comma-separated, or 'all')")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		quick = flag.Bool("quick", false, "smaller instances (CI mode)")
+		exp     = flag.String("exp", "all", "experiments to run (comma-separated, or 'all')")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		quick   = flag.Bool("quick", false, "smaller instances (CI mode)")
+		backend = flag.String("backend", "eager", "ball-index backend: eager (parallel full sort) or lazy (memory-bounded)")
+		workers = flag.Int("workers", 0, "index build/scan parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	opts := metric.Options{Workers: *workers}
+	switch *backend {
+	case "eager":
+		opts.Backend = metric.Eager
+	case "lazy":
+		opts.Backend = metric.Lazy
+	default:
+		return fmt.Errorf("unknown -backend %q (want eager or lazy)", *backend)
+	}
+	workload.SetIndexOptions(opts)
 
 	all := map[string]func(int64, bool) error{
 		"table1":     expTable1,

@@ -129,7 +129,7 @@ func expTable2(seed int64, quick bool) error {
 	return nil
 }
 
-func b1OnOverlay(idx *metric.Index, delta float64) (*routing.ThmB1, *graph.Graph, error) {
+func b1OnOverlay(idx metric.BallIndex, delta float64) (*routing.ThmB1, *graph.Graph, error) {
 	over, err := routing.RingOverlay(idx, delta)
 	if err != nil {
 		return nil, nil, err

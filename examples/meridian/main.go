@@ -30,7 +30,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	idx := rings.NewIndex(world)
+	// The Meridian regime is exactly where a full sorted distance matrix
+	// stops fitting, so build on the memory-bounded lazy backend: rows
+	// materialize only as far as the overlay's queries actually reach.
+	idx := rings.NewIndexWithOptions(world, rings.IndexOptions{Backend: rings.LazyBackend})
 
 	// Every 4th host runs the service.
 	var servers []int

@@ -1,0 +1,3 @@
+module rings
+
+go 1.24

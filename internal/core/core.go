@@ -125,7 +125,7 @@ type Collection struct {
 // BuildNetRings constructs the deterministic radius-scaled collection of
 // Section 2: ring j of node u is B_u(radii[j]) ∩ (level-j net of h).
 // The hierarchy's level j and radii[j] must correspond.
-func BuildNetRings(idx *metric.Index, h *nets.Hierarchy, radii []float64) (*Collection, error) {
+func BuildNetRings(idx metric.BallIndex, h *nets.Hierarchy, radii []float64) (*Collection, error) {
 	if len(radii) != h.NumLevels() {
 		return nil, fmt.Errorf("core: %d radii for %d net levels", len(radii), h.NumLevels())
 	}

@@ -75,7 +75,7 @@ func TestEnumCanonicalAcrossHosts(t *testing.T) {
 	}
 }
 
-func buildGridRings(t *testing.T) (*metric.Index, *nets.Hierarchy, *Collection) {
+func buildGridRings(t *testing.T) (metric.BallIndex, *nets.Hierarchy, *Collection) {
 	t.Helper()
 	g, err := metric.NewGrid(6, 2, metric.L2)
 	if err != nil {

@@ -94,7 +94,7 @@ type Scheme struct {
 
 // New builds the Theorem 3.4 scheme with target approximation delta in
 // (0, 1], using internal δ' = delta/6.
-func New(idx *metric.Index, delta float64) (*Scheme, error) {
+func New(idx metric.BallIndex, delta float64) (*Scheme, error) {
 	if delta <= 0 || delta > 1 {
 		return nil, fmt.Errorf("distlabel: delta = %v, want (0, 1]", delta)
 	}
@@ -108,7 +108,7 @@ func New(idx *metric.Index, delta float64) (*Scheme, error) {
 // NewInternal builds a scheme directly at internal δ' ∈ (0, 1/2) (the
 // advertised Delta is then 6·δ'). Theorem B.1 uses this to pick a tighter
 // δ' than New's delta/6 mapping.
-func NewInternal(idx *metric.Index, deltaPrime float64) (*Scheme, error) {
+func NewInternal(idx metric.BallIndex, deltaPrime float64) (*Scheme, error) {
 	cons, err := triangulation.NewConstruction(idx, deltaPrime)
 	if err != nil {
 		return nil, err

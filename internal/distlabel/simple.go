@@ -18,7 +18,7 @@ type Simple struct {
 }
 
 // NewSimple builds the [44]-style scheme at approximation delta in (0,1].
-func NewSimple(idx *metric.Index, delta float64) (*Simple, error) {
+func NewSimple(idx metric.BallIndex, delta float64) (*Simple, error) {
 	tri, err := triangulation.New(idx, delta)
 	if err != nil {
 		return nil, err

@@ -63,7 +63,7 @@ func FromWeights(weights []float64) (*Measure, error) {
 // Doubling builds a doubling measure for the indexed space by net-tree
 // mass splitting over a nested hierarchy at the RoutingScales (diameter
 // down to below the minimum distance, halving).
-func Doubling(idx *metric.Index) (*Measure, error) {
+func Doubling(idx metric.BallIndex) (*Measure, error) {
 	h, err := nets.NewHierarchy(idx, nets.RoutingScales(idx))
 	if err != nil {
 		return nil, fmt.Errorf("measure: building net hierarchy: %w", err)
@@ -73,7 +73,7 @@ func Doubling(idx *metric.Index) (*Measure, error) {
 
 // DoublingFromHierarchy runs the net-tree construction over an existing
 // nested hierarchy whose finest level contains every node.
-func DoublingFromHierarchy(idx *metric.Index, h *nets.Hierarchy) (*Measure, error) {
+func DoublingFromHierarchy(idx metric.BallIndex, h *nets.Hierarchy) (*Measure, error) {
 	n := idx.N()
 	last := h.NumLevels() - 1
 	if len(h.Level(last)) != n {
@@ -136,13 +136,13 @@ func (m *Measure) Total(nodes []int) float64 {
 // from the ball B according to the probability distribution µ(·)/µ(B)").
 // Per-node prefix sums over the distance-sorted order are built lazily.
 type Sampler struct {
-	idx    *metric.Index
+	idx    metric.BallIndex
 	m      *Measure
 	prefix [][]float64
 }
 
 // NewSampler pairs an index with a measure over the same node set.
-func NewSampler(idx *metric.Index, m *Measure) (*Sampler, error) {
+func NewSampler(idx metric.BallIndex, m *Measure) (*Sampler, error) {
 	if idx.N() != m.N() {
 		return nil, fmt.Errorf("measure: index has %d nodes, measure %d", idx.N(), m.N())
 	}

@@ -11,7 +11,7 @@ import (
 // centers. For a metric of doubling dimension alpha, Lemma 1.1 bounds the
 // cover size by 2^(alpha*k) (the greedy centers form an (r/2^k)-packing,
 // which costs at most one extra doubling level in the exponent).
-func GreedyCover(idx *Index, center int, r float64, k int) []int {
+func GreedyCover(idx BallIndex, center int, r float64, k int) []int {
 	radius := r / math.Pow(2, float64(k))
 	ball := idx.Ball(center, r)
 	covered := make(map[int]bool, len(ball))
@@ -37,7 +37,7 @@ func GreedyCover(idx *Index, center int, r float64, k int) []int {
 // It probes every node at every power-of-two radius scale when n is small
 // (n <= exhaustiveN), and a deterministic stride-sample of nodes
 // otherwise.
-func DoublingDimension(idx *Index) float64 {
+func DoublingDimension(idx BallIndex) float64 {
 	const exhaustiveN = 256
 	n := idx.N()
 	stride := 1
@@ -67,7 +67,7 @@ func DoublingDimension(idx *Index) float64 {
 // LogAspect reports log2 of the aspect ratio, the paper's log(Delta). It
 // is the number of distance scales every multi-scale construction in the
 // paper iterates over.
-func LogAspect(idx *Index) float64 {
+func LogAspect(idx BallIndex) float64 {
 	a := idx.AspectRatio()
 	if a <= 1 {
 		return 0
@@ -78,7 +78,7 @@ func LogAspect(idx *Index) float64 {
 // CheckLemma12 verifies Lemma 1.2: 1 + log2(Delta) >= log2(n)/alpha for
 // the given dimension estimate. It reports the two sides of the
 // inequality.
-func CheckLemma12(idx *Index, alpha float64) (lhs, rhs float64, ok bool) {
+func CheckLemma12(idx BallIndex, alpha float64) (lhs, rhs float64, ok bool) {
 	lhs = 1 + LogAspect(idx)
 	if alpha <= 0 {
 		alpha = 1e-9

@@ -14,16 +14,24 @@
 //     of Sections 1 and 6),
 //   - explicit distance matrices.
 //
-// An Index precomputes, for each node, all other nodes sorted by distance;
-// it supports the ball primitives the paper uses everywhere: B_u(r),
-// |B_u(r)|, and r_u(eps) — the radius of the smallest closed ball around u
-// containing at least eps*n nodes (Section 1.1).
+// A BallIndex answers the ball primitives the paper uses everywhere:
+// B_u(r), |B_u(r)|, and r_u(eps) — the radius of the smallest closed ball
+// around u containing at least eps*n nodes (Section 1.1). Two backends
+// implement it: the eager Index, which precomputes every distance-sorted
+// neighbor row in parallel, and the memory-bounded LazyIndex, which keeps
+// only truncated nearest-neighbor prefixes and extends them on demand.
+// New selects a backend from Options; all backends answer every query
+// exactly, so constructions are backend-agnostic.
 package metric
 
 import (
 	"fmt"
+	"iter"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Space is a finite metric space on the node set {0, ..., N()-1}.
@@ -44,14 +52,112 @@ type Neighbor struct {
 	Dist float64
 }
 
-// Index precomputes per-node distance-sorted neighbor lists for a Space.
-// It answers the ball queries used by nets, packings, measures, rings of
-// neighbors and the small-world samplers in O(log n) per query.
+// neighborLess is the total order every backend sorts by: ascending
+// distance, ties broken toward the smaller node id. Because the order is
+// total, the k-nearest prefix of a node is unique, which is what lets the
+// lazy backend return byte-identical answers to the eager one.
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Node < b.Node
+}
+
+// BallIndex is the ball-query surface every construction in the paper is
+// built on: nets, packings, doubling measures, rings of neighbors,
+// triangulation, distance labels, routing overlays, small worlds and the
+// Meridian-style nearest-neighbor overlay all consume this interface, so
+// any backend (eager, memory-bounded lazy, or a future sharded one) can
+// serve any construction.
 //
-// Building an Index costs O(n^2 log n) time and O(n^2) memory; all
-// constructions in the paper are polynomial-time and centralized
-// ("efficiently computed" in the paper's sense), so this is the intended
-// regime.
+// All methods must answer exactly (no approximation), and slices returned
+// by Sorted and Ball are shared — callers must not modify them.
+type BallIndex interface {
+	// Space returns the underlying metric space.
+	Space() Space
+	// N reports the number of nodes.
+	N() int
+	// Dist reports the distance between nodes u and v.
+	Dist(u, v int) float64
+	// Sorted returns all nodes sorted by ascending distance from u,
+	// starting with u itself at distance 0. On memory-bounded backends
+	// this materializes the full row for u; prefer Neighbors or Ball when
+	// only a prefix is needed.
+	Sorted(u int) []Neighbor
+	// Neighbors iterates nodes in ascending distance order from u,
+	// starting with u itself. Breaking early keeps memory-bounded
+	// backends from materializing the full row.
+	Neighbors(u int) iter.Seq[Neighbor]
+	// Ball returns the nodes of the closed ball B_u(r) in ascending
+	// distance order.
+	Ball(u int, r float64) []Neighbor
+	// BallCount reports |B_u(r)|.
+	BallCount(u int, r float64) int
+	// RadiusForCount reports the radius of the smallest closed ball
+	// around u containing at least k nodes (k clamped to [1, n]).
+	RadiusForCount(u, k int) float64
+	// RadiusForMass reports r_u(eps) under the counting measure.
+	RadiusForMass(u int, eps float64) float64
+	// Eccentricity reports the distance from u to the farthest node.
+	Eccentricity(u int) float64
+	// Nearest returns the candidate closest to u (ties toward the
+	// smaller id); ok=false when candidates is empty.
+	Nearest(u int, candidates []int) (node int, dist float64, ok bool)
+	// Diameter reports the largest pairwise distance.
+	Diameter() float64
+	// MinDistance reports the smallest positive pairwise distance.
+	MinDistance() float64
+	// AspectRatio reports Diameter / MinDistance (the paper's Delta).
+	AspectRatio() float64
+}
+
+// Backend selects a BallIndex implementation.
+type Backend int
+
+const (
+	// Eager precomputes every distance-sorted neighbor row up front:
+	// O(n^2 log n) build time (parallelized across Workers), O(n^2)
+	// memory, O(log n) queries. The right regime for the paper's
+	// centralized polynomial-time constructions.
+	Eager Backend = iota
+	// Lazy keeps only a truncated k-nearest prefix per node and extends
+	// prefixes on demand, answering every query exactly. Memory stays
+	// proportional to what the queries actually touch — the regime of
+	// Meridian-scale overlays where a full sorted distance matrix stops
+	// fitting.
+	Lazy
+)
+
+// Options tunes New.
+type Options struct {
+	// Backend selects the implementation (default Eager).
+	Backend Backend
+	// Workers bounds build/scan parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// InitialPrefix is the lazy backend's starting per-node prefix
+	// length; 0 means a small default. Ignored by the eager backend.
+	InitialPrefix int
+}
+
+// New builds a BallIndex for space with the selected backend.
+func New(space Space, opts Options) BallIndex {
+	switch opts.Backend {
+	case Lazy:
+		return NewLazyIndex(space, opts)
+	default:
+		return newEager(space, opts.Workers)
+	}
+}
+
+// Index is the eager backend: per-node distance-sorted neighbor lists,
+// built up front in parallel. It answers the ball queries used by nets,
+// packings, measures, rings of neighbors and the small-world samplers in
+// O(log n) per query.
+//
+// Building an Index costs O(n^2 log n) time (divided across a
+// GOMAXPROCS-sized worker pool) and O(n^2) memory; all constructions in
+// the paper are polynomial-time and centralized ("efficiently computed"
+// in the paper's sense), so this is the intended regime.
 type Index struct {
 	space  Space
 	sorted [][]Neighbor // sorted[u] ascending by distance; sorted[u][0] == {u, 0}
@@ -59,37 +165,131 @@ type Index struct {
 	minPos float64 // smallest positive distance
 }
 
-// NewIndex builds the distance index for space.
-func NewIndex(space Space) *Index {
+var _ BallIndex = (*Index)(nil)
+
+// NewIndex builds the eager distance index for space using a
+// GOMAXPROCS-sized worker pool.
+func NewIndex(space Space) *Index { return newEager(space, 0) }
+
+func newEager(space Space, workers int) *Index {
 	n := space.N()
 	idx := &Index{
 		space:  space,
 		sorted: make([][]Neighbor, n),
 		minPos: math.Inf(1),
 	}
-	for u := 0; u < n; u++ {
-		row := make([]Neighbor, n)
-		for v := 0; v < n; v++ {
-			row[v] = Neighbor{Node: v, Dist: space.Dist(u, v)}
+	workers = clampWorkers(workers, n)
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			idx.setRow(u, buildRow(space, u, n))
 		}
-		sort.Slice(row, func(i, j int) bool {
-			if row[i].Dist != row[j].Dist {
-				return row[i].Dist < row[j].Dist
+		return idx
+	}
+	idx.diam, idx.minPos = parallelScan(n, workers, func(lo, hi int) (diam, minPos float64) {
+		minPos = math.Inf(1)
+		for u := lo; u < hi; u++ {
+			row := buildRow(space, u, n)
+			idx.sorted[u] = row
+			if last := row[n-1].Dist; last > diam {
+				diam = last
 			}
-			return row[i].Node < row[j].Node
-		})
-		idx.sorted[u] = row
-		if last := row[n-1].Dist; last > idx.diam {
-			idx.diam = last
+			if d, ok := firstPositive(row); ok && d < minPos {
+				minPos = d
+			}
 		}
-		for _, nb := range row[1:] {
-			if nb.Dist > 0 {
-				idx.minPos = math.Min(idx.minPos, nb.Dist)
-				break
+		return diam, minPos
+	})
+	return idx
+}
+
+// parallelScan distributes [0, n) across workers goroutines and merges
+// each range's (diameter, min positive distance) fold. Workers claim
+// small interleaved batches from a shared counter — cheap dynamic load
+// balancing, since Dist cost can be arbitrarily uneven across
+// user-supplied spaces and triangular pair scans skew work toward low
+// node ids.
+func parallelScan(n, workers int, scan func(lo, hi int) (diam, minPos float64)) (diam, minPos float64) {
+	const batch = 16
+	minPos = math.Inf(1)
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localDiam, localMin := 0.0, math.Inf(1)
+			for {
+				lo := int(next.Add(batch)) - batch
+				if lo >= n {
+					break
+				}
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				d, m := scan(lo, hi)
+				if d > localDiam {
+					localDiam = d
+				}
+				if m < localMin {
+					localMin = m
+				}
 			}
+			mu.Lock()
+			if localDiam > diam {
+				diam = localDiam
+			}
+			if localMin < minPos {
+				minPos = localMin
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return diam, minPos
+}
+
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+func buildRow(space Space, u, n int) []Neighbor {
+	row := make([]Neighbor, n)
+	for v := 0; v < n; v++ {
+		row[v] = Neighbor{Node: v, Dist: space.Dist(u, v)}
+	}
+	sort.Slice(row, func(i, j int) bool { return neighborLess(row[i], row[j]) })
+	return row
+}
+
+func firstPositive(row []Neighbor) (float64, bool) {
+	for _, nb := range row {
+		if nb.Dist > 0 {
+			return nb.Dist, true
 		}
 	}
-	return idx
+	return 0, false
+}
+
+func (idx *Index) setRow(u int, row []Neighbor) {
+	n := len(row)
+	idx.sorted[u] = row
+	if last := row[n-1].Dist; last > idx.diam {
+		idx.diam = last
+	}
+	if d, ok := firstPositive(row); ok && d < idx.minPos {
+		idx.minPos = d
+	}
 }
 
 // Space returns the underlying metric space.
@@ -119,6 +319,18 @@ func (idx *Index) AspectRatio() float64 {
 // with u itself at distance 0. The returned slice is shared; callers must
 // not modify it.
 func (idx *Index) Sorted(u int) []Neighbor { return idx.sorted[u] }
+
+// Neighbors iterates the distance-sorted row of u.
+func (idx *Index) Neighbors(u int) iter.Seq[Neighbor] {
+	row := idx.sorted[u]
+	return func(yield func(Neighbor) bool) {
+		for _, nb := range row {
+			if !yield(nb) {
+				return
+			}
+		}
+	}
+}
 
 // BallCount reports |B_u(r)|, the number of nodes in the closed ball of
 // radius r around u.

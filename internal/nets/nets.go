@@ -30,7 +30,7 @@ import (
 // r-separated seed nodes (may be nil). Nodes are considered in ascending
 // id order, so the construction is deterministic. The returned net is
 // sorted by node id.
-func Greedy(idx *metric.Index, r float64, seeds []int) []int {
+func Greedy(idx metric.BallIndex, r float64, seeds []int) []int {
 	n := idx.N()
 	covered := make([]bool, n)
 	net := make([]int, 0, len(seeds))
@@ -55,20 +55,36 @@ func Greedy(idx *metric.Index, r float64, seeds []int) []int {
 // Verify checks the two r-net properties and returns a descriptive error
 // when either fails. Coverage tolerates no slack: the greedy construction
 // is exact.
-func Verify(idx *metric.Index, net []int, r float64) error {
+//
+// Both properties are checked with one ball enumeration per net point, so
+// the cost is O(Σ_p |B_p(r)|) instead of the naive O(n·|net|) distance
+// scan: every ball B_p(r) marks the nodes it covers, and a net member
+// strictly inside another member's r-ball is exactly a separation
+// violation.
+func Verify(idx metric.BallIndex, net []int, r float64) error {
 	if len(net) == 0 {
 		return fmt.Errorf("nets: empty net")
 	}
-	for i, p := range net {
-		for _, q := range net[i+1:] {
-			if d := idx.Dist(p, q); d < r {
-				return fmt.Errorf("nets: separation violated: d(%d,%d)=%v < r=%v", p, q, d, r)
+	n := idx.N()
+	member := make([]bool, n)
+	for _, p := range net {
+		if member[p] {
+			return fmt.Errorf("nets: duplicate net member %d", p)
+		}
+		member[p] = true
+	}
+	covered := make([]bool, n)
+	for _, p := range net {
+		for _, nb := range idx.Ball(p, r) {
+			if member[nb.Node] && nb.Node != p && nb.Dist < r {
+				return fmt.Errorf("nets: separation violated: d(%d,%d)=%v < r=%v", p, nb.Node, nb.Dist, r)
 			}
+			covered[nb.Node] = true
 		}
 	}
-	for u := 0; u < idx.N(); u++ {
-		_, d, _ := idx.Nearest(u, net)
-		if d > r {
+	for u, c := range covered {
+		if !c {
+			_, d, _ := idx.Nearest(u, net)
 			return fmt.Errorf("nets: coverage violated: node %d at distance %v > r=%v from net", u, d, r)
 		}
 	}
@@ -79,7 +95,7 @@ func Verify(idx *metric.Index, net []int, r float64) error {
 // Levels[0] is the coarsest (largest scale), each subsequent level refines
 // the previous one and contains it as a subset.
 type Hierarchy struct {
-	idx    *metric.Index
+	idx    metric.BallIndex
 	scales []float64 // descending
 	levels [][]int   // levels[k] sorted by id; levels[k] ⊆ levels[k+1]
 	member [][]bool  // member[k][u]
@@ -92,7 +108,7 @@ type Hierarchy struct {
 // strictly descending and positive. Level k is a scales[k]-net; level k+1
 // is seeded with level k, which yields the nesting the paper's
 // constructions require.
-func NewHierarchy(idx *metric.Index, scales []float64) (*Hierarchy, error) {
+func NewHierarchy(idx metric.BallIndex, scales []float64) (*Hierarchy, error) {
 	if len(scales) == 0 {
 		return nil, fmt.Errorf("nets: no scales")
 	}
@@ -151,7 +167,7 @@ func (h *Hierarchy) NearestInLevel(k, u int) (node int, dist float64) {
 	if c := h.nearest[k][u]; c >= 0 {
 		return int(c), h.idx.Dist(u, int(c))
 	}
-	for _, nb := range h.idx.Sorted(u) {
+	for nb := range h.idx.Neighbors(u) {
 		if h.member[k][nb.Node] {
 			h.nearest[k][u] = int32(nb.Node)
 			return nb.Node, nb.Dist
@@ -177,7 +193,7 @@ func (h *Hierarchy) InBall(k, u int, r float64) []int {
 // j = 0..L-1, where D is the diameter and L is chosen so the last scale is
 // strictly below the minimum distance — which forces the finest net to
 // contain every node, so zooming sequences terminate at their target.
-func RoutingScales(idx *metric.Index) []float64 {
+func RoutingScales(idx metric.BallIndex) []float64 {
 	d, dmin := idx.Diameter(), idx.MinDistance()
 	if d <= 0 || math.IsInf(dmin, 1) {
 		return []float64{1}
@@ -203,7 +219,7 @@ func RoutingScales(idx *metric.Index) []float64 {
 // The returned slice is descending (coarsest first) to fit NewHierarchy;
 // the Ascending view translates the paper's ascending index j (a 2^j-net)
 // to a Hierarchy level.
-func LabelingScales(idx *metric.Index) []float64 {
+func LabelingScales(idx metric.BallIndex) []float64 {
 	d, dmin := idx.Diameter(), idx.MinDistance()
 	if d <= 0 || math.IsInf(dmin, 1) {
 		return []float64{1}

@@ -1,0 +1,47 @@
+package nets
+
+import (
+	"fmt"
+	"testing"
+
+	"rings/internal/metric"
+)
+
+// BenchmarkVerify measures net verification across radii regimes on a
+// 1024-node grid: small r (dense net, small balls) and large r (sparse
+// net, large balls). The ball-marking implementation costs
+// O(Σ_p |B_p(r)|) instead of the naive O(n·|net|) distance scan, so
+// verification no longer dominates large-space test time.
+func BenchmarkVerify(b *testing.B) {
+	g, err := metric.NewGrid(32, 2, metric.L2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := metric.NewIndex(g)
+	for _, r := range []float64{1.5, 4, 12} {
+		net := Greedy(idx, r, nil)
+		b.Run(fmt.Sprintf("r=%g/net=%d", r, len(net)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := Verify(idx, net, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedy tracks the construction cost next to its verifier.
+func BenchmarkGreedy(b *testing.B) {
+	g, err := metric.NewGrid(32, 2, metric.L2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := metric.NewIndex(g)
+	for _, r := range []float64{1.5, 4, 12} {
+		b.Run(fmt.Sprintf("r=%g", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Greedy(idx, r, nil)
+			}
+		})
+	}
+}

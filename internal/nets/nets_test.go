@@ -9,7 +9,7 @@ import (
 	"rings/internal/metric"
 )
 
-func gridIndex(t *testing.T, side int) *metric.Index {
+func gridIndex(t *testing.T, side int) metric.BallIndex {
 	t.Helper()
 	g, err := metric.NewGrid(side, 2, metric.L2)
 	if err != nil {

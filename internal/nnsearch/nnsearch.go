@@ -48,7 +48,7 @@ func DefaultConfig(seed int64) Config {
 
 // Overlay is the ring structure over a member subset of a metric space.
 type Overlay struct {
-	idx     *metric.Index
+	idx     metric.BallIndex
 	cfg     Config
 	members []int
 	// rings[m] lists member m's retained ring members (all rings merged;
@@ -59,7 +59,7 @@ type Overlay struct {
 
 // New builds the overlay. members must be non-empty; duplicates are
 // dropped.
-func New(idx *metric.Index, members []int, cfg Config) (*Overlay, error) {
+func New(idx metric.BallIndex, members []int, cfg Config) (*Overlay, error) {
 	if cfg.RingBase <= 1 || cfg.PerRing < 1 {
 		return nil, fmt.Errorf("nnsearch: invalid config %+v", cfg)
 	}

@@ -8,7 +8,7 @@ import (
 	"rings/internal/metric"
 )
 
-func overlayOn(t *testing.T, space metric.Space, memberStride int, cfg Config) (*metric.Index, *Overlay) {
+func overlayOn(t *testing.T, space metric.Space, memberStride int, cfg Config) (metric.BallIndex, *Overlay) {
 	t.Helper()
 	idx := metric.NewIndex(space)
 	var members []int

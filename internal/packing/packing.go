@@ -20,6 +20,7 @@ package packing
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rings/internal/measure"
 	"rings/internal/metric"
@@ -36,7 +37,7 @@ type Ball struct {
 }
 
 // Contains reports whether node v lies in the ball.
-func (b *Ball) Contains(idx *metric.Index, v int) bool {
+func (b *Ball) Contains(idx metric.BallIndex, v int) bool {
 	return idx.Dist(b.Center, v) <= b.Radius
 }
 
@@ -52,7 +53,7 @@ type Packing struct {
 }
 
 // New builds an (eps,µ)-packing. eps must lie in (0, 1].
-func New(idx *metric.Index, smp *measure.Sampler, eps float64) (*Packing, error) {
+func New(idx metric.BallIndex, smp *measure.Sampler, eps float64) (*Packing, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("packing: eps = %v, want (0,1]", eps)
 	}
@@ -68,15 +69,32 @@ func New(idx *metric.Index, smp *measure.Sampler, eps float64) (*Packing, error)
 		candidates[u] = candidateBall(idx, smp, u, radiusAt[u], eps)
 	}
 
-	// Maximal disjoint subfamily, scanning nodes in id order (matching the
-	// proof's "consecutively going through all balls").
+	// Maximal disjoint subfamily ("consecutively going through all
+	// balls"), scanning candidates by ascending radius (ties by id for
+	// determinism). The order is load-bearing for the Lemma A.1 coverage
+	// bound: a candidate that is rejected must intersect an already-taken
+	// ball of radius no larger than its own, which is what keeps the
+	// covering ball within every rejected node's 6*r_u budget. Scanning
+	// by node id instead can block a small candidate with a much larger
+	// ball taken earlier whose center is outside the budget.
 	p := &Packing{
 		Eps:      eps,
 		CoverFor: make([]int, n),
 		RadiusAt: radiusAt,
 	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if candidates[a].Radius != candidates[b].Radius {
+			return candidates[a].Radius < candidates[b].Radius
+		}
+		return a < b
+	})
 	taken := make([]bool, n) // nodes already claimed by a packing ball
-	for u := 0; u < n; u++ {
+	for _, u := range order {
 		b := candidates[u]
 		disjoint := true
 		for _, v := range b.Nodes {
@@ -114,7 +132,7 @@ func New(idx *metric.Index, smp *measure.Sampler, eps float64) (*Packing, error)
 
 // candidateBall finds either a u-zooming ball or a heavy singleton, per
 // the Lemma A.1 existence argument.
-func candidateBall(idx *metric.Index, smp *measure.Sampler, u int, ru, eps float64) Ball {
+func candidateBall(idx metric.BallIndex, smp *measure.Sampler, u int, ru, eps float64) Ball {
 	center, rho := u, ru
 	if rho == 0 {
 		// u alone already has measure >= eps.
@@ -137,7 +155,7 @@ func candidateBall(idx *metric.Index, smp *measure.Sampler, u int, ru, eps float
 // heaviestCoverBall greedily covers B_center(rho) with balls of radius
 // rho/8 centered at its members and returns the center whose rho/8-ball is
 // heaviest.
-func heaviestCoverBall(idx *metric.Index, smp *measure.Sampler, center int, rho float64) int {
+func heaviestCoverBall(idx metric.BallIndex, smp *measure.Sampler, center int, rho float64) int {
 	sub := rho / 8
 	ball := idx.Ball(center, rho)
 	covered := make(map[int]bool, len(ball))
@@ -156,7 +174,7 @@ func heaviestCoverBall(idx *metric.Index, smp *measure.Sampler, center int, rho 
 	return best
 }
 
-func makeBall(idx *metric.Index, smp *measure.Sampler, center int, radius float64) Ball {
+func makeBall(idx metric.BallIndex, smp *measure.Sampler, center int, radius float64) Ball {
 	nbs := idx.Ball(center, radius)
 	nodes := make([]int, len(nbs))
 	for i, nb := range nbs {
@@ -182,7 +200,7 @@ func (p *Packing) MinMass() float64 {
 
 // Verify checks the packing invariants: pairwise disjoint node sets,
 // positive mass, and the Lemma A.1 coverage property for every node.
-func (p *Packing) Verify(idx *metric.Index) error {
+func (p *Packing) Verify(idx metric.BallIndex) error {
 	seen := make(map[int]int)
 	for i := range p.Balls {
 		b := &p.Balls[i]

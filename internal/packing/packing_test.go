@@ -10,7 +10,7 @@ import (
 	"rings/internal/metric"
 )
 
-func samplerFor(t *testing.T, space metric.Space) (*metric.Index, *measure.Sampler) {
+func samplerFor(t *testing.T, space metric.Space) (metric.BallIndex, *measure.Sampler) {
 	t.Helper()
 	idx := metric.NewIndex(space)
 	m := measure.Counting(idx.N())

@@ -103,7 +103,7 @@ func NewThm21Global(g *graph.Graph, delta float64) (*Thm21Global, error) {
 }
 
 // NewThm21GlobalMetric builds the overlay variant on a metric.
-func NewThm21GlobalMetric(idx *metric.Index, delta float64) (*Thm21Global, error) {
+func NewThm21GlobalMetric(idx metric.BallIndex, delta float64) (*Thm21Global, error) {
 	inner, err := NewThm21Metric(idx, delta)
 	if err != nil {
 		return nil, err

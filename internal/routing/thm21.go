@@ -81,7 +81,7 @@ func NewThm21(g *graph.Graph, delta float64) (*Thm21, error) {
 // NewThm21Metric builds the Section 4.1 variant: the scheme constructs its
 // own overlay (one direct link per ring neighbor) on the given metric, so
 // the out-degree of the overlay is part of the measured cost (Table 2).
-func NewThm21Metric(idx *metric.Index, delta float64) (*Thm21, error) {
+func NewThm21Metric(idx metric.BallIndex, delta float64) (*Thm21, error) {
 	pre, err := buildRings(idx, delta)
 	if err != nil {
 		return nil, err
@@ -124,7 +124,7 @@ func ballFactor(delta float64) float64 {
 	return math.Max(c, 3)
 }
 
-func buildRings(idx *metric.Index, delta float64) (*thm21Rings, error) {
+func buildRings(idx metric.BallIndex, delta float64) (*thm21Rings, error) {
 	if delta <= 0 || delta > 1 {
 		return nil, fmt.Errorf("thm21: delta = %v, want (0, 1]", delta)
 	}
@@ -153,7 +153,7 @@ func buildThm21(name string, g *graph.Graph, dist Distancer, delta float64, orac
 	return finishThm21(name, g, idx, delta, pre, oracle)
 }
 
-func finishThm21(name string, g *graph.Graph, idx *metric.Index, delta float64, pre *thm21Rings, oracle LinkOracle) (*Thm21, error) {
+func finishThm21(name string, g *graph.Graph, idx metric.BallIndex, delta float64, pre *thm21Rings, oracle LinkOracle) (*Thm21, error) {
 	n := idx.N()
 	h, rings := pre.hier, pre.rings
 	levels := h.NumLevels()

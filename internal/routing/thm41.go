@@ -26,7 +26,7 @@ import (
 type Thm41 struct {
 	name  string
 	g     *graph.Graph
-	idx   *metric.Index
+	idx   metric.BallIndex
 	delta float64
 
 	dls *distlabel.Scheme
@@ -60,7 +60,7 @@ func NewThm41(g *graph.Graph, delta float64) (*Thm41, error) {
 }
 
 // NewThm41Metric builds the Section 4.1 overlay variant on a metric.
-func NewThm41Metric(idx *metric.Index, delta float64) (*Thm41, error) {
+func NewThm41Metric(idx metric.BallIndex, delta float64) (*Thm41, error) {
 	sets, err := thm41Neighbors(idx, thm41InternalDelta(delta))
 	if err != nil {
 		return nil, err
@@ -84,7 +84,7 @@ func NewThm41Metric(idx *metric.Index, delta float64) (*Thm41, error) {
 // admit near-shortest paths with logarithmically many hops — the "good
 // network topology" Theorem B.1 assumes — which makes it the natural
 // workload for the two-mode scheme.
-func RingOverlay(idx *metric.Index, delta float64) (*graph.Graph, error) {
+func RingOverlay(idx metric.BallIndex, delta float64) (*graph.Graph, error) {
 	sets, err := thm41Neighbors(idx, thm41InternalDelta(delta))
 	if err != nil {
 		return nil, err
@@ -105,7 +105,7 @@ func thm41InternalDelta(delta float64) float64 {
 
 // thm41Neighbors computes F_j(u) = B_u(4·s_j/δ') ∩ F_j over the labeling
 // net hierarchy.
-func thm41Neighbors(idx *metric.Index, deltaInt float64) ([][]int, error) {
+func thm41Neighbors(idx metric.BallIndex, deltaInt float64) ([][]int, error) {
 	h, err := nets.NewHierarchy(idx, nets.LabelingScales(idx))
 	if err != nil {
 		return nil, err
@@ -141,7 +141,7 @@ func sortedIntSet(set map[int]bool) []int {
 	return out
 }
 
-func buildThm41(name string, g *graph.Graph, idx *metric.Index, delta float64, oracle LinkOracle, sets [][]int) (*Thm41, error) {
+func buildThm41(name string, g *graph.Graph, idx metric.BallIndex, delta float64, oracle LinkOracle, sets [][]int) (*Thm41, error) {
 	if delta <= 0 || delta > 1 {
 		return nil, fmt.Errorf("thm41: delta = %v, want (0, 1]", delta)
 	}

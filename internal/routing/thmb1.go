@@ -41,7 +41,7 @@ import (
 type ThmB1 struct {
 	name  string
 	g     *graph.Graph
-	idx   *metric.Index
+	idx   metric.BallIndex
 	apsp  *graph.APSP
 	delta float64 // target stretch slack
 	dp    float64 // internal δ'

@@ -53,7 +53,7 @@ type Model interface {
 }
 
 // greedyNext returns the contact closest to the target.
-func greedyNext(idx *metric.Index, contacts []int, t int) (int, bool) {
+func greedyNext(idx metric.BallIndex, contacts []int, t int) (int, bool) {
 	best, bestD := -1, math.Inf(1)
 	for _, c := range contacts {
 		if d := idx.Dist(c, t); d < bestD {
@@ -65,18 +65,22 @@ func greedyNext(idx *metric.Index, contacts []int, t int) (int, bool) {
 
 // uniformBallSamples draws k independent uniform samples (with
 // replacement, deduplicated) from the closed ball B_u(r).
-func uniformBallSamples(idx *metric.Index, u int, r float64, k int, rng *rand.Rand) []int {
+func uniformBallSamples(idx metric.BallIndex, u int, r float64, k int, rng *rand.Rand) []int {
 	ball := idx.Ball(u, r)
 	if len(ball) == 0 {
 		return nil
 	}
+	// Deduplicate in draw order: ranging over a set here would leak
+	// Go's randomized map order into the contact lists and make seeded
+	// runs non-reproducible.
 	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
-		seen[ball[rng.Intn(len(ball))].Node] = true
-	}
-	out := make([]int, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+		v := ball[rng.Intn(len(ball))].Node
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
 	}
 	return out
 }
@@ -84,14 +88,12 @@ func uniformBallSamples(idx *metric.Index, u int, r float64, k int, rng *rand.Ra
 // measureBallSamples draws k µ-weighted samples from B_u(r).
 func measureBallSamples(smp *measure.Sampler, u int, r float64, k int, rng *rand.Rand) []int {
 	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
-		if v, ok := smp.SampleBall(u, r, rng); ok {
+		if v, ok := smp.SampleBall(u, r, rng); ok && !seen[v] {
 			seen[v] = true
+			out = append(out, v)
 		}
-	}
-	out := make([]int, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
 	}
 	return out
 }
@@ -108,7 +110,7 @@ func logN(n int) int {
 // xContacts samples the X-type contacts of Theorem 5.2: for each
 // cardinality scale i, samplesPerLevel uniform draws from the smallest
 // ball around u holding at least ceil(n/2^i) nodes.
-func xContacts(idx *metric.Index, u, samplesPerLevel int, rng *rand.Rand) []int {
+func xContacts(idx metric.BallIndex, u, samplesPerLevel int, rng *rand.Rand) []int {
 	n := idx.N()
 	var out []int
 	for i := 0; i <= logN(n); i++ {

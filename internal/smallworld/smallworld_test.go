@@ -9,7 +9,7 @@ import (
 	"rings/internal/metric"
 )
 
-func gridIdx(t *testing.T, side int) *metric.Index {
+func gridIdx(t *testing.T, side int) metric.BallIndex {
 	t.Helper()
 	g, err := metric.NewGrid(side, 2, metric.L2)
 	if err != nil {
@@ -18,7 +18,7 @@ func gridIdx(t *testing.T, side int) *metric.Index {
 	return metric.NewIndex(g)
 }
 
-func expIdx(t *testing.T, n int, base float64) *metric.Index {
+func expIdx(t *testing.T, n int, base float64) metric.BallIndex {
 	t.Helper()
 	l, err := metric.ExponentialLine(n, base)
 	if err != nil {

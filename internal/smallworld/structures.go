@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"rings/internal/metric"
 )
@@ -14,7 +15,7 @@ import (
 // containing both u and v; each node draws Θ(log²n) contacts from
 // π_u(v) ∝ 1/x_uv and routes greedily.
 type Structures struct {
-	idx      *metric.Index
+	idx      metric.BallIndex
 	contacts [][]int
 	deg      int
 	exact    bool
@@ -26,7 +27,7 @@ var _ Model = (*Structures)(nil)
 // on doubling metrics this is within a 2^O(α) factor of the exact
 // minimum, because any ball containing both u and v has radius >= d/2 and
 // the doubling property relates |B_w(r)| across centers within r.
-func MinBallApprox(idx *metric.Index, u, v int) int {
+func MinBallApprox(idx metric.BallIndex, u, v int) int {
 	d := idx.Dist(u, v)
 	bu, bv := idx.BallCount(u, d), idx.BallCount(v, d)
 	if bu < bv {
@@ -38,7 +39,7 @@ func MinBallApprox(idx *metric.Index, u, v int) int {
 // MinBallExact computes x_uv exactly by scanning all centers: the
 // smallest |B_w(max(d_wu, d_wv))|. It is O(n·log n) per pair; use it for
 // validation on small instances.
-func MinBallExact(idx *metric.Index, u, v int) int {
+func MinBallExact(idx metric.BallIndex, u, v int) int {
 	best := idx.N()
 	for w := 0; w < idx.N(); w++ {
 		r := math.Max(idx.Dist(w, u), idx.Dist(w, v))
@@ -51,7 +52,7 @@ func MinBallExact(idx *metric.Index, u, v int) int {
 
 // NewStructures samples the model with k = ceil(c·log²n) contacts per
 // node. exact selects the exact x_uv (quadratic per node; small n only).
-func NewStructures(idx *metric.Index, c float64, exact bool, seed int64) (*Structures, error) {
+func NewStructures(idx metric.BallIndex, c float64, exact bool, seed int64) (*Structures, error) {
 	if c <= 0 {
 		return nil, fmt.Errorf("smallworld: c = %v, want positive", c)
 	}
@@ -113,6 +114,9 @@ func NewStructures(idx *metric.Index, c float64, exact bool, seed int64) (*Struc
 		for v := range seen {
 			cs = append(cs, v)
 		}
+		// Sorted contact lists keep seeded runs reproducible (map order
+		// is randomized per process) and fix greedy tie-breaks.
+		sort.Ints(cs)
 		m.contacts[u] = cs
 	})
 	for _, cs := range m.contacts {

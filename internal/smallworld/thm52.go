@@ -31,7 +31,7 @@ func DefaultParams(seed int64) Params {
 // Thm52a is the greedy small-world model of Theorem 5.2(a): X-type plus
 // full Y-type contacts, out-degree 2^O(α)·(log n)(log ∆).
 type Thm52a struct {
-	idx      *metric.Index
+	idx      metric.BallIndex
 	contacts [][]int
 	deg      int
 	budget   int
@@ -41,7 +41,7 @@ var _ Model = (*Thm52a)(nil)
 
 // NewThm52a samples the model. The doubling measure is constructed
 // internally (Theorem 1.3).
-func NewThm52a(idx *metric.Index, p Params) (*Thm52a, error) {
+func NewThm52a(idx metric.BallIndex, p Params) (*Thm52a, error) {
 	smp, err := doublingSampler(idx)
 	if err != nil {
 		return nil, err
@@ -97,7 +97,7 @@ func (m *Thm52a) NextHop(prev, u, t int) (int, bool, error) {
 }
 
 // radiusScales returns the Y-ring radii dmin·2^j up to the diameter.
-func radiusScales(idx *metric.Index) []float64 {
+func radiusScales(idx metric.BallIndex) []float64 {
 	var out []float64
 	d := idx.Diameter()
 	for r := idx.MinDistance(); ; r *= 2 {
@@ -109,7 +109,7 @@ func radiusScales(idx *metric.Index) []float64 {
 	return out
 }
 
-func doublingSampler(idx *metric.Index) (*measure.Sampler, error) {
+func doublingSampler(idx metric.BallIndex) (*measure.Sampler, error) {
 	mu, err := measure.Doubling(idx)
 	if err != nil {
 		return nil, err
@@ -137,7 +137,7 @@ func buildParallel(n int, build func(u int)) {
 // 2^O(α)·(log²n)·sqrt(log ∆)·(log log ∆). Routing uses the non-greedy
 // rule (**).
 type Thm52b struct {
-	idx      *metric.Index
+	idx      metric.BallIndex
 	contacts [][]int
 	deg      int
 	budget   int
@@ -146,7 +146,7 @@ type Thm52b struct {
 var _ Model = (*Thm52b)(nil)
 
 // NewThm52b samples the model.
-func NewThm52b(idx *metric.Index, p Params) (*Thm52b, error) {
+func NewThm52b(idx metric.BallIndex, p Params) (*Thm52b, error) {
 	smp, err := doublingSampler(idx)
 	if err != nil {
 		return nil, err
@@ -229,15 +229,18 @@ func (m *Thm52b) PointerBudget() int { return m.budget }
 // (prev, rho] around u, falling back to the closest node outside B_u(rho)
 // when the annulus is empty (the paper's rule), or nothing when no node
 // lies beyond prev.
-func sampleAnnulus(idx *metric.Index, u int, prev, rho float64, rng *rand.Rand) []int {
+func sampleAnnulus(idx metric.BallIndex, u int, prev, rho float64, rng *rand.Rand) []int {
 	inner := idx.BallCount(u, prev)
 	outer := idx.BallCount(u, rho)
-	sorted := idx.Sorted(u)
 	if outer > inner {
-		return []int{sorted[inner+rng.Intn(outer-inner)].Node}
+		ball := idx.Ball(u, rho) // covers the annulus without the full row
+		return []int{ball[inner+rng.Intn(outer-inner)].Node}
 	}
-	if outer < len(sorted) {
-		return []int{sorted[outer].Node} // closest node outside B_u(rho)
+	if outer < idx.N() {
+		// Closest node outside B_u(rho): one past the ball in sorted
+		// order, reached by its own radius so memory-bounded backends
+		// materialize only outer+1 entries.
+		return []int{idx.Ball(u, idx.RadiusForCount(u, outer+1))[outer].Node}
 	}
 	return nil
 }

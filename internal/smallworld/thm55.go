@@ -16,7 +16,7 @@ import (
 // a scale j uniformly from [log ∆] and then sampling B_u(2^j) by the
 // doubling measure. Greedy routing completes in 2^O(α)·log²∆ hops w.h.p.
 type Thm55 struct {
-	idx      *metric.Index
+	idx      metric.BallIndex
 	g        *graph.Graph
 	long     []int
 	contacts [][]int
@@ -28,7 +28,7 @@ var _ Model = (*Thm55)(nil)
 // NewThm55 samples the model over a connected graph of local contacts.
 // The metric index must be the graph's shortest-path metric (built by the
 // caller so it can be shared across models).
-func NewThm55(g *graph.Graph, idx *metric.Index, seed int64) (*Thm55, error) {
+func NewThm55(g *graph.Graph, idx metric.BallIndex, seed int64) (*Thm55, error) {
 	if g.N() != idx.N() {
 		return nil, fmt.Errorf("smallworld: graph has %d nodes, metric %d", g.N(), idx.N())
 	}

@@ -14,13 +14,13 @@ import (
 // pairs gets no useful certificate — which is exactly the "obvious flaw"
 // (Section 1) that Theorem 3.2's per-node ring beacons repair.
 type SharedBeacons struct {
-	idx     *metric.Index
+	idx     metric.BallIndex
 	Beacons []int
 	dists   [][]float64 // dists[u][k] = d(u, Beacons[k])
 }
 
 // NewSharedBeacons samples k distinct beacons uniformly at random.
-func NewSharedBeacons(idx *metric.Index, k int, rng *rand.Rand) (*SharedBeacons, error) {
+func NewSharedBeacons(idx metric.BallIndex, k int, rng *rand.Rand) (*SharedBeacons, error) {
 	n := idx.N()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("triangulation: k = %d beacons for n = %d nodes", k, n)

@@ -84,7 +84,7 @@ func TunedParams(deltaPrime, ballFactor float64) Params {
 // radii r_ui, the packings F_i, the nested nets G_j, the X- and Y-neighbor
 // sets and the zooming sequences f_ui.
 type Construction struct {
-	Idx *metric.Index
+	Idx metric.BallIndex
 	// Params is the ring geometry in effect.
 	Params Params
 	// DeltaPrime mirrors Params.DeltaPrime.
@@ -107,13 +107,13 @@ type Construction struct {
 
 // NewConstruction builds the shared substrate with internal parameter
 // deltaPrime ∈ (0, 1/2) and the paper's ring constants.
-func NewConstruction(idx *metric.Index, deltaPrime float64) (*Construction, error) {
+func NewConstruction(idx metric.BallIndex, deltaPrime float64) (*Construction, error) {
 	return NewConstructionParams(idx, DefaultParams(deltaPrime))
 }
 
 // NewConstructionParams builds the shared substrate with explicit ring
 // geometry.
-func NewConstructionParams(idx *metric.Index, params Params) (*Construction, error) {
+func NewConstructionParams(idx metric.BallIndex, params Params) (*Construction, error) {
 	deltaPrime := params.DeltaPrime
 	if deltaPrime <= 0 || deltaPrime >= 0.5 {
 		return nil, fmt.Errorf("triangulation: deltaPrime = %v, want (0, 0.5)", deltaPrime)

@@ -26,7 +26,7 @@ type Triangulation struct {
 // Internally the construction runs with δ' = delta/6, which turns the
 // proof's "common beacon within δ'·d of u or v" into the advertised
 // (1+delta) ratio bound.
-func New(idx *metric.Index, delta float64) (*Triangulation, error) {
+func New(idx metric.BallIndex, delta float64) (*Triangulation, error) {
 	if delta <= 0 || delta > 1 {
 		return nil, fmt.Errorf("triangulation: delta = %v, want (0, 1]", delta)
 	}

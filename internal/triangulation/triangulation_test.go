@@ -8,12 +8,12 @@ import (
 	"rings/internal/metric"
 )
 
-func indexFor(t *testing.T, space metric.Space) *metric.Index {
+func indexFor(t *testing.T, space metric.Space) metric.BallIndex {
 	t.Helper()
 	return metric.NewIndex(space)
 }
 
-func gridIdx(t *testing.T, side int) *metric.Index {
+func gridIdx(t *testing.T, side int) metric.BallIndex {
 	t.Helper()
 	g, err := metric.NewGrid(side, 2, metric.L2)
 	if err != nil {
@@ -83,7 +83,7 @@ func TestConstructionRejectsBadParams(t *testing.T) {
 	}
 }
 
-func verifyTriangulation(t *testing.T, idx *metric.Index, delta float64) PairStats {
+func verifyTriangulation(t *testing.T, idx metric.BallIndex, delta float64) PairStats {
 	t.Helper()
 	tri, err := New(idx, delta)
 	if err != nil {

@@ -11,10 +11,24 @@ import (
 	"rings/internal/metric"
 )
 
+// indexOptions is the backend selection applied by every instance
+// constructor. Experiments flip it once at startup (see cmd/ringbench
+// -backend); the default is the eager parallel-build backend.
+var indexOptions metric.Options
+
+// SetIndexOptions selects the ball-index backend used for all instances
+// built afterwards. It is meant to be called once, before any instance
+// construction (it is not synchronized).
+func SetIndexOptions(opts metric.Options) { indexOptions = opts }
+
+// NewIndex builds an index for space with the workload's configured
+// backend, for experiments that assemble custom spaces.
+func NewIndex(space metric.Space) metric.BallIndex { return metric.New(space, indexOptions) }
+
 // MetricInstance is a named, indexed metric space.
 type MetricInstance struct {
 	Name string
-	Idx  *metric.Index
+	Idx  metric.BallIndex
 }
 
 // GraphInstance is a named weighted graph with its shortest-path metric.
@@ -22,7 +36,7 @@ type GraphInstance struct {
 	Name string
 	G    *graph.Graph
 	APSP *graph.APSP
-	Idx  *metric.Index
+	Idx  metric.BallIndex
 }
 
 // Grid returns the side x side unit grid metric (UL-constrained; the
@@ -34,7 +48,7 @@ func Grid(side int) (MetricInstance, error) {
 	}
 	return MetricInstance{
 		Name: fmt.Sprintf("grid-%dx%d", side, side),
-		Idx:  metric.NewIndex(g),
+		Idx:  NewIndex(g),
 	}, nil
 }
 
@@ -44,7 +58,7 @@ func Cube(n int, seed int64) (MetricInstance, error) {
 	space := metric.UniformCube(n, 2, 100, rng)
 	return MetricInstance{
 		Name: fmt.Sprintf("cube-n%d", n),
-		Idx:  metric.NewIndex(space),
+		Idx:  NewIndex(space),
 	}, nil
 }
 
@@ -57,7 +71,7 @@ func ExpLine(n int, log2Aspect float64) (MetricInstance, error) {
 	}
 	return MetricInstance{
 		Name: fmt.Sprintf("expline-n%d-logA%.0f", n, log2Aspect),
-		Idx:  metric.NewIndex(l),
+		Idx:  NewIndex(l),
 	}, nil
 }
 
@@ -71,7 +85,7 @@ func Latency(n int, seed int64) (MetricInstance, error) {
 	}
 	return MetricInstance{
 		Name: fmt.Sprintf("latency-n%d", n),
-		Idx:  metric.NewIndex(space),
+		Idx:  NewIndex(space),
 	}, nil
 }
 
@@ -114,6 +128,6 @@ func finishGraph(name string, g *graph.Graph) (GraphInstance, error) {
 		Name: name,
 		G:    g,
 		APSP: apsp,
-		Idx:  metric.NewIndex(apsp.Metric()),
+		Idx:  NewIndex(apsp.Metric()),
 	}, nil
 }

@@ -35,11 +35,31 @@ import (
 // Space is a finite metric space on nodes 0..N-1 (see metric.Space).
 type Space = metric.Space
 
-// Index is a ball-query index over a Space.
-type Index = metric.Index
+// Index is the ball-query interface every construction starts from; any
+// backend (eager or memory-bounded lazy, see IndexOptions) satisfies it.
+type Index = metric.BallIndex
 
-// NewIndex builds the distance index every construction starts from.
-func NewIndex(space Space) *Index { return metric.NewIndex(space) }
+// IndexOptions selects and tunes a ball-index backend.
+type IndexOptions = metric.Options
+
+// Backend selections for IndexOptions, re-exported so module-external
+// callers (who cannot reach internal/metric) can pick one.
+const (
+	// EagerBackend precomputes all sorted rows with a parallel worker
+	// pool: O(n^2) memory, O(log n) queries.
+	EagerBackend = metric.Eager
+	// LazyBackend keeps truncated per-node prefixes extended on demand:
+	// memory proportional to what the queries touch, exact answers.
+	LazyBackend = metric.Lazy
+)
+
+// NewIndex builds the default (eager, parallel-build) index.
+func NewIndex(space Space) Index { return metric.NewIndex(space) }
+
+// NewIndexWithOptions builds an index with an explicit backend selection:
+// EagerBackend precomputes all rows in parallel, LazyBackend keeps
+// memory proportional to the queries actually asked.
+func NewIndexWithOptions(space Space, opts IndexOptions) Index { return metric.New(space, opts) }
 
 // Graph is a weighted directed graph with enumerated out-edges.
 type Graph = graph.Graph
@@ -49,7 +69,7 @@ type Triangulation = triangulation.Triangulation
 
 // NewTriangulation builds a (0,delta)-triangulation: for every pair,
 // Estimate returns bounds with D+/D− <= 1+delta.
-func NewTriangulation(idx *Index, delta float64) (*Triangulation, error) {
+func NewTriangulation(idx Index, delta float64) (*Triangulation, error) {
 	return triangulation.New(idx, delta)
 }
 
@@ -58,7 +78,7 @@ func NewTriangulation(idx *Index, delta float64) (*Triangulation, error) {
 type DistanceLabels = distlabel.Scheme
 
 // NewDistanceLabels builds the Theorem 3.4 scheme.
-func NewDistanceLabels(idx *Index, delta float64) (*DistanceLabels, error) {
+func NewDistanceLabels(idx Index, delta float64) (*DistanceLabels, error) {
 	return distlabel.New(idx, delta)
 }
 
@@ -79,7 +99,7 @@ func NewRouter(g *Graph, delta float64) (RoutingScheme, error) {
 }
 
 // NewMetricRouter builds the Section 4.1 overlay variant on a metric.
-func NewMetricRouter(idx *Index, delta float64) (RoutingScheme, error) {
+func NewMetricRouter(idx Index, delta float64) (RoutingScheme, error) {
 	return routing.NewThm21Metric(idx, delta)
 }
 
@@ -93,13 +113,13 @@ func Route(s RoutingScheme, source, target, maxHops int) (routing.RouteResult, e
 type SmallWorld = smallworld.Model
 
 // NewSmallWorld samples the Theorem 5.2(a) greedy model.
-func NewSmallWorld(idx *Index, seed int64) (SmallWorld, error) {
+func NewSmallWorld(idx Index, seed int64) (SmallWorld, error) {
 	return smallworld.NewThm52a(idx, smallworld.DefaultParams(seed))
 }
 
 // NewSmallWorldCompact samples the Theorem 5.2(b) model (sqrt(log ∆)
 // out-degree scaling, non-greedy rule (**)).
-func NewSmallWorldCompact(idx *Index, seed int64) (SmallWorld, error) {
+func NewSmallWorldCompact(idx Index, seed int64) (SmallWorld, error) {
 	return smallworld.NewThm52b(idx, smallworld.DefaultParams(seed))
 }
 
@@ -115,6 +135,6 @@ type NearestNeighborOverlay = nnsearch.Overlay
 
 // NewNearestNeighborOverlay builds the overlay over the given member
 // subset with Meridian's default ring constants.
-func NewNearestNeighborOverlay(idx *Index, members []int, seed int64) (*NearestNeighborOverlay, error) {
+func NewNearestNeighborOverlay(idx Index, members []int, seed int64) (*NearestNeighborOverlay, error) {
 	return nnsearch.New(idx, members, nnsearch.DefaultConfig(seed))
 }

@@ -1,0 +1,315 @@
+// Command ringload is the closed-loop load generator for cmd/ringsrv:
+// a configurable number of clients issue queries back-to-back (each
+// client waits for its response before sending the next request) against
+// a running server, drawn from a weighted endpoint mix, for a fixed
+// duration. It reports per-endpoint throughput and latency percentiles,
+// and exits non-zero if any request failed or returned a non-200 status
+// — which is what lets CI use it as an end-to-end smoke check.
+//
+//	ringload -addr http://127.0.0.1:8390 -clients 8 -duration 5s
+//	ringload -addr http://127.0.0.1:8390 -mix estimate=6,batch=1,nearest=2,route=1 -json
+//
+// The node-id range and the set of endpoints the server actually offers
+// are discovered from /healthz; mix entries for endpoints the snapshot
+// does not serve are dropped with a warning.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rings/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ringload:", err)
+		os.Exit(1)
+	}
+}
+
+// health mirrors ringsrv's /healthz body (kept in sync by the CI smoke
+// run; ringload deliberately has no compile-time dependency on the
+// server so it can drive any deployment speaking the same protocol).
+type health struct {
+	OK       bool   `json:"ok"`
+	Version  int64  `json:"version"`
+	N        int    `json:"n"`
+	Workload string `json:"workload"`
+	Routing  bool   `json:"routing"`
+	Overlay  bool   `json:"overlay"`
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint  string
+	latencyMs float64
+	status    int
+	err       error
+}
+
+// mixEntry is one weighted endpoint of the query mix.
+type mixEntry struct {
+	endpoint string
+	weight   int
+}
+
+func parseMix(raw string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightRaw, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightRaw)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+			weight = w
+		}
+		switch name {
+		case "estimate", "batch", "nearest", "route":
+		default:
+			return nil, fmt.Errorf("unknown mix endpoint %q (want estimate|batch|nearest|route)", name)
+		}
+		if weight > 0 {
+			mix = append(mix, mixEntry{endpoint: name, weight: weight})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty query mix")
+	}
+	return mix, nil
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8390", "server base URL")
+		clients   = flag.Int("clients", 8, "concurrent closed-loop clients")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		mixRaw    = flag.String("mix", "estimate=6,batch=1,nearest=2,route=1", "weighted endpoint mix")
+		batchSize = flag.Int("batch", 16, "pairs per /batch request")
+		seed      = flag.Int64("seed", 1, "query-stream seed")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixRaw)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*addr, "/")
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = *clients
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	h, err := fetchHealth(client, base)
+	if err != nil {
+		return err
+	}
+	mix = pruneMix(mix, h)
+
+	// Expand weights into a pick table once; clients index it uniformly.
+	var picks []string
+	for _, m := range mix {
+		for i := 0; i < m.weight; i++ {
+			picks = append(picks, m.endpoint)
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	results := make([][]sample, *clients)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for time.Now().Before(deadline) {
+				endpoint := picks[rng.Intn(len(picks))]
+				results[c] = append(results[c], doRequest(client, base, endpoint, h.N, *batchSize, rng))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := buildReport(results, h, *clients, elapsed)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		printReport(report)
+	}
+	if report.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", report.Errors, report.Requests)
+	}
+	return nil
+}
+
+func fetchHealth(client *http.Client, base string) (health, error) {
+	var h health
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return h, fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("healthz: %w", err)
+	}
+	if !h.OK || h.N < 2 {
+		return h, fmt.Errorf("healthz: server not ready: %+v", h)
+	}
+	return h, nil
+}
+
+func pruneMix(mix []mixEntry, h health) []mixEntry {
+	kept := mix[:0]
+	for _, m := range mix {
+		if (m.endpoint == "nearest" && !h.Overlay) || (m.endpoint == "route" && !h.Routing) {
+			fmt.Fprintf(os.Stderr, "ringload: snapshot does not serve %q, dropping it from the mix\n", m.endpoint)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	if len(kept) == 0 {
+		kept = append(kept, mixEntry{endpoint: "estimate", weight: 1})
+	}
+	return kept
+}
+
+func doRequest(client *http.Client, base, endpoint string, n, batchSize int, rng *rand.Rand) sample {
+	var (
+		resp *http.Response
+		err  error
+	)
+	start := time.Now()
+	switch endpoint {
+	case "estimate":
+		resp, err = client.Get(fmt.Sprintf("%s/estimate?u=%d&v=%d", base, rng.Intn(n), rng.Intn(n)))
+	case "batch":
+		type pair struct {
+			U int `json:"u"`
+			V int `json:"v"`
+		}
+		pairs := make([]pair, batchSize)
+		for i := range pairs {
+			pairs[i] = pair{U: rng.Intn(n), V: rng.Intn(n)}
+		}
+		body, merr := json.Marshal(map[string]any{"pairs": pairs})
+		if merr != nil {
+			return sample{endpoint: endpoint, err: merr}
+		}
+		resp, err = client.Post(base+"/batch", "application/json", bytes.NewReader(body))
+	case "nearest":
+		resp, err = client.Get(fmt.Sprintf("%s/nearest?target=%d", base, rng.Intn(n)))
+	case "route":
+		resp, err = client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", base, rng.Intn(n), rng.Intn(n)))
+	}
+	s := sample{endpoint: endpoint, latencyMs: float64(time.Since(start)) / float64(time.Millisecond)}
+	if err != nil {
+		s.err = err
+		return s
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		s.err = fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return s
+}
+
+// EndpointReport summarizes one endpoint's traffic.
+type EndpointReport struct {
+	Requests  int           `json:"requests"`
+	Errors    int           `json:"errors"`
+	QPS       float64       `json:"qps"`
+	LatencyMs stats.Summary `json:"latency_ms"`
+}
+
+// Report is the machine-readable run summary (-json emits exactly this).
+type Report struct {
+	Workload  string                    `json:"workload"`
+	N         int                       `json:"n"`
+	Version   int64                     `json:"version"`
+	Clients   int                       `json:"clients"`
+	DurationS float64                   `json:"duration_sec"`
+	Requests  int                       `json:"requests"`
+	Errors    int                       `json:"errors"`
+	QPS       float64                   `json:"qps"`
+	Endpoints map[string]EndpointReport `json:"endpoints"`
+}
+
+func buildReport(results [][]sample, h health, clients int, elapsed time.Duration) Report {
+	rep := Report{
+		Workload:  h.Workload,
+		N:         h.N,
+		Version:   h.Version,
+		Clients:   clients,
+		DurationS: elapsed.Seconds(),
+		Endpoints: map[string]EndpointReport{},
+	}
+	lats := map[string][]float64{}
+	for _, rs := range results {
+		for _, s := range rs {
+			ep := rep.Endpoints[s.endpoint]
+			ep.Requests++
+			if s.err != nil {
+				ep.Errors++
+			}
+			rep.Endpoints[s.endpoint] = ep
+			lats[s.endpoint] = append(lats[s.endpoint], s.latencyMs)
+			rep.Requests++
+			if s.err != nil {
+				rep.Errors++
+			}
+		}
+	}
+	for name, ep := range rep.Endpoints {
+		ep.QPS = float64(ep.Requests) / elapsed.Seconds()
+		ep.LatencyMs = stats.Summarize(lats[name])
+		rep.Endpoints[name] = ep
+	}
+	rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	return rep
+}
+
+func printReport(rep Report) {
+	fmt.Printf("ringload: %s (n=%d, snapshot v%d), %d clients, %.1fs\n",
+		rep.Workload, rep.N, rep.Version, rep.Clients, rep.DurationS)
+	tb := stats.NewTable("endpoint", "requests", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "max ms")
+	names := make([]string, 0, len(rep.Endpoints))
+	for name := range rep.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := rep.Endpoints[name]
+		tb.AddRow(name, ep.Requests, ep.Errors, ep.QPS,
+			ep.LatencyMs.P50, ep.LatencyMs.P95, ep.LatencyMs.P99, ep.LatencyMs.Max)
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("total: %d requests, %d errors, %.0f qps\n", rep.Requests, rep.Errors, rep.QPS)
+}

@@ -1,0 +1,119 @@
+// Command ringsrv serves a distance oracle over HTTP/JSON: it builds
+// the paper's structures (Theorem 3.4 labels or Theorem 3.2 beacons, the
+// Meridian ring overlay, the Theorem 2.1 metric router) over a synthetic
+// workload once, then answers query traffic from an oracle.Engine with
+// lock-free snapshot reads and a sharded result cache.
+//
+//	ringsrv -workload latency -n 256 -scheme labels
+//	ringsrv -workload latency -n 4096 -scheme beacons -no-routing
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness + snapshot identity
+//	GET  /estimate?u=U&v=V         one (1+δ)-approximate distance estimate
+//	POST /batch                    {"pairs":[{"u":U,"v":V},...]}
+//	GET  /nearest?target=T         Meridian nearest-member climb
+//	GET  /route?src=S&dst=D        simulated compact-routing packet
+//	POST /snapshot                 rebuild on a fresh seed, zero-downtime swap
+//	GET  /stats                    engine counters and latency summaries
+//
+// cmd/ringload is the matching closed-loop load generator.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rings/internal/oracle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsrv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8390", "listen address")
+		wl         = flag.String("workload", "latency", "grid | cube | expline | latency")
+		n          = flag.Int("n", 256, "node count (cube, expline, latency)")
+		side       = flag.Int("side", 8, "grid side (grid)")
+		logA       = flag.Float64("logaspect", 60, "log2 aspect ratio (expline)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		delta      = flag.Float64("delta", 0.5, "target approximation (0, 1]")
+		scheme     = flag.String("scheme", oracle.SchemeLabels, "estimator: labels | beacons")
+		profile    = flag.String("profile", oracle.ProfileTuned, "ring constants: paper | tuned")
+		ballFactor = flag.Float64("ballfactor", 2, "tuned-profile Y-ring reach")
+		verify     = flag.Bool("verify", false, "verify the triangulation after each build (O(n^2))")
+		backend    = flag.String("backend", "eager", "ball-index backend: eager | lazy")
+		workers    = flag.Int("workers", 0, "index build workers (0 = GOMAXPROCS)")
+		members    = flag.Int("members", 4, "overlay member stride (every k-th node)")
+		noRouting  = flag.Bool("no-routing", false, "skip the metric router (disables /route)")
+		noOverlay  = flag.Bool("no-overlay", false, "skip the ring overlay (disables /nearest)")
+		shards     = flag.Int("cache-shards", 16, "estimate cache shards")
+		cacheCap   = flag.Int("cache-cap", 4096, "estimate cache entries per shard (-1 disables)")
+	)
+	flag.Parse()
+
+	cfg := oracle.Config{
+		Workload:        *wl,
+		N:               *n,
+		Side:            *side,
+		LogAspect:       *logA,
+		Seed:            *seed,
+		Delta:           *delta,
+		Scheme:          *scheme,
+		Profile:         *profile,
+		TunedBallFactor: *ballFactor,
+		Verify:          *verify,
+		Backend:         *backend,
+		Workers:         *workers,
+		MemberStride:    *members,
+		SkipRouting:     *noRouting,
+		SkipOverlay:     *noOverlay,
+	}
+
+	log.Printf("building snapshot: workload=%s scheme=%s profile=%s", *wl, *scheme, *profile)
+	snap, err := oracle.BuildSnapshot(cfg)
+	if err != nil {
+		return err
+	}
+	engine := oracle.NewEngine(snap, oracle.EngineOptions{
+		CacheShards:   *shards,
+		CacheCapacity: *cacheCap,
+	})
+	log.Printf("snapshot ready: %s n=%d build=%v routing=%v overlay=%v",
+		snap.Name, snap.N(), snap.BuildElapsed.Round(time.Millisecond),
+		snap.Router != nil, snap.Overlay != nil)
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(engine)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on http://%s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"rings/internal/oracle"
+)
+
+// maxBatchPairs bounds one /batch request so a single client cannot
+// monopolize the engine (and the JSON decoder) with an arbitrarily large
+// body.
+const maxBatchPairs = 4096
+
+// server wires an oracle.Engine to the HTTP surface. All query
+// endpoints are thin translations — parameter parsing in, JSON out —
+// so the engine's own counters and latency reservoirs describe the
+// served traffic faithfully.
+type server struct {
+	engine *oracle.Engine
+	mux    *http.ServeMux
+	start  time.Time
+	// rebuildMu serializes /snapshot rebuilds; queries never take it.
+	rebuildMu sync.Mutex
+}
+
+func newServer(engine *oracle.Engine) *server {
+	s := &server{engine: engine, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /nearest", s.handleNearest)
+	s.mux.HandleFunc("GET /route", s.handleRoute)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps engine errors to HTTP statuses: disabled artifacts are
+// 501 (the server genuinely cannot answer), everything else surfaced by
+// a query is a client-input problem (400).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, oracle.ErrNoRouter) || errors.Is(err, oracle.ErrNoOverlay) {
+		status = http.StatusNotImplemented
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// healthBody tells load generators everything they need to shape
+// traffic: the node-id range and which endpoints this snapshot serves.
+type healthBody struct {
+	OK        bool    `json:"ok"`
+	Version   int64   `json:"version"`
+	N         int     `json:"n"`
+	Workload  string  `json:"workload"`
+	Scheme    string  `json:"scheme"`
+	Routing   bool    `json:"routing"`
+	Overlay   bool    `json:"overlay"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.engine.Snapshot()
+	writeJSON(w, http.StatusOK, healthBody{
+		OK:        true,
+		Version:   snap.Version,
+		N:         snap.N(),
+		Workload:  snap.Name,
+		Scheme:    snap.Config.Scheme,
+		Routing:   snap.Router != nil,
+		Overlay:   snap.Overlay != nil,
+		UptimeSec: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	u, err := intParam(r, "u")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	v, err := intParam(r, "v")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.engine.Estimate(u, v)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type batchRequest struct {
+	Pairs []oracle.Pair `json:"pairs"`
+}
+
+type batchResponse struct {
+	Results []oracle.EstimateResult `json:"results"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<22)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("invalid batch body: %v", err))
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, errors.New("batch needs at least one pair"))
+		return
+	}
+	if len(req.Pairs) > maxBatchPairs {
+		writeError(w, fmt.Errorf("batch of %d pairs exceeds the %d-pair cap", len(req.Pairs), maxBatchPairs))
+		return
+	}
+	results, err := s.engine.EstimateBatch(req.Pairs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+func (s *server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	target, err := intParam(r, "target")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.engine.Nearest(target)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	src, err := intParam(r, "src")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	dst, err := intParam(r, "dst")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.engine.Route(src, dst)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type snapshotRequest struct {
+	// Seed reseeds the workload for the rebuild; omitted or zero means
+	// "current seed + 1" (a fresh instance of the same family).
+	Seed int64 `json:"seed"`
+}
+
+type snapshotResponse struct {
+	Version  int64   `json:"version"`
+	N        int     `json:"n"`
+	Workload string  `json:"workload"`
+	BuildSec float64 `json:"build_sec"`
+}
+
+// handleSnapshot rebuilds the snapshot on a fresh seed and swaps it in.
+// The build runs outside any engine lock — queries keep being answered
+// from the old snapshot until the swap — but rebuilds themselves are
+// serialized: a second request while one is building gets 409.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("invalid snapshot body: %v", err))
+			return
+		}
+	}
+	if !s.rebuildMu.TryLock() {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "a snapshot rebuild is already in progress"})
+		return
+	}
+	defer s.rebuildMu.Unlock()
+	cfg := s.engine.Snapshot().Config
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	} else {
+		cfg.Seed++
+	}
+	snap, err := s.engine.Rebuild(cfg)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Version:  snap.Version,
+		N:        snap.N(),
+		Workload: snap.Name,
+		BuildSec: snap.BuildElapsed.Seconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}

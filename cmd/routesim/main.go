@@ -4,12 +4,15 @@
 //
 //	routesim -workload gridgraph -side 8 -scheme thm21 -src 0 -dst 63
 //	routesim -workload exppath -n 24 -scheme thmb1 -eval
+//	routesim -workload geometric -n 40 -eval -json
 //
 // Schemes: thm21, thm41, thmb1, global (Talwar-style ids), full.
-// Workloads: gridgraph, exppath, geometric.
+// Workloads: gridgraph, exppath, geometric. -json switches the output to
+// one machine-readable JSON object for scripts and result comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,17 +30,18 @@ func main() {
 
 func run() error {
 	var (
-		wl     = flag.String("workload", "gridgraph", "gridgraph | exppath | geometric")
-		side   = flag.Int("side", 7, "grid side (gridgraph)")
-		n      = flag.Int("n", 20, "node count (exppath, geometric)")
-		base   = flag.Float64("base", 4, "weight base (exppath)")
-		radius = flag.Float64("radius", 25, "connect radius (geometric)")
-		scheme = flag.String("scheme", "thm21", "thm21 | thm41 | thmb1 | global | full")
-		delta  = flag.Float64("delta", 0.5, "target stretch slack")
-		seed   = flag.Int64("seed", 1, "random seed")
-		src    = flag.Int("src", 0, "source node")
-		dst    = flag.Int("dst", -1, "target node (-1 = n-1)")
-		eval   = flag.Bool("eval", false, "evaluate all pairs instead of one route")
+		wl      = flag.String("workload", "gridgraph", "gridgraph | exppath | geometric")
+		side    = flag.Int("side", 7, "grid side (gridgraph)")
+		n       = flag.Int("n", 20, "node count (exppath, geometric)")
+		base    = flag.Float64("base", 4, "weight base (exppath)")
+		radius  = flag.Float64("radius", 25, "connect radius (geometric)")
+		scheme  = flag.String("scheme", "thm21", "thm21 | thm41 | thmb1 | global | full")
+		delta   = flag.Float64("delta", 0.5, "target stretch slack")
+		seed    = flag.Int64("seed", 1, "random seed")
+		src     = flag.Int("src", 0, "source node")
+		dst     = flag.Int("dst", -1, "target node (-1 = n-1)")
+		eval    = flag.Bool("eval", false, "evaluate all pairs instead of one route")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 	)
 	flag.Parse()
 
@@ -76,10 +80,31 @@ func run() error {
 		return err
 	}
 
+	emit := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+
 	if *eval {
 		st, err := routing.Evaluate(s, inst.Idx, 1, 80*inst.G.N())
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return emit(struct {
+				Scheme        string  `json:"scheme"`
+				Workload      string  `json:"workload"`
+				N             int     `json:"n"`
+				Routes        int     `json:"routes"`
+				MaxStretch    float64 `json:"max_stretch"`
+				MeanStretch   float64 `json:"mean_stretch"`
+				MaxHops       int     `json:"max_hops"`
+				MaxTableBits  int     `json:"max_table_bits"`
+				MaxLabelBits  int     `json:"max_label_bits"`
+				MaxHeaderBits int     `json:"max_header_bits"`
+			}{s.Name(), inst.Name, inst.G.N(), st.Routes, st.MaxStretch, st.MeanStretch,
+				st.MaxHops, st.MaxTableBits, st.MaxLabelBits, st.MaxHeaderBits})
 		}
 		fmt.Printf("%s on %s (n=%d)\n", s.Name(), inst.Name, inst.G.N())
 		fmt.Printf("  routes           %d\n", st.Routes)
@@ -100,9 +125,26 @@ func run() error {
 		return err
 	}
 	d := inst.Idx.Dist(*src, target)
+	stretch := 1.0
+	if d > 0 {
+		stretch = res.Length / d
+	}
+	if *jsonOut {
+		return emit(struct {
+			Scheme        string  `json:"scheme"`
+			Workload      string  `json:"workload"`
+			Src           int     `json:"src"`
+			Dst           int     `json:"dst"`
+			Path          []int   `json:"path"`
+			Length        float64 `json:"length"`
+			Dist          float64 `json:"dist"`
+			Stretch       float64 `json:"stretch"`
+			MaxHeaderBits int     `json:"max_header_bits"`
+		}{s.Name(), inst.Name, *src, target, res.Path, res.Length, d, stretch, res.MaxHeaderBits})
+	}
 	fmt.Printf("%s on %s: %d -> %d\n", s.Name(), inst.Name, *src, target)
 	fmt.Printf("  path    %v\n", res.Path)
-	fmt.Printf("  length  %.4g (shortest %.4g, stretch %.4f)\n", res.Length, d, res.Length/d)
+	fmt.Printf("  length  %.4g (shortest %.4g, stretch %.4f)\n", res.Length, d, stretch)
 	fmt.Printf("  header  %d bits (max en route)\n", res.MaxHeaderBits)
 	return nil
 }

@@ -3,12 +3,17 @@
 //
 //	swquery -workload grid -side 8 -model 52a -src 0 -dst 63
 //	swquery -workload expline -n 48 -logaspect 300 -model 52b -eval
+//	swquery -workload cube -n 64 -eval -json
 //
 // Models: 52a (greedy), 52b (non-greedy, sqrt(log ∆) degree), structures
 // (Kleinberg baseline). Workloads: grid, cube, expline, latency.
+// -json switches the output to one machine-readable JSON object
+// (scripts and result-comparison tooling consume it; the default stays
+// human-readable).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -25,34 +30,47 @@ func main() {
 	}
 }
 
+// evalOut is the -eval -json document.
+type evalOut struct {
+	Model     string  `json:"model"`
+	Workload  string  `json:"workload"`
+	N         int     `json:"n"`
+	OutDegree int     `json:"out_degree"`
+	Queries   int     `json:"queries"`
+	MaxHops   int     `json:"max_hops"`
+	MeanHops  float64 `json:"mean_hops"`
+	Sideways  int     `json:"sideways"`
+}
+
+// queryOut is the single-query -json document.
+type queryOut struct {
+	Model    string `json:"model"`
+	Workload string `json:"workload"`
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+	Hops     int    `json:"hops"`
+	Sideways int    `json:"sideways"`
+	Path     []int  `json:"path"`
+}
+
 func run() error {
 	var (
-		wl    = flag.String("workload", "grid", "grid | cube | expline | latency")
-		side  = flag.Int("side", 7, "grid side")
-		n     = flag.Int("n", 48, "node count (cube, expline, latency)")
-		logA  = flag.Float64("logaspect", 60, "log2 aspect ratio (expline)")
-		model = flag.String("model", "52a", "52a | 52b | structures")
-		seed  = flag.Int64("seed", 1, "random seed")
-		src   = flag.Int("src", 0, "source node")
-		dst   = flag.Int("dst", -1, "target node (-1 = n-1)")
-		eval  = flag.Bool("eval", false, "evaluate all ordered pairs")
+		wl      = flag.String("workload", "grid", "grid | cube | expline | latency")
+		side    = flag.Int("side", 7, "grid side")
+		n       = flag.Int("n", 48, "node count (cube, expline, latency)")
+		logA    = flag.Float64("logaspect", 60, "log2 aspect ratio (expline)")
+		model   = flag.String("model", "52a", "52a | 52b | structures")
+		seed    = flag.Int64("seed", 1, "random seed")
+		src     = flag.Int("src", 0, "source node")
+		dst     = flag.Int("dst", -1, "target node (-1 = n-1)")
+		eval    = flag.Bool("eval", false, "evaluate all ordered pairs")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 	)
 	flag.Parse()
 
-	var inst workload.MetricInstance
-	var err error
-	switch *wl {
-	case "grid":
-		inst, err = workload.Grid(*side)
-	case "cube":
-		inst, err = workload.Cube(*n, *seed)
-	case "expline":
-		inst, err = workload.ExpLine(*n, *logA)
-	case "latency":
-		inst, err = workload.Latency(*n, *seed)
-	default:
-		return fmt.Errorf("unknown workload %q", *wl)
-	}
+	inst, err := workload.Metric(workload.MetricSpec{
+		Name: *wl, Side: *side, N: *n, LogAspect: *logA, Seed: *seed,
+	})
 	if err != nil {
 		return err
 	}
@@ -74,13 +92,30 @@ func run() error {
 
 	nn := inst.Idx.N()
 	budget := 10*int(math.Ceil(math.Log2(float64(nn)))) + 10
-	fmt.Printf("%s on %s (n=%d, out-degree %d)\n", m.Name(), inst.Name, nn, m.OutDegree())
+	emit := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
 
 	if *eval {
 		st, err := smallworld.EvaluateAll(m, nn, 1, budget)
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			return emit(evalOut{
+				Model:     m.Name(),
+				Workload:  inst.Name,
+				N:         nn,
+				OutDegree: m.OutDegree(),
+				Queries:   st.Queries,
+				MaxHops:   st.MaxHops,
+				MeanHops:  st.MeanHops,
+				Sideways:  st.Sideways,
+			})
+		}
+		fmt.Printf("%s on %s (n=%d, out-degree %d)\n", m.Name(), inst.Name, nn, m.OutDegree())
 		fmt.Printf("  queries        %d\n", st.Queries)
 		fmt.Printf("  hops max/mean  %d / %.3f  (log2 n = %.0f)\n",
 			st.MaxHops, st.MeanHops, math.Ceil(math.Log2(float64(nn))))
@@ -96,6 +131,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return emit(queryOut{
+			Model:    m.Name(),
+			Workload: inst.Name,
+			Src:      *src,
+			Dst:      target,
+			Hops:     res.Hops,
+			Sideways: res.Sideways,
+			Path:     res.Path,
+		})
+	}
+	fmt.Printf("%s on %s (n=%d, out-degree %d)\n", m.Name(), inst.Name, nn, m.OutDegree())
 	fmt.Printf("  query %d -> %d: %d hops (%d sideways)\n", *src, target, res.Hops, res.Sideways)
 	fmt.Printf("  path  %v\n", res.Path)
 	return nil

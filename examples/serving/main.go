@@ -1,0 +1,103 @@
+// The distance oracle as a long-lived service, embedded in-process: the
+// serving layer cmd/ringsrv exposes over HTTP, driven directly. A
+// snapshot of the paper's structures (Theorem 3.4 labels, the Meridian
+// ring overlay, the Theorem 2.1 metric router) is built once and then
+// queried concurrently while a second snapshot — a fresh instance of the
+// same workload, as after a topology change — is built and swapped in
+// with zero downtime. The engine's own stats close the loop: cache
+// hit rates and per-endpoint latency summaries, no external tooling.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"rings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := rings.OracleConfig{
+		Workload: "latency", // the clustered Internet-latency metric
+		N:        128,
+		Seed:     1,
+		Delta:    0.5,
+	}
+	snap, err := rings.BuildOracleSnapshot(cfg)
+	if err != nil {
+		return err
+	}
+	engine := rings.NewOracleEngine(snap, rings.OracleEngineOptions{})
+	fmt.Printf("serving %s (n=%d): labels, overlay and router built in %v\n",
+		snap.Name, snap.N(), snap.BuildElapsed.Round(1e6))
+
+	est, err := engine.Estimate(3, 77)
+	if err != nil {
+		return err
+	}
+	d := snap.Idx.Dist(3, 77)
+	fmt.Printf("estimate d(3,77): %.2f <= %.2f <= %.2f (true %.2f, snapshot v%d)\n",
+		est.Lower, d, est.Upper, d, est.Version)
+
+	near, err := engine.Nearest(50)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nearest member to node 50: member %d at %.2f after %d hops\n",
+		near.Member, near.Dist, near.Hops)
+
+	route, err := engine.Route(3, 77)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("route 3 -> 77: %d hops, stretch %.4f\n", route.Hops, route.Stretch)
+
+	// Serve a concurrent query burst while a rebuilt snapshot (fresh
+	// seed — think "the network re-measured its latencies") swaps in.
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < 2000; i++ {
+				if _, err := engine.Estimate(rng.Intn(snap.N()), rng.Intn(snap.N())); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(c)
+	}
+	cfg.Seed = 2
+	next, err := rings.BuildOracleSnapshot(cfg)
+	if err != nil {
+		return err
+	}
+	engine.Swap(next)
+	wg.Wait()
+
+	// A post-swap burst: the cache was replaced with the snapshot, so
+	// these hits are all against version 2's artifacts.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 4000; i++ {
+		if _, err := engine.Estimate(rng.Intn(next.N()), rng.Intn(next.N())); err != nil {
+			return err
+		}
+	}
+
+	st := engine.Stats()
+	fmt.Printf("after swap: snapshot v%d (%d swaps), cache %d hits / %d misses\n",
+		st.Version, st.Swaps, st.Cache.Hits, st.Cache.Misses)
+	ep := st.Endpoints["estimate"]
+	fmt.Printf("estimate endpoint: %d calls, p50 %.1fus p99 %.1fus\n",
+		ep.Count, ep.LatencyUs.P50, ep.LatencyUs.P99)
+	return nil
+}

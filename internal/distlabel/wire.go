@@ -2,6 +2,7 @@ package distlabel
 
 import (
 	"fmt"
+	"sort"
 
 	"rings/internal/bitio"
 )
@@ -93,8 +94,17 @@ func (wr Wire) Encode(lab *Label) (buf []byte, bits int, err error) {
 		if err := w.WriteBits(uint64(triples), 32); err != nil {
 			return nil, 0, err
 		}
-		for x, entries := range lm {
-			for _, e := range entries {
+		// Canonical order (ascending x, then the Y-sorted entry order):
+		// map iteration is randomized, and a wire form that depends on it
+		// would make the same label encode to different bytes on every
+		// call — the round-trip property tests assert byte-identity.
+		xs := make([]int32, 0, len(lm))
+		for x := range lm {
+			xs = append(xs, x)
+		}
+		sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+		for _, x := range xs {
+			for _, e := range lm[x] {
 				if err := w.WriteBits(uint64(x), hostW); err != nil {
 					return nil, 0, err
 				}

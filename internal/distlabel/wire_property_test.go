@@ -1,0 +1,92 @@
+package distlabel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rings/internal/workload"
+)
+
+// TestWireRoundtripAllWorkloads is the serving-layer guarantee for
+// shipped labels: for every workload generator in the catalogue, labels
+// survive the wire byte-identically — decode(encode(l)) re-encodes to
+// the same bits, and estimates computed from decoded labels are
+// bit-for-bit stable across independent decode passes and across a
+// second encode/decode cycle. A server that ships a label twice, or a
+// client that re-serializes one, can never produce a divergent answer.
+//
+// (Estimates from decoded labels are *not* compared against the
+// in-memory originals: the distance codec rounds up by design — see the
+// Wire doc and TestWireDecodedEstimates, which pins that tolerance.)
+func TestWireRoundtripAllWorkloads(t *testing.T) {
+	specs := []workload.MetricSpec{
+		{Name: "grid", Side: 5},
+		{Name: "cube", N: 40, Seed: 11},
+		{Name: "cube", N: 40, Seed: 12},
+		{Name: "expline", N: 28, LogAspect: 60},
+		{Name: "latency", N: 40, Seed: 13},
+		{Name: "latency", N: 40, Seed: 14},
+	}
+	for _, spec := range specs {
+		inst, err := workload.Metric(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		t.Run(inst.Name, func(t *testing.T) {
+			s, err := New(inst.Idx, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := s.Wire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := inst.Idx.N()
+			first := make([]*Label, n)  // decode(encode(original))
+			second := make([]*Label, n) // decode(encode(first))
+			for u := 0; u < n; u++ {
+				buf1, bits1, err := wire.Encode(s.Label(u))
+				if err != nil {
+					t.Fatalf("encode %d: %v", u, err)
+				}
+				if first[u], err = wire.Decode(buf1, bits1); err != nil {
+					t.Fatalf("decode %d: %v", u, err)
+				}
+				// Idempotence: a decoded label re-encodes to identical bits.
+				buf2, bits2, err := wire.Encode(first[u])
+				if err != nil {
+					t.Fatalf("re-encode %d: %v", u, err)
+				}
+				if bits1 != bits2 || !bytes.Equal(buf1, buf2) {
+					t.Fatalf("node %d: re-encode changed the wire form (%d vs %d bits)", u, bits1, bits2)
+				}
+				if second[u], err = wire.Decode(buf2, bits2); err != nil {
+					t.Fatalf("decode roundtrip %d: %v", u, err)
+				}
+			}
+			// Estimates through the wire are byte-identical: independent
+			// decodes of the same bytes, and labels that crossed the wire
+			// twice, answer every pair with the same float64 bits.
+			for u := 0; u < n; u++ {
+				for v := u; v < n; v++ {
+					lo1, hi1, ok1 := Estimate(first[u], first[v])
+					lo2, hi2, ok2 := Estimate(second[u], second[v])
+					if ok1 != ok2 ||
+						math.Float64bits(lo1) != math.Float64bits(lo2) ||
+						math.Float64bits(hi1) != math.Float64bits(hi2) {
+						t.Fatalf("pair (%d,%d): estimate diverged across decode passes: (%v,%v,%v) vs (%v,%v,%v)",
+							u, v, lo1, hi1, ok1, lo2, hi2, ok2)
+					}
+					if !ok1 {
+						t.Fatalf("pair (%d,%d): no common neighbor after decode", u, v)
+					}
+					// The usable serving guarantee: D+ stays an upper bound.
+					if d := inst.Idx.Dist(u, v); hi1 < d*(1-1e-9) {
+						t.Fatalf("pair (%d,%d): decoded D+ %v below true distance %v", u, v, hi1, d)
+					}
+				}
+			}
+		})
+	}
+}

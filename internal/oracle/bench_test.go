@@ -1,0 +1,128 @@
+package oracle
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// benchSnapshot is the n=4096 serving snapshot the throughput benchmarks
+// share. Theorem 3.4 labels are out of reach at this scale (their build
+// cost grows roughly cubically — see DESIGN.md §6), so the benchmark
+// serves Theorem 3.2 beacon estimates under the tuned ring profile,
+// which builds in seconds; that is also the configuration a large-n
+// ringsrv deployment would run.
+var benchSnapshot struct {
+	once sync.Once
+	snap *Snapshot
+	err  error
+}
+
+func benchSnap(b *testing.B) *Snapshot {
+	benchSnapshot.once.Do(func() {
+		benchSnapshot.snap, benchSnapshot.err = BuildSnapshot(Config{
+			Workload:    "latency",
+			N:           4096,
+			Seed:        1,
+			Delta:       0.5,
+			Scheme:      SchemeBeacons,
+			Profile:     ProfileTuned,
+			SkipOverlay: true,
+			SkipRouting: true,
+		})
+	})
+	if benchSnapshot.err != nil {
+		b.Fatal(benchSnapshot.err)
+	}
+	return benchSnapshot.snap
+}
+
+func benchPairs(n, count int) []Pair {
+	rng := rand.New(rand.NewSource(42))
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		pairs[i] = Pair{U: rng.Intn(n), V: rng.Intn(n)}
+	}
+	return pairs
+}
+
+// BenchmarkEngineEstimate measures single-pair estimate throughput at
+// n = 4096, cache cold (caching disabled, every query computed from the
+// beacon sets) vs warm (default cache, working set pre-touched so every
+// query is a shard-lock + map hit). EXPERIMENTS.md §S1 records a run.
+func BenchmarkEngineEstimate(b *testing.B) {
+	snap := benchSnap(b)
+	n := snap.N()
+
+	b.Run("cold", func(b *testing.B) {
+		e := NewEngine(snap.clone(), EngineOptions{CacheCapacity: -1})
+		pairs := benchPairs(n, 1<<17)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i&(len(pairs)-1)]
+			if _, err := e.Estimate(p.U, p.V); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportQPS(b)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		e := NewEngine(snap.clone(), EngineOptions{})
+		pairs := benchPairs(n, 1<<13) // 8192 pairs fit the 16x4096 cache
+		for _, p := range pairs {
+			if _, err := e.Estimate(p.U, p.V); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i&(len(pairs)-1)]
+			if _, err := e.Estimate(p.U, p.V); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportQPS(b)
+	})
+}
+
+// BenchmarkEngineEstimateParallel is the contended version: GOMAXPROCS
+// goroutines over a warm cache, the shape ringsrv sees under ringload.
+func BenchmarkEngineEstimateParallel(b *testing.B) {
+	snap := benchSnap(b)
+	n := snap.N()
+	e := NewEngine(snap.clone(), EngineOptions{})
+	pairs := benchPairs(n, 1<<13)
+	for _, p := range pairs {
+		if _, err := e.Estimate(p.U, p.V); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := pairs[i&(len(pairs)-1)]
+			i++
+			if _, err := e.Estimate(p.U, p.V); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	reportQPS(b)
+}
+
+func reportQPS(b *testing.B) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "queries/s")
+	}
+}
+
+// clone returns a copy of the snapshot sharing every immutable artifact,
+// so each benchmark engine can install "its own" snapshot (Swap assigns
+// Version, which must not be rewritten on a published snapshot).
+func (s *Snapshot) clone() *Snapshot {
+	cp := *s
+	cp.Version = 0
+	return &cp
+}

@@ -1,0 +1,288 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rings/internal/stats"
+)
+
+// EngineOptions tunes the serving layer (not the artifacts — those are
+// Config's job).
+type EngineOptions struct {
+	// CacheShards is the shard count of the estimate cache (rounded up
+	// to a power of two; default 16).
+	CacheShards int
+	// CacheCapacity is the per-shard entry cap. 0 applies the default
+	// (4096 entries per shard); negative disables caching.
+	CacheCapacity int
+	// LatencySampleSize is the per-endpoint latency sample capacity
+	// (default 2048), spread over several round-robin reservoir shards
+	// so recording never funnels through one mutex.
+	LatencySampleSize int
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.CacheShards == 0 {
+		o.CacheShards = 16
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 4096
+	}
+	if o.LatencySampleSize == 0 {
+		o.LatencySampleSize = 2048
+	}
+	return o
+}
+
+// Endpoint names used by Engine.Stats.
+const (
+	EndpointEstimate = "estimate"
+	EndpointBatch    = "batch"
+	EndpointNearest  = "nearest"
+	EndpointRoute    = "route"
+	EndpointSwap     = "swap"
+)
+
+var endpointNames = []string{
+	EndpointEstimate, EndpointBatch, EndpointNearest, EndpointRoute, EndpointSwap,
+}
+
+// engineState pairs a snapshot with the cache filled from it. Queries
+// load the pair through one atomic read, so a request never mixes one
+// snapshot's artifacts with another's cache.
+type engineState struct {
+	snap  *Snapshot
+	cache *shardedCache
+}
+
+// latencyShards spreads each endpoint's latency stream over several
+// reservoirs picked round-robin: a single reservoir's mutex would
+// re-serialize the very traffic the sharded cache keeps lock-free.
+const latencyShards = 8
+
+// endpointStats tracks one endpoint's counters and latency reservoirs.
+type endpointStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	next    atomic.Uint64
+	latency [latencyShards]*stats.Reservoir
+}
+
+func (s *endpointStats) record(us float64) {
+	s.latency[s.next.Add(1)%latencyShards].Add(us)
+}
+
+func (s *endpointStats) latencySummary() stats.Summary {
+	var samples []float64
+	for _, r := range s.latency {
+		samples = append(samples, r.Samples()...)
+	}
+	return stats.Summarize(samples)
+}
+
+// Engine is the concurrency-safe query layer over a current Snapshot.
+// All query methods are lock-free on the snapshot path (one atomic
+// pointer read); the only locks on the hot path are the cache shard's
+// and the latency reservoir's, both scoped far narrower than a query.
+type Engine struct {
+	opts      EngineOptions
+	state     atomic.Pointer[engineState]
+	versions  atomic.Int64
+	swapMu    sync.Mutex
+	swaps     atomic.Int64
+	started   time.Time
+	endpoints map[string]*endpointStats
+}
+
+// NewEngine creates an engine serving the given snapshot (installed as
+// version 1).
+func NewEngine(snap *Snapshot, opts EngineOptions) *Engine {
+	e := &Engine{
+		opts:      opts.withDefaults(),
+		started:   time.Now(),
+		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+	}
+	perShard := e.opts.LatencySampleSize / latencyShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i, name := range endpointNames {
+		ep := &endpointStats{}
+		for j := range ep.latency {
+			ep.latency[j] = stats.NewReservoir(perShard, int64(i*latencyShards+j+1))
+		}
+		e.endpoints[name] = ep
+	}
+	e.Swap(snap)
+	return e
+}
+
+// Swap atomically installs a new snapshot (and a fresh cache for it) and
+// returns the previous one. Queries already in flight finish against the
+// old snapshot; no query ever observes a half-installed state. The
+// returned snapshot is safe to keep using — it is immutable — or to drop
+// for garbage collection.
+//
+// Swap assigns snap.Version (monotonically increasing from 1), so a
+// given snapshot may be installed at most once, in one engine — a
+// second install would rewrite Version while readers of the first may
+// still be loading it.
+func (e *Engine) Swap(snap *Snapshot) *Snapshot {
+	start := time.Now()
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	// The version write is safe: snap is unpublished until the Store
+	// below, which is the release barrier readers synchronize with.
+	snap.Version = e.versions.Add(1)
+	old := e.state.Swap(&engineState{
+		snap:  snap,
+		cache: newCache(e.opts.CacheShards, e.opts.CacheCapacity),
+	})
+	e.swaps.Add(1)
+	e.observe(EndpointSwap, start, nil)
+	if old == nil {
+		return nil
+	}
+	return old.snap
+}
+
+// Rebuild builds a snapshot from cfg and swaps it in, returning the new
+// snapshot. The build runs without holding any engine lock, so queries
+// keep flowing against the current snapshot for its whole duration —
+// this is the zero-downtime rebuild path cmd/ringsrv's /snapshot
+// endpoint triggers.
+func (e *Engine) Rebuild(cfg Config) (*Snapshot, error) {
+	snap, err := BuildSnapshot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.Swap(snap)
+	return snap, nil
+}
+
+// Snapshot returns the currently served snapshot.
+func (e *Engine) Snapshot() *Snapshot { return e.state.Load().snap }
+
+func (e *Engine) observe(endpoint string, start time.Time, err error) {
+	st := e.endpoints[endpoint]
+	st.count.Add(1)
+	if err != nil {
+		st.errors.Add(1)
+	}
+	st.record(float64(time.Since(start)) / float64(time.Microsecond))
+}
+
+// estimateOn answers one pair against a fixed state, consulting the
+// state's cache.
+func estimateOn(st *engineState, u, v int) (EstimateResult, error) {
+	if res, ok := st.cache.get(u, v); ok {
+		res.Cached = true
+		return res, nil
+	}
+	res, err := st.snap.Estimate(u, v)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	st.cache.put(u, v, res)
+	return res, nil
+}
+
+// Estimate answers one distance estimate from the current snapshot,
+// consulting the sharded cache. Modulo the Cached flag, the answer is
+// byte-identical to Snapshot.Estimate on the snapshot whose version it
+// reports.
+func (e *Engine) Estimate(u, v int) (EstimateResult, error) {
+	start := time.Now()
+	st := e.state.Load()
+	res, err := estimateOn(st, u, v)
+	e.observe(EndpointEstimate, start, err)
+	return res, err
+}
+
+// Pair is one (u, v) query of a batch.
+type Pair struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// EstimateBatch answers many pairs against one consistent snapshot: the
+// state is loaded once, so a concurrent Swap cannot split a batch across
+// two snapshots. Invalid pairs fail the whole batch.
+func (e *Engine) EstimateBatch(pairs []Pair) ([]EstimateResult, error) {
+	start := time.Now()
+	st := e.state.Load()
+	out := make([]EstimateResult, len(pairs))
+	var err error
+	for i, p := range pairs {
+		if out[i], err = estimateOn(st, p.U, p.V); err != nil {
+			err = fmt.Errorf("pair %d: %w", i, err)
+			break
+		}
+	}
+	e.observe(EndpointBatch, start, err)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Nearest answers one nearest-member query from the current snapshot.
+func (e *Engine) Nearest(target int) (NearestResult, error) {
+	start := time.Now()
+	st := e.state.Load()
+	res, err := st.snap.Nearest(target)
+	e.observe(EndpointNearest, start, err)
+	return res, err
+}
+
+// Route simulates one packet route on the current snapshot.
+func (e *Engine) Route(src, dst int) (RouteResult, error) {
+	start := time.Now()
+	st := e.state.Load()
+	res, err := st.snap.Route(src, dst)
+	e.observe(EndpointRoute, start, err)
+	return res, err
+}
+
+// EndpointStats is one endpoint's counters and latency summary
+// (microseconds).
+type EndpointStats struct {
+	Count     int64         `json:"count"`
+	Errors    int64         `json:"errors"`
+	LatencyUs stats.Summary `json:"latency_us"`
+}
+
+// EngineStats is the self-report returned by Stats.
+type EngineStats struct {
+	Version   int64                    `json:"version"`
+	Swaps     int64                    `json:"swaps"`
+	UptimeSec float64                  `json:"uptime_sec"`
+	Cache     CacheStats               `json:"cache"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// Stats reports the engine's counters: current snapshot version, swap
+// count, the current cache's hit/miss/eviction counters (the cache is
+// per snapshot era — counters reset on Swap by design), and per-endpoint
+// call counts with latency summaries.
+func (e *Engine) Stats() EngineStats {
+	st := e.state.Load()
+	out := EngineStats{
+		Version:   st.snap.Version,
+		Swaps:     e.swaps.Load(),
+		UptimeSec: time.Since(e.started).Seconds(),
+		Cache:     st.cache.stats(),
+		Endpoints: make(map[string]EndpointStats, len(e.endpoints)),
+	}
+	for name, ep := range e.endpoints {
+		out.Endpoints[name] = EndpointStats{
+			Count:     ep.count.Load(),
+			Errors:    ep.errors.Load(),
+			LatencyUs: ep.latencySummary(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+// Package oracle is the distance-oracle serving engine: the layer that
+// turns the paper's one-shot constructions into a queryable service.
+//
+// The paper closes (Section 6) by noting that rings of neighbors are the
+// framework behind Meridian, a deployed P2P system for nearest-neighbor
+// and distance queries. Everything below this package can only *build*
+// the structures — distance labels (Theorem 3.4), triangulation beacon
+// sets (Theorem 3.2), Meridian-style ring overlays (Section 6), compact
+// routing tables (Theorem 2.1 on metrics) — in one CLI run. This package
+// *serves* them:
+//
+//   - A Snapshot bundles every expensive-to-build artifact over one
+//     workload into a single immutable value. All query methods on a
+//     Snapshot are pure reads, so any number of goroutines can share it.
+//   - An Engine holds the current Snapshot behind an atomic pointer:
+//     reads are lock-free, and Swap installs a freshly built Snapshot
+//     with zero downtime — queries in flight keep answering from the old
+//     one, later queries see the new one (each answer reports the
+//     snapshot version it came from).
+//   - A sharded query-result cache (hit/miss/eviction counters) fronts
+//     the estimate path; the cache is tied to the snapshot it was filled
+//     from and is replaced wholesale on Swap, so a stale entry can never
+//     survive a rebuild.
+//   - Per-endpoint latency reservoirs (internal/stats) make the engine
+//     self-reporting: Stats returns counters and latency summaries for
+//     every endpoint plus cache and swap counters.
+//
+// cmd/ringsrv exposes the engine over HTTP/JSON and cmd/ringload drives
+// it under closed-loop load; future scaling work (sharding, replication,
+// incremental rebuild) plugs in behind the same Snapshot/Swap contract.
+//
+// Estimator schemes. A Snapshot answers distance estimates either from
+// Theorem 3.4 labels ("labels", the paper's headline scheme — answers are
+// byte-identical to distlabel.Estimate on the same labels) or from the
+// Theorem 3.2 triangulation directly ("beacons"). Labels carry the full
+// zooming machinery and their construction cost grows steeply with n;
+// beacon estimates build in seconds at n = 4096 under the tuned profile
+// (see triangulation.TunedParams and DESIGN.md §4), which is what the
+// serving benchmarks use.
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"rings/internal/distlabel"
+	"rings/internal/metric"
+	"rings/internal/nnsearch"
+	"rings/internal/routing"
+	"rings/internal/triangulation"
+	"rings/internal/workload"
+)
+
+// Estimator schemes for Config.Scheme.
+const (
+	// SchemeLabels serves estimates from Theorem 3.4 distance labels.
+	SchemeLabels = "labels"
+	// SchemeBeacons serves estimates from the Theorem 3.2 triangulation.
+	SchemeBeacons = "beacons"
+)
+
+// Construction profiles for Config.Profile.
+const (
+	// ProfilePaper uses the paper's worst-case ring constants.
+	ProfilePaper = "paper"
+	// ProfileTuned uses the lab-scale ring profile
+	// (triangulation.TunedParams): same δ', smaller rings, guarantee
+	// re-checked per instance when Config.Verify is set.
+	ProfileTuned = "tuned"
+)
+
+// Config describes how to build one Snapshot: the workload, the
+// estimator scheme, and which artifacts to include. The zero value is
+// not useful; fill at least Workload and its size knob. Defaults applied
+// by BuildSnapshot: Delta 0.5, Scheme "labels", Profile "tuned",
+// TunedBallFactor 2, Backend "eager", MemberStride 4.
+type Config struct {
+	// Workload selects the metric family (grid|cube|expline|latency)
+	// with the same knobs as workload.MetricSpec.
+	Workload  string
+	N         int
+	Side      int
+	LogAspect float64
+	Seed      int64
+
+	// Delta is the target approximation (0, 1] for labels, beacons and
+	// the router.
+	Delta float64
+	// Scheme picks the estimator: SchemeLabels or SchemeBeacons.
+	Scheme string
+	// Profile picks the ring constants: ProfilePaper or ProfileTuned.
+	Profile string
+	// TunedBallFactor is the Y-ring reach of the tuned profile.
+	TunedBallFactor float64
+	// Verify runs triangulation.VerifyAllPairs after the build (O(n²);
+	// recommended with ProfileTuned at small n, prohibitive at large n).
+	Verify bool
+
+	// Backend selects the ball-index backend: "eager" or "lazy".
+	Backend string
+	// Workers bounds index build parallelism (0 = GOMAXPROCS).
+	Workers int
+
+	// MemberStride makes every stride-th node an overlay member (1 =
+	// every node). The overlay serves /nearest.
+	MemberStride int
+	// SkipOverlay omits the Meridian overlay (Nearest then errors).
+	SkipOverlay bool
+	// SkipRouting omits the Theorem 2.1 metric router (Route then
+	// errors). Router construction is the second most expensive artifact
+	// after labels.
+	SkipRouting bool
+	// RouteHops overrides the per-route hop budget (default 80·n, the
+	// routesim convention).
+	RouteHops int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Delta == 0 {
+		c.Delta = 0.5
+	}
+	if c.Scheme == "" {
+		c.Scheme = SchemeLabels
+	}
+	if c.Profile == "" {
+		c.Profile = ProfileTuned
+	}
+	if c.TunedBallFactor == 0 {
+		c.TunedBallFactor = 2
+	}
+	if c.Backend == "" {
+		c.Backend = "eager"
+	}
+	if c.MemberStride == 0 {
+		c.MemberStride = 4
+	}
+	return c
+}
+
+// spec translates the workload knobs into the shared catalogue spec.
+func (c Config) spec() workload.MetricSpec {
+	return workload.MetricSpec{
+		Name:      c.Workload,
+		N:         c.N,
+		Side:      c.Side,
+		LogAspect: c.LogAspect,
+		Seed:      c.Seed,
+	}
+}
+
+func (c Config) indexOptions() (metric.Options, error) {
+	opts := metric.Options{Workers: c.Workers}
+	switch c.Backend {
+	case "eager":
+		opts.Backend = metric.Eager
+	case "lazy":
+		opts.Backend = metric.Lazy
+	default:
+		return opts, fmt.Errorf("oracle: unknown backend %q (want eager|lazy)", c.Backend)
+	}
+	return opts, nil
+}
+
+// BuildSnapshot constructs every artifact the config asks for. It is the
+// expensive call the Engine's Swap exists to hide: run it on a fresh
+// config while the previous snapshot keeps serving, then Swap the result
+// in.
+func BuildSnapshot(cfg Config) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	// Validate everything validatable before the index build: at large n
+	// the index is the first expensive step, and a rebuild triggered over
+	// HTTP should reject a bad delta/scheme/profile instantly, not after
+	// minutes of construction.
+	opts, err := cfg.indexOptions()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Delta <= 0 || cfg.Delta > 1 {
+		return nil, fmt.Errorf("oracle: delta = %v, want (0, 1]", cfg.Delta)
+	}
+	var params triangulation.Params
+	switch cfg.Profile {
+	case ProfilePaper:
+		params = triangulation.DefaultParams(cfg.Delta / 6)
+	case ProfileTuned:
+		params = triangulation.TunedParams(cfg.Delta/6, cfg.TunedBallFactor)
+	default:
+		return nil, fmt.Errorf("oracle: unknown profile %q (want paper|tuned)", cfg.Profile)
+	}
+	switch cfg.Scheme {
+	case SchemeLabels, SchemeBeacons:
+	default:
+		return nil, fmt.Errorf("oracle: unknown scheme %q (want labels|beacons)", cfg.Scheme)
+	}
+
+	space, name, err := cfg.spec().Space()
+	if err != nil {
+		return nil, err
+	}
+	idx := metric.New(space, opts)
+	n := idx.N()
+
+	cons, err := triangulation.NewConstructionParams(idx, params)
+	if err != nil {
+		return nil, err
+	}
+	tri := triangulation.FromConstruction(cons, cfg.Delta)
+	if cfg.Verify {
+		if _, err := tri.VerifyAllPairs(); err != nil {
+			return nil, fmt.Errorf("oracle: triangulation verification: %w", err)
+		}
+	}
+
+	snap := &Snapshot{
+		Config: cfg,
+		Name:   name,
+		Idx:    idx,
+		Tri:    tri,
+	}
+
+	if cfg.Scheme == SchemeLabels {
+		scheme, err := distlabel.FromConstruction(cons, cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		snap.Scheme = scheme
+		snap.Labels = make([]*distlabel.Label, n)
+		for u := 0; u < n; u++ {
+			snap.Labels[u] = scheme.Label(u)
+		}
+	} // SchemeBeacons: estimates come straight from snap.Tri.
+
+	if !cfg.SkipOverlay {
+		stride := cfg.MemberStride
+		if stride < 1 {
+			stride = 1
+		}
+		var members []int
+		for m := 0; m < n; m += stride {
+			members = append(members, m)
+		}
+		overlay, err := nnsearch.New(idx, members, nnsearch.DefaultConfig(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		snap.Overlay = overlay
+		snap.entry = overlay.Members()[0]
+		// The climb strictly decreases the distance over a finite member
+		// set, so |members|+1 hops always suffice.
+		snap.nearHops = len(overlay.Members()) + 1
+	}
+
+	if !cfg.SkipRouting {
+		router, err := routing.NewThm21Metric(idx, cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		snap.Router = router
+		snap.routeHops = cfg.RouteHops
+		if snap.routeHops <= 0 {
+			snap.routeHops = 80 * n
+		}
+	}
+
+	snap.BuildElapsed = time.Since(start)
+	return snap, nil
+}

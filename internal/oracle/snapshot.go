@@ -1,0 +1,180 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rings/internal/distlabel"
+	"rings/internal/metric"
+	"rings/internal/nnsearch"
+	"rings/internal/routing"
+	"rings/internal/triangulation"
+)
+
+// ErrNoOverlay is returned by Nearest when the snapshot was built with
+// SkipOverlay.
+var ErrNoOverlay = errors.New("oracle: snapshot has no nearest-neighbor overlay")
+
+// ErrNoRouter is returned by Route when the snapshot was built with
+// SkipRouting.
+var ErrNoRouter = errors.New("oracle: snapshot has no routing scheme")
+
+// Snapshot is one immutable serving unit: a workload plus every artifact
+// built over it. All methods are pure reads — a Snapshot may be shared
+// by any number of goroutines, which is what makes the Engine's
+// lock-free reads sound. Fields are exported for inspection (and for
+// tests comparing engine answers against direct construction calls);
+// they must not be mutated after BuildSnapshot returns.
+type Snapshot struct {
+	// Config is the build recipe (defaults applied).
+	Config Config
+	// Name is the canonical workload instance name.
+	Name string
+	// Version is assigned by Engine.Swap when the snapshot is installed;
+	// 0 means never installed.
+	Version int64
+	// Idx is the ball index over the workload's space.
+	Idx metric.BallIndex
+	// Tri is the Theorem 3.2 triangulation (always built; it shares its
+	// construction with the labels).
+	Tri *triangulation.Triangulation
+	// Scheme and Labels are the Theorem 3.4 labeling (nil under
+	// SchemeBeacons). Labels[u] == Scheme.Label(u).
+	Scheme *distlabel.Scheme
+	Labels []*distlabel.Label
+	// Overlay is the Meridian-style ring overlay (nil under SkipOverlay).
+	Overlay *nnsearch.Overlay
+	// Router is the Theorem 2.1 metric routing scheme (nil under
+	// SkipRouting).
+	Router routing.Scheme
+	// BuildElapsed is how long BuildSnapshot took.
+	BuildElapsed time.Duration
+
+	entry     int // overlay entry member (smallest member id)
+	nearHops  int
+	routeHops int
+}
+
+// N reports the node count of the snapshot's space.
+func (s *Snapshot) N() int { return s.Idx.N() }
+
+// EstimateResult is one distance estimate. Lower and Upper sandwich the
+// true distance; Upper is the (1+δ)-approximate estimate.
+type EstimateResult struct {
+	U       int     `json:"u"`
+	V       int     `json:"v"`
+	Lower   float64 `json:"lower"`
+	Upper   float64 `json:"upper"`
+	OK      bool    `json:"ok"`
+	Version int64   `json:"version"`
+	// Cached reports whether the Engine answered from its cache (always
+	// false on direct Snapshot calls).
+	Cached bool `json:"cached"`
+}
+
+// NearestResult is one nearest-member query.
+type NearestResult struct {
+	Target  int     `json:"target"`
+	Member  int     `json:"member"`
+	Dist    float64 `json:"dist"`
+	Hops    int     `json:"hops"`
+	Path    []int   `json:"path"`
+	Version int64   `json:"version"`
+}
+
+// RouteResult is one simulated packet route.
+type RouteResult struct {
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Path    []int   `json:"path"`
+	Length  float64 `json:"length"`
+	Dist    float64 `json:"dist"`
+	Stretch float64 `json:"stretch"`
+	Hops    int     `json:"hops"`
+	Version int64   `json:"version"`
+}
+
+func (s *Snapshot) checkNode(kind string, u int) error {
+	if u < 0 || u >= s.Idx.N() {
+		return fmt.Errorf("oracle: %s node %d out of range [0, %d)", kind, u, s.Idx.N())
+	}
+	return nil
+}
+
+// Estimate answers one distance estimate directly from the snapshot's
+// estimator, bypassing any cache: under SchemeLabels it is exactly
+// distlabel.Estimate(Labels[u], Labels[v]); under SchemeBeacons exactly
+// Tri.Estimate(u, v).
+func (s *Snapshot) Estimate(u, v int) (EstimateResult, error) {
+	if err := s.checkNode("estimate", u); err != nil {
+		return EstimateResult{}, err
+	}
+	if err := s.checkNode("estimate", v); err != nil {
+		return EstimateResult{}, err
+	}
+	res := EstimateResult{U: u, V: v, Version: s.Version}
+	if s.Labels != nil {
+		res.Lower, res.Upper, res.OK = distlabel.Estimate(s.Labels[u], s.Labels[v])
+	} else {
+		res.Lower, res.Upper, res.OK = s.Tri.Estimate(u, v)
+	}
+	return res, nil
+}
+
+// Nearest runs the Meridian climb from the snapshot's fixed entry member
+// toward target; the answer is exactly
+// Overlay.NearestMember(entry, target, hops) for the snapshot's entry
+// and hop budget.
+func (s *Snapshot) Nearest(target int) (NearestResult, error) {
+	if s.Overlay == nil {
+		return NearestResult{}, ErrNoOverlay
+	}
+	if err := s.checkNode("nearest", target); err != nil {
+		return NearestResult{}, err
+	}
+	r, err := s.Overlay.NearestMember(s.entry, target, s.nearHops)
+	if err != nil {
+		return NearestResult{}, err
+	}
+	return NearestResult{
+		Target:  target,
+		Member:  r.Member,
+		Dist:    r.Dist,
+		Hops:    r.Hops,
+		Path:    r.Path,
+		Version: s.Version,
+	}, nil
+}
+
+// Route simulates one packet under the snapshot's routing scheme and
+// reports the realized stretch.
+func (s *Snapshot) Route(src, dst int) (RouteResult, error) {
+	if s.Router == nil {
+		return RouteResult{}, ErrNoRouter
+	}
+	if err := s.checkNode("route", src); err != nil {
+		return RouteResult{}, err
+	}
+	if err := s.checkNode("route", dst); err != nil {
+		return RouteResult{}, err
+	}
+	r, err := routing.Route(s.Router, src, dst, s.routeHops)
+	if err != nil {
+		return RouteResult{}, err
+	}
+	res := RouteResult{
+		Src:     src,
+		Dst:     dst,
+		Path:    r.Path,
+		Length:  r.Length,
+		Hops:    r.Hops,
+		Stretch: 1,
+		Version: s.Version,
+	}
+	if d := s.Idx.Dist(src, dst); d > 0 {
+		res.Dist = d
+		res.Stretch = r.Length / d
+	}
+	return res, nil
+}

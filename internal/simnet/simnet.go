@@ -12,9 +12,15 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrShutdown is returned by Send and Inject once Shutdown has begun.
+// It is a defined, stable sentinel: concurrent senders racing a
+// shutdown get this error — never a panic, never a deadlock.
+var ErrShutdown = errors.New("simnet: network is shut down")
 
 // Message is a routed payload.
 type Message struct {
@@ -39,11 +45,18 @@ func (c *Context) Send(to int, payload any) error {
 }
 
 // Network runs n goroutine nodes.
+//
+// The in-flight message count is a mutex-guarded counter with a condition
+// variable rather than a sync.WaitGroup: senders may race Shutdown, and a
+// WaitGroup's Add-concurrent-with-Wait is documented misuse (it can
+// panic), while counter increments simply serialize against the closed
+// check.
 type Network struct {
 	handler Handler
 	boxes   []*mailbox
-	pending sync.WaitGroup
 	mu      sync.Mutex
+	idle    *sync.Cond // signaled when pending drops to 0
+	pending int        // messages sent but not yet fully handled
 	closed  bool
 	wg      sync.WaitGroup
 }
@@ -103,6 +116,7 @@ func New(n int, handler Handler) (*Network, error) {
 		return nil, fmt.Errorf("simnet: nil handler")
 	}
 	net := &Network{handler: handler, boxes: make([]*mailbox, n)}
+	net.idle = sync.NewCond(&net.mu)
 	for i := range net.boxes {
 		net.boxes[i] = newMailbox()
 	}
@@ -122,8 +136,18 @@ func (n *Network) run(node int) {
 			return
 		}
 		n.handler(ctx, msg)
-		n.pending.Done()
+		n.done()
 	}
+}
+
+// done retires one in-flight message, waking quiescers at zero.
+func (n *Network) done() {
+	n.mu.Lock()
+	n.pending--
+	if n.pending == 0 {
+		n.idle.Broadcast()
+	}
+	n.mu.Unlock()
 }
 
 func (n *Network) send(from, to int, payload any) error {
@@ -133,31 +157,51 @@ func (n *Network) send(from, to int, payload any) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return fmt.Errorf("simnet: network is shut down")
+		return ErrShutdown
 	}
-	n.pending.Add(1)
+	n.pending++
 	n.mu.Unlock()
 	if !n.boxes[to].push(Message{From: from, To: to, Payload: payload}) {
-		n.pending.Done()
-		return fmt.Errorf("simnet: node %d mailbox closed", to)
+		// Shutdown closed the mailbox between our closed-check and the
+		// push; retire the reservation and report the same sentinel.
+		n.done()
+		return ErrShutdown
 	}
 	return nil
 }
 
 // Inject delivers an external message into the network (From = -1).
+// After Shutdown it returns ErrShutdown.
 func (n *Network) Inject(to int, payload any) error {
 	return n.send(-1, to, payload)
 }
 
 // Quiesce blocks until every injected and induced message has been
 // handled.
-func (n *Network) Quiesce() { n.pending.Wait() }
-
-// Shutdown quiesces and stops all node goroutines. The network cannot be
-// reused afterwards.
-func (n *Network) Shutdown() {
-	n.pending.Wait()
+func (n *Network) Quiesce() {
 	n.mu.Lock()
+	for n.pending > 0 {
+		n.idle.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// Shutdown quiesces and stops all node goroutines. It is safe to call
+// concurrently with senders: a send either lands before the network
+// drains (and is handled) or returns ErrShutdown. The network cannot be
+// reused afterwards; repeated Shutdown calls are no-ops that wait for
+// the first to finish.
+func (n *Network) Shutdown() {
+	n.mu.Lock()
+	for n.pending > 0 {
+		n.idle.Wait()
+	}
+	if n.closed {
+		// Another Shutdown won; the boxes are (being) closed.
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
 	n.closed = true
 	n.mu.Unlock()
 	for _, b := range n.boxes {

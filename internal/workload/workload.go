@@ -39,54 +39,86 @@ type GraphInstance struct {
 	Idx  metric.BallIndex
 }
 
-// Grid returns the side x side unit grid metric (UL-constrained; the
-// Kleinberg substrate).
-func Grid(side int) (MetricInstance, error) {
-	g, err := metric.NewGrid(side, 2, metric.L2)
+// MetricSpec names one metric instance of the catalogue plus its
+// per-family size knobs. The CLIs (swquery, ringsrv) and the oracle
+// serving engine all select workloads through it, so "the same workload"
+// means the same thing everywhere.
+type MetricSpec struct {
+	// Name selects the family: grid | cube | expline | latency.
+	Name string
+	// Side is the grid side (grid).
+	Side int
+	// N is the node count (cube, expline, latency).
+	N int
+	// LogAspect is the target log2 aspect ratio (expline).
+	LogAspect float64
+	// Seed drives the random families (cube, latency).
+	Seed int64
+}
+
+// Space builds the raw (unindexed) metric space of the spec along with
+// its canonical instance name. Callers that want a non-default ball-index
+// backend can index the space themselves; everyone else uses Metric.
+func (sp MetricSpec) Space() (metric.Space, string, error) {
+	switch sp.Name {
+	case "grid":
+		g, err := metric.NewGrid(sp.Side, 2, metric.L2)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, fmt.Sprintf("grid-%dx%d", sp.Side, sp.Side), nil
+	case "cube":
+		rng := rand.New(rand.NewSource(sp.Seed))
+		return metric.UniformCube(sp.N, 2, 100, rng), fmt.Sprintf("cube-n%d", sp.N), nil
+	case "expline":
+		l, err := metric.ExponentialLineForAspect(sp.N, sp.LogAspect)
+		if err != nil {
+			return nil, "", err
+		}
+		return l, fmt.Sprintf("expline-n%d-logA%.0f", sp.N, sp.LogAspect), nil
+	case "latency":
+		rng := rand.New(rand.NewSource(sp.Seed))
+		space, err := metric.NewClusteredLatency(sp.N, 3, []int{4, 4}, []float64{300, 60, 10}, 3, rng)
+		if err != nil {
+			return nil, "", err
+		}
+		return space, fmt.Sprintf("latency-n%d", sp.N), nil
+	default:
+		return nil, "", fmt.Errorf("workload: unknown metric family %q (want grid|cube|expline|latency)", sp.Name)
+	}
+}
+
+// Metric builds the instance named by the spec with the workload's
+// configured backend.
+func Metric(sp MetricSpec) (MetricInstance, error) {
+	space, name, err := sp.Space()
 	if err != nil {
 		return MetricInstance{}, err
 	}
-	return MetricInstance{
-		Name: fmt.Sprintf("grid-%dx%d", side, side),
-		Idx:  NewIndex(g),
-	}, nil
+	return MetricInstance{Name: name, Idx: NewIndex(space)}, nil
+}
+
+// Grid returns the side x side unit grid metric (UL-constrained; the
+// Kleinberg substrate).
+func Grid(side int) (MetricInstance, error) {
+	return Metric(MetricSpec{Name: "grid", Side: side})
 }
 
 // Cube returns n uniform points in a 2D square (doubling, random).
 func Cube(n int, seed int64) (MetricInstance, error) {
-	rng := rand.New(rand.NewSource(seed))
-	space := metric.UniformCube(n, 2, 100, rng)
-	return MetricInstance{
-		Name: fmt.Sprintf("cube-n%d", n),
-		Idx:  NewIndex(space),
-	}, nil
+	return Metric(MetricSpec{Name: "cube", N: n, Seed: seed})
 }
 
 // ExpLine returns the exponential line sized for a target log2 aspect —
 // the paper's super-polynomial-∆ workload.
 func ExpLine(n int, log2Aspect float64) (MetricInstance, error) {
-	l, err := metric.ExponentialLineForAspect(n, log2Aspect)
-	if err != nil {
-		return MetricInstance{}, err
-	}
-	return MetricInstance{
-		Name: fmt.Sprintf("expline-n%d-logA%.0f", n, log2Aspect),
-		Idx:  NewIndex(l),
-	}, nil
+	return Metric(MetricSpec{Name: "expline", N: n, LogAspect: log2Aspect})
 }
 
 // Latency returns the clustered Internet-latency metric (the Meridian
 // motivation).
 func Latency(n int, seed int64) (MetricInstance, error) {
-	rng := rand.New(rand.NewSource(seed))
-	space, err := metric.NewClusteredLatency(n, 3, []int{4, 4}, []float64{300, 60, 10}, 3, rng)
-	if err != nil {
-		return MetricInstance{}, err
-	}
-	return MetricInstance{
-		Name: fmt.Sprintf("latency-n%d", n),
-		Idx:  NewIndex(space),
-	}, nil
+	return Metric(MetricSpec{Name: "latency", N: n, Seed: seed})
 }
 
 // GridGraph returns the jittered grid graph instance (distinct pairwise

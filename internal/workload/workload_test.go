@@ -30,6 +30,47 @@ func TestMetricInstances(t *testing.T) {
 	}
 }
 
+func TestMetricSpecDispatch(t *testing.T) {
+	// The spec dispatcher and the named constructors are the same
+	// instances: identical names and identical distances.
+	pairs := []struct {
+		spec MetricSpec
+		make func() (MetricInstance, error)
+	}{
+		{MetricSpec{Name: "grid", Side: 5}, func() (MetricInstance, error) { return Grid(5) }},
+		{MetricSpec{Name: "cube", N: 40, Seed: 1}, func() (MetricInstance, error) { return Cube(40, 1) }},
+		{MetricSpec{Name: "expline", N: 24, LogAspect: 60}, func() (MetricInstance, error) { return ExpLine(24, 60) }},
+		{MetricSpec{Name: "latency", N: 40, Seed: 2}, func() (MetricInstance, error) { return Latency(40, 2) }},
+	}
+	for _, p := range pairs {
+		got, err := Metric(p.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", p.spec.Name, err)
+		}
+		want, err := p.make()
+		if err != nil {
+			t.Fatalf("%s: %v", p.spec.Name, err)
+		}
+		if got.Name != want.Name {
+			t.Errorf("%s: name %q vs %q", p.spec.Name, got.Name, want.Name)
+		}
+		n := got.Idx.N()
+		if n != want.Idx.N() {
+			t.Fatalf("%s: size mismatch", p.spec.Name)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if got.Idx.Dist(u, v) != want.Idx.Dist(u, v) {
+					t.Fatalf("%s: distance mismatch at (%d,%d)", p.spec.Name, u, v)
+				}
+			}
+		}
+	}
+	if _, err := Metric(MetricSpec{Name: "nope"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
 func TestGraphInstances(t *testing.T) {
 	cases := []struct {
 		name string

@@ -27,6 +27,7 @@ import (
 	"rings/internal/graph"
 	"rings/internal/metric"
 	"rings/internal/nnsearch"
+	"rings/internal/oracle"
 	"rings/internal/routing"
 	"rings/internal/smallworld"
 	"rings/internal/triangulation"
@@ -137,4 +138,32 @@ type NearestNeighborOverlay = nnsearch.Overlay
 // subset with Meridian's default ring constants.
 func NewNearestNeighborOverlay(idx Index, members []int, seed int64) (*NearestNeighborOverlay, error) {
 	return nnsearch.New(idx, members, nnsearch.DefaultConfig(seed))
+}
+
+// OracleConfig describes one serving snapshot: workload, estimator
+// scheme (labels/beacons), profile and artifact toggles.
+type OracleConfig = oracle.Config
+
+// OracleSnapshot is an immutable bundle of serving artifacts (labels,
+// beacons, ring overlay, router) over one workload.
+type OracleSnapshot = oracle.Snapshot
+
+// OracleEngine is the concurrency-safe query layer: lock-free snapshot
+// reads, zero-downtime Swap, a sharded estimate cache and per-endpoint
+// latency accounting. cmd/ringsrv serves it over HTTP; embedders can run
+// it in-process.
+type OracleEngine = oracle.Engine
+
+// OracleEngineOptions tunes the engine's cache and latency sampling.
+type OracleEngineOptions = oracle.EngineOptions
+
+// BuildOracleSnapshot constructs every artifact the config asks for
+// (the expensive call Swap exists to hide).
+func BuildOracleSnapshot(cfg OracleConfig) (*OracleSnapshot, error) {
+	return oracle.BuildSnapshot(cfg)
+}
+
+// NewOracleEngine creates an engine serving the given snapshot.
+func NewOracleEngine(snap *OracleSnapshot, opts OracleEngineOptions) *OracleEngine {
+	return oracle.NewEngine(snap, opts)
 }

@@ -93,4 +93,30 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if nn.Dist > 3*bestD {
 		t.Fatalf("nearest-member dist %v vs optimal %v", nn.Dist, bestD)
 	}
+
+	// The serving engine: build a snapshot, query it, swap a rebuild in.
+	snap, err := BuildOracleSnapshot(OracleConfig{Workload: "cube", N: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewOracleEngine(snap, OracleEngineOptions{})
+	est, err := engine.Estimate(0, 17)
+	if err != nil || !est.OK || est.Version != 1 {
+		t.Fatalf("oracle estimate %+v: %v", est, err)
+	}
+	if _, err := engine.Nearest(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Route(0, 31); err != nil {
+		t.Fatal(err)
+	}
+	next, err := BuildOracleSnapshot(OracleConfig{Workload: "cube", N: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Swap(next)
+	est, err = engine.Estimate(0, 17)
+	if err != nil || est.Version != 2 {
+		t.Fatalf("post-swap estimate %+v: %v", est, err)
+	}
 }

@@ -4,9 +4,11 @@
 //
 //	labeler -workload latency -n 100 -mode tri -pairs 0:5,3:77
 //	labeler -workload expline -n 48 -logaspect 300 -mode dls -verify
+//	labeler -workload latency -n 256 -mode dls -workers 4 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +16,9 @@ import (
 	"strings"
 
 	"rings/internal/distlabel"
+	"rings/internal/metric"
+	"rings/internal/oracle"
+	"rings/internal/par"
 	"rings/internal/triangulation"
 	"rings/internal/workload"
 )
@@ -25,19 +30,50 @@ func main() {
 	}
 }
 
+// pairReport is one pair query in the -json output.
+type pairReport struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Dist  float64 `json:"dist"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+	OK    bool    `json:"ok"`
+}
+
+// jsonReport is the machine-readable run summary (-json). Build reuses
+// oracle.BuildStats — the BENCH_build.json row schema — so the two
+// tools cannot drift; phases labeler does not run (index is folded
+// into the workload build here; no overlay/router/verify) stay zero.
+type jsonReport struct {
+	Mode    string            `json:"mode"`
+	Delta   float64           `json:"delta"`
+	MaxBits int               `json:"max_bits"`
+	Build   oracle.BuildStats `json:"build"`
+
+	Verified bool         `json:"verified"`
+	BadPairs int          `json:"bad_pairs"`
+	Pairs    []pairReport `json:"pairs"`
+}
+
 func run() error {
 	var (
-		wl     = flag.String("workload", "latency", "grid | cube | expline | latency")
-		side   = flag.Int("side", 7, "grid side")
-		n      = flag.Int("n", 64, "node count")
-		logA   = flag.Float64("logaspect", 60, "log2 aspect ratio (expline)")
-		mode   = flag.String("mode", "tri", "tri | dls | simple")
-		delta  = flag.Float64("delta", 0.5, "target approximation slack")
-		seed   = flag.Int64("seed", 1, "random seed")
-		pairs  = flag.String("pairs", "", "pair list u:v,u:v,... (default: a few samples)")
-		verify = flag.Bool("verify", false, "verify the guarantee over all pairs")
+		wl      = flag.String("workload", "latency", "grid | cube | expline | latency")
+		side    = flag.Int("side", 7, "grid side")
+		n       = flag.Int("n", 64, "node count")
+		logA    = flag.Float64("logaspect", 60, "log2 aspect ratio (expline)")
+		mode    = flag.String("mode", "tri", "tri | dls | simple")
+		delta   = flag.Float64("delta", 0.5, "target approximation slack")
+		seed    = flag.Int64("seed", 1, "random seed")
+		pairs   = flag.String("pairs", "", "pair list u:v,u:v,... (default: a few samples)")
+		verify  = flag.Bool("verify", false, "verify the guarantee over all pairs")
+		workers = flag.Int("workers", 0, "build parallelism across index and construction (0 = GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit one JSON report instead of text")
 	)
 	flag.Parse()
+	if *delta <= 0 || *delta > 1 {
+		return fmt.Errorf("delta = %v, want (0, 1]", *delta)
+	}
+	workload.SetIndexOptions(metric.Options{Workers: *workers})
 
 	var inst workload.MetricInstance
 	var err error
@@ -63,44 +99,81 @@ func run() error {
 		return err
 	}
 
+	report := jsonReport{Mode: *mode, Delta: *delta}
+	report.Build.Workload = inst.Name
+	report.Build.N = idx.N()
+	// Resolved count, not the raw flag: BuildSnapshot records it the
+	// same way, keeping the shared row schema comparable.
+	report.Build.Workers = par.Workers(*workers, idx.N())
+	quiet := func(format string, args ...any) {
+		if !*asJSON {
+			fmt.Printf(format, args...)
+		}
+	}
+	recordCons := func(cons *triangulation.Construction) {
+		report.Build.NetsSec = cons.Timings.Nets.Seconds()
+		report.Build.RadiiSec = cons.Timings.Radii.Seconds()
+		report.Build.PackingsSec = cons.Timings.Packings.Seconds()
+		report.Build.RingsSec = cons.Timings.Rings.Seconds()
+	}
+
+	params := triangulation.DefaultParams(*delta / 6)
+	params.Workers = *workers
+
 	estimate := func(u, v int) (lo, hi float64, ok bool) { return 0, 0, false }
 	switch *mode {
 	case "tri":
-		tri, err := triangulation.New(idx, *delta)
+		cons, err := triangulation.NewConstructionParams(idx, params)
 		if err != nil {
 			return err
 		}
+		recordCons(cons)
+		tri := triangulation.FromConstruction(cons, *delta)
 		bits, err := tri.MaxLabelBits()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("(0,%.2g)-triangulation on %s: order %d, label bits(max) %d\n",
+		report.MaxBits = bits
+		quiet("(0,%.2g)-triangulation on %s: order %d, label bits(max) %d\n",
 			*delta, inst.Name, tri.Order(), bits)
 		if *verify {
 			st, err := tri.VerifyAllPairs()
 			if err != nil {
 				return err
 			}
-			fmt.Printf("verified %d pairs: worst D+/D- = %.4f, bad pairs = %d\n",
+			report.Verified, report.BadPairs = true, st.BadPairs
+			quiet("verified %d pairs: worst D+/D- = %.4f, bad pairs = %d\n",
 				st.Pairs, st.WorstRatio, st.BadPairs)
 		}
 		estimate = tri.Estimate
 	case "dls":
-		s, err := distlabel.New(idx, *delta)
+		cons, err := triangulation.NewConstructionParams(idx, params)
 		if err != nil {
 			return err
 		}
+		recordCons(cons)
+		s, err := distlabel.FromConstruction(cons, *delta)
+		if err != nil {
+			return err
+		}
+		report.Build.ZSetsSec = s.Timings.ZSets.Seconds()
+		report.Build.TSetsSec = s.Timings.TSets.Seconds()
+		report.Build.HostEnumsSec = s.Timings.HostEnums.Seconds()
+		report.Build.LabelFillSec = s.Timings.Labels.Seconds()
+		report.Build.Scheme = oracle.SchemeLabels
 		bits, err := s.MaxLabelBits()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("thm3.4 labels on %s: label bits(max) %d (no global IDs)\n", inst.Name, bits)
+		report.MaxBits = bits
+		quiet("thm3.4 labels on %s: label bits(max) %d (no global IDs)\n", inst.Name, bits)
 		if *verify {
 			st, err := s.VerifyAllPairs()
 			if err != nil {
 				return err
 			}
-			fmt.Printf("verified %d pairs: worst D+/d = %.4f, bad pairs = %d\n",
+			report.Verified, report.BadPairs = true, st.BadPairs
+			quiet("verified %d pairs: worst D+/d = %.4f, bad pairs = %d\n",
 				st.Pairs, st.WorstUpperSlack, st.BadPairs)
 		}
 		estimate = func(u, v int) (float64, float64, bool) {
@@ -115,12 +188,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("[44]-style labels on %s: label bits(max) %d (global IDs)\n", inst.Name, bits)
+		report.MaxBits = bits
+		quiet("[44]-style labels on %s: label bits(max) %d (global IDs)\n", inst.Name, bits)
 		if *verify {
 			if err := s.Verify(); err != nil {
 				return err
 			}
-			fmt.Println("verified all pairs")
+			report.Verified = true
+			quiet("verified all pairs\n")
 		}
 		estimate = s.Estimate
 	default:
@@ -130,12 +205,18 @@ func run() error {
 	for _, p := range queryPairs {
 		lo, hi, ok := estimate(p[0], p[1])
 		d := idx.Dist(p[0], p[1])
+		report.Pairs = append(report.Pairs, pairReport{U: p[0], V: p[1], Dist: d, Lower: lo, Upper: hi, OK: ok})
 		if !ok {
-			fmt.Printf("  d(%d,%d): no common beacon (unexpected)\n", p[0], p[1])
+			quiet("  d(%d,%d): no common beacon (unexpected)\n", p[0], p[1])
 			continue
 		}
-		fmt.Printf("  d(%d,%d) = %.6g   certified in [%.6g, %.6g]  (ratio %.4f)\n",
+		quiet("  d(%d,%d) = %.6g   certified in [%.6g, %.6g]  (ratio %.4f)\n",
 			p[0], p[1], d, lo, hi, hi/d)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
 	return nil
 }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"rings/internal/oracle"
+	"rings/internal/stats"
+)
+
+// buildBenchFile is the BENCH_build.json schema: one row per instance
+// size, each row the oracle's per-phase build breakdown. CI uploads the
+// file as an artifact and gates merges on the n=1024 label-build row
+// (see -baseline).
+type buildBenchFile struct {
+	Schema string              `json:"schema"`
+	Seed   int64               `json:"seed"`
+	Rows   []oracle.BuildStats `json:"rows"`
+}
+
+const buildBenchSchema = "rings/bench-build/v1"
+
+// expBuild measures the construction pipeline end to end — index, nets,
+// packings, rings, Z/T-sets, label fill, overlay, router — at a sweep
+// of sizes on the latency workload (labels scheme, tuned profile: the
+// serving configuration DESIGN.md §7 targets). With -json the rows are
+// written to -benchout; with -baseline the run fails if the label build
+// at the gate size regressed more than 25%.
+func expBuild(seed int64, quick bool) error {
+	section("B2 / build pipeline — per-phase breakdown")
+	sizes := []int{128, 256, 512, 1024}
+	if quick {
+		sizes = []int{128, 256}
+	}
+	if buildSizes != "" {
+		sizes = sizes[:0]
+		for _, tok := range strings.Split(buildSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 4 {
+				return fmt.Errorf("bad -sizes entry %q", tok)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+
+	tbl := stats.NewTable("n", "index", "nets", "packings", "rings", "Z-sets", "T-sets",
+		"hosts", "label fill", "labels total", "overlay", "router", "total")
+	var rows []oracle.BuildStats
+	for _, n := range sizes {
+		snap, err := oracle.BuildSnapshot(oracle.Config{
+			Workload: "latency",
+			N:        n,
+			Seed:     seed,
+			Scheme:   oracle.SchemeLabels,
+			Profile:  oracle.ProfileTuned,
+			Backend:  benchBackend,
+			Workers:  benchWorkers,
+		})
+		if err != nil {
+			return fmt.Errorf("build n=%d: %w", n, err)
+		}
+		b := snap.Build
+		rows = append(rows, b)
+		tbl.AddRow(n, secs(b.IndexSec), secs(b.NetsSec), secs(b.PackingsSec), secs(b.RingsSec),
+			secs(b.ZSetsSec), secs(b.TSetsSec), secs(b.HostEnumsSec), secs(b.LabelFillSec),
+			secs(b.LabelsTotalSec), secs(b.OverlaySec), secs(b.RouterSec), secs(b.TotalSec))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nPhases overlap: labels, overlay and router build concurrently, so 'total'")
+	fmt.Println("can undercut the phase sum on multi-core runs (GOMAXPROCS here:", maxprocs(), "workers).")
+
+	if jsonOut {
+		if err := writeBuildBench(benchOut, buildBenchFile{Schema: buildBenchSchema, Seed: seed, Rows: rows}); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", benchOut, len(rows))
+	}
+	if baselinePath != "" {
+		if err := checkBuildBaseline(baselinePath, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gateSize is the instance the CI regression gate pins: large enough
+// that the label build dominates, small enough for every CI runner.
+const gateSize = 1024
+
+// checkBuildBaseline compares this run's label-build seconds at the gate
+// size (or the largest size both runs measured) against the checked-in
+// baseline and fails beyond 25% regression.
+func checkBuildBaseline(path string, rows []oracle.BuildStats) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base buildBenchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	// Gate on the gateSize row when both runs have it, else the largest
+	// size both measured (so reduced -sizes sweeps still gate on their
+	// common prefix).
+	byN := func(rows []oracle.BuildStats) map[int]oracle.BuildStats {
+		m := make(map[int]oracle.BuildStats, len(rows))
+		for _, r := range rows {
+			m[r.N] = r
+		}
+		return m
+	}
+	baseByN, runByN := byN(base.Rows), byN(rows)
+	gateN, found := -1, false
+	for n := range runByN {
+		if _, ok := baseByN[n]; !ok {
+			continue
+		}
+		if n == gateSize {
+			gateN, found = n, true
+			break
+		}
+		if n > gateN {
+			gateN, found = n, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("baseline: no common gate size between %s and this run", path)
+	}
+	bRow, nRow := baseByN[gateN], runByN[gateN]
+	// Wall-clock only compares cleanly on matching parallelism (and,
+	// implicitly, machine class). On a worker mismatch the gate widens
+	// to catastrophic-only (4×): it still catches a blown-up build
+	// without turning cross-machine wall-clock noise into CI flakes.
+	factor := 1.25
+	if nRow.Workers != bRow.Workers {
+		factor = 4
+		fmt.Printf("\nbaseline gate: worker mismatch (run %d vs baseline %d): widening to catastrophic-only (%.0f×)\n",
+			nRow.Workers, bRow.Workers, factor)
+	}
+	limit := bRow.LabelsTotalSec * factor
+	fmt.Printf("\nbaseline gate: n=%d label build %.3fs vs baseline %.3fs (limit %.3fs)\n",
+		nRow.N, nRow.LabelsTotalSec, bRow.LabelsTotalSec, limit)
+	if nRow.LabelsTotalSec > limit {
+		return fmt.Errorf("label build at n=%d regressed: %.3fs > %.2f × baseline %.3fs",
+			nRow.N, nRow.LabelsTotalSec, factor, bRow.LabelsTotalSec)
+	}
+	return nil
+}
+
+func writeBuildBench(path string, file buildBenchFile) error {
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func secs(s float64) string { return fmt.Sprintf("%.3fs", s) }
+
+func maxprocs() int { return runtime.GOMAXPROCS(0) }

@@ -25,6 +25,20 @@ func main() {
 	}
 }
 
+// Flags consumed by the build experiment (package-level plain values so
+// the experiment table's uniform func(seed, quick) signature stays
+// intact and tests can call expBuild without flag parsing).
+var (
+	jsonOut      bool
+	benchOut     = "BENCH_build.json"
+	baselinePath string
+	buildSizes   string
+	// benchBackend/benchWorkers mirror -backend/-workers into the build
+	// experiment's snapshot configs ("" means the oracle default, eager).
+	benchBackend string
+	benchWorkers int
+)
+
 func run() error {
 	var (
 		exp     = flag.String("exp", "all", "experiments to run (comma-separated, or 'all')")
@@ -33,6 +47,10 @@ func run() error {
 		backend = flag.String("backend", "eager", "ball-index backend: eager (parallel full sort) or lazy (memory-bounded)")
 		workers = flag.Int("workers", 0, "index build/scan parallelism (0 = GOMAXPROCS)")
 	)
+	flag.BoolVar(&jsonOut, "json", false, "write machine-readable output (build experiment: BENCH_build.json)")
+	flag.StringVar(&benchOut, "benchout", benchOut, "output path for -json build rows")
+	flag.StringVar(&baselinePath, "baseline", "", "BENCH_build.json baseline; fail if the gate-size label build regressed >25%")
+	flag.StringVar(&buildSizes, "sizes", "", "comma-separated n values for -exp build (default 128,256,512,1024; quick: 128,256)")
 	flag.Parse()
 
 	opts := metric.Options{Workers: *workers}
@@ -45,8 +63,10 @@ func run() error {
 		return fmt.Errorf("unknown -backend %q (want eager or lazy)", *backend)
 	}
 	workload.SetIndexOptions(opts)
+	benchBackend, benchWorkers = *backend, *workers
 
 	all := map[string]func(int64, bool) error{
+		"build":      expBuild,
 		"table1":     expTable1,
 		"table2":     expTable2,
 		"table3":     expTable3,

@@ -10,6 +10,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		t.Skip("short mode")
 	}
 	experiments := map[string]func(int64, bool) error{
+		"build":      expBuild,
 		"table1":     expTable1,
 		"table2":     expTable2,
 		"table3":     expTable3,

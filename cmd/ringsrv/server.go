@@ -193,10 +193,13 @@ type snapshotRequest struct {
 }
 
 type snapshotResponse struct {
-	Version  int64   `json:"version"`
-	N        int     `json:"n"`
-	Workload string  `json:"workload"`
-	BuildSec float64 `json:"build_sec"`
+	Version  int64  `json:"version"`
+	N        int    `json:"n"`
+	Workload string `json:"workload"`
+	// BuildSec predates the per-phase breakdown and is kept for
+	// pre-PR-3 clients; it always equals Build.TotalSec.
+	BuildSec float64           `json:"build_sec"`
+	Build    oracle.BuildStats `json:"build"`
 }
 
 // handleSnapshot rebuilds the snapshot on a fresh seed and swaps it in.
@@ -232,6 +235,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		N:        snap.N(),
 		Workload: snap.Name,
 		BuildSec: snap.BuildElapsed.Seconds(),
+		Build:    snap.Build,
 	})
 }
 

@@ -254,3 +254,42 @@ func TestServerConcurrentQueriesDuringRebuild(t *testing.T) {
 		}
 	}
 }
+
+// TestServerExposesBuildStats: the per-phase build breakdown of the
+// served snapshot travels through both /stats and /snapshot, and the
+// /snapshot response describes the snapshot it just built (a fresh
+// breakdown, not the old one).
+func TestServerExposesBuildStats(t *testing.T) {
+	engine := testEngine(t)
+	ts := httptest.NewServer(newServer(engine))
+	defer ts.Close()
+
+	var stats oracle.EngineStats
+	getJSON(t, ts, "/stats", http.StatusOK, &stats)
+	b := stats.Build
+	if b.N != 48 || b.Scheme != oracle.SchemeLabels || b.Workers < 1 {
+		t.Fatalf("stats.build = %+v", b)
+	}
+	if b.TotalSec <= 0 || b.LabelsTotalSec <= 0 || b.OverlaySec <= 0 || b.RouterSec <= 0 {
+		t.Fatalf("stats.build phases not populated: %+v", b)
+	}
+	if sum := b.ZSetsSec + b.TSetsSec + b.HostEnumsSec + b.LabelFillSec; sum <= 0 || sum > b.LabelsTotalSec {
+		t.Fatalf("label sub-phases %v inconsistent with total %v", sum, b.LabelsTotalSec)
+	}
+
+	var snapResp snapshotResponse
+	postJSON(t, ts, "/snapshot", snapshotRequest{Seed: 9}, http.StatusOK, &snapResp)
+	if snapResp.Build.N != 48 || snapResp.Build.TotalSec <= 0 {
+		t.Fatalf("snapshot.build = %+v", snapResp.Build)
+	}
+	if snapResp.Build.TotalSec > snapResp.BuildSec {
+		t.Fatalf("phase total %v exceeds build_sec %v", snapResp.Build.TotalSec, snapResp.BuildSec)
+	}
+
+	// The engine now serves the rebuilt snapshot's breakdown.
+	getJSON(t, ts, "/stats", http.StatusOK, &stats)
+	if stats.Version != snapResp.Version || stats.Build.TotalSec != snapResp.Build.TotalSec {
+		t.Fatalf("stats after swap: version %d build %+v, want version %d build %+v",
+			stats.Version, stats.Build, snapResp.Version, snapResp.Build)
+	}
+}

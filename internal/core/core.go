@@ -63,10 +63,21 @@ func NewEnum(nodes []int) Enum {
 // the shared level-0 neighbors first, so their indices coincide across all
 // hosts while later levels stay host-specific.
 func NewEnumOrdered(groups ...[]int) Enum {
-	e := Enum{index: make(map[int]int32)}
-	for _, g := range groups {
+	sortedGroups := make([][]int, len(groups))
+	for gi, g := range groups {
 		sorted := append([]int(nil), g...)
 		sort.Ints(sorted)
+		sortedGroups[gi] = sorted
+	}
+	return NewEnumOrderedSorted(sortedGroups...)
+}
+
+// NewEnumOrderedSorted is NewEnumOrdered for groups that are already
+// sorted ascending (duplicates allowed) — the allocation-lean entry the
+// parallel label build uses with its merge-sorted scratch groups.
+func NewEnumOrderedSorted(groups ...[]int) Enum {
+	e := Enum{index: make(map[int]int32)}
+	for _, sorted := range groups {
 		for i, v := range sorted {
 			if i > 0 && v == sorted[i-1] {
 				continue
@@ -77,6 +88,17 @@ func NewEnumOrdered(groups ...[]int) Enum {
 			e.index[v] = int32(len(e.nodes))
 			e.nodes = append(e.nodes, v)
 		}
+	}
+	return e
+}
+
+// NewEnumFromSorted builds an enumeration from a slice that is already
+// sorted ascending and duplicate-free, taking ownership of it (no copy,
+// no sort). The caller must not modify nodes afterwards.
+func NewEnumFromSorted(nodes []int) Enum {
+	e := Enum{nodes: nodes, index: make(map[int]int32, len(nodes))}
+	for i, v := range nodes {
+		e.index[v] = int32(i)
 	}
 	return e
 }

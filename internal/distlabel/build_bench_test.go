@@ -1,0 +1,34 @@
+package distlabel
+
+import (
+	"fmt"
+	"testing"
+
+	"rings/internal/triangulation"
+	"rings/internal/workload"
+)
+
+// BenchmarkLabelBuild measures the tuned-profile construction + label
+// build — the pipeline EXPERIMENTS.md B2 tracks. Run with -benchmem:
+// the allocation count is the headline number the scratch/bitset design
+// targets.
+func BenchmarkLabelBuild(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		inst, err := workload.Latency(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cons, err := triangulation.NewConstructionParams(inst.Idx, triangulation.TunedParams(0.5/6, 2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := FromConstruction(cons, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

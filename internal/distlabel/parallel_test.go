@@ -1,0 +1,91 @@
+package distlabel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rings/internal/triangulation"
+	"rings/internal/workload"
+)
+
+// TestParallelBuildWireIdentical is the cross-build equivalence
+// property: for every workload generator in the catalogue, the scheme
+// built with 4 workers produces wire-identical labels — and identical
+// X/Y/Zoom rings and virtual-neighbor sets T_u — to the sequential
+// (1-worker) build. Run under -race in CI, this is also the proof that
+// the parallel fills share no mutable state.
+func TestParallelBuildWireIdentical(t *testing.T) {
+	specs := []workload.MetricSpec{
+		{Name: "grid", Side: 5},
+		{Name: "cube", N: 48, Seed: 21},
+		{Name: "expline", N: 28, LogAspect: 60},
+		{Name: "latency", N: 48, Seed: 22},
+	}
+	for _, spec := range specs {
+		inst, err := workload.Metric(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(inst.Name, func(t *testing.T) {
+			build := func(workers int) *Scheme {
+				params := triangulation.DefaultParams(0.5 / 6)
+				params.Workers = workers
+				cons, err := triangulation.NewConstructionParams(inst.Idx, params)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				s, err := FromConstruction(cons, 0.5)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return s
+			}
+			seq := build(1)
+			parl := build(4)
+
+			if !reflect.DeepEqual(seq.Cons.X, parl.Cons.X) ||
+				!reflect.DeepEqual(seq.Cons.Y, parl.Cons.Y) ||
+				!reflect.DeepEqual(seq.Cons.Zoom, parl.Cons.Zoom) {
+				t.Fatal("X/Y/Zoom rings diverged between worker counts")
+			}
+			n := inst.Idx.N()
+			for u := 0; u < n; u++ {
+				if !reflect.DeepEqual(seq.VirtualEnum(u).Nodes(), parl.VirtualEnum(u).Nodes()) {
+					t.Fatalf("T_%d diverged", u)
+				}
+				if !reflect.DeepEqual(seq.HostEnum(u).Nodes(), parl.HostEnum(u).Nodes()) {
+					t.Fatalf("host enumeration of %d diverged", u)
+				}
+			}
+			if seq.MaxT != parl.MaxT {
+				t.Fatalf("MaxT %d vs %d", seq.MaxT, parl.MaxT)
+			}
+
+			wireSeq, err := seq.Wire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wirePar, err := parl.Wire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wireSeq != wirePar {
+				t.Fatalf("wire contexts diverged: %+v vs %+v", wireSeq, wirePar)
+			}
+			for u := 0; u < n; u++ {
+				bufS, bitsS, err := wireSeq.Encode(seq.Label(u))
+				if err != nil {
+					t.Fatal(err)
+				}
+				bufP, bitsP, err := wirePar.Encode(parl.Label(u))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bitsS != bitsP || !bytes.Equal(bufS, bufP) {
+					t.Fatalf("label %d: wire forms differ (%d vs %d bits)", u, bitsS, bitsP)
+				}
+			}
+		})
+	}
+}

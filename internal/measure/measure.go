@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"rings/internal/metric"
 	"rings/internal/nets"
@@ -134,11 +135,15 @@ func (m *Measure) Total(nodes []int) float64 {
 // Sampler supports measure-weighted sampling from metric balls: the
 // primitive behind the paper's Y-type small-world contacts ("select a node
 // from the ball B according to the probability distribution µ(·)/µ(B)").
-// Per-node prefix sums over the distance-sorted order are built lazily.
+// Per-node prefix sums over the distance-sorted order are built lazily,
+// behind atomic pointers: the parallel construction pipeline (packings,
+// small-world contact sampling) hits one sampler from many workers, and
+// a racing duplicate build computes the identical slice, so last-write
+// -wins publication is both safe and deterministic.
 type Sampler struct {
 	idx    metric.BallIndex
 	m      *Measure
-	prefix [][]float64
+	prefix []atomic.Pointer[[]float64]
 }
 
 // NewSampler pairs an index with a measure over the same node set.
@@ -146,15 +151,15 @@ func NewSampler(idx metric.BallIndex, m *Measure) (*Sampler, error) {
 	if idx.N() != m.N() {
 		return nil, fmt.Errorf("measure: index has %d nodes, measure %d", idx.N(), m.N())
 	}
-	return &Sampler{idx: idx, m: m, prefix: make([][]float64, idx.N())}, nil
+	return &Sampler{idx: idx, m: m, prefix: make([]atomic.Pointer[[]float64], idx.N())}, nil
 }
 
 // Measure returns the sampler's measure.
 func (s *Sampler) Measure() *Measure { return s.m }
 
 func (s *Sampler) prefixFor(u int) []float64 {
-	if p := s.prefix[u]; p != nil {
-		return p
+	if p := s.prefix[u].Load(); p != nil {
+		return *p
 	}
 	row := s.idx.Sorted(u)
 	p := make([]float64, len(row))
@@ -163,7 +168,7 @@ func (s *Sampler) prefixFor(u int) []float64 {
 		acc += s.m.Of(nb.Node)
 		p[i] = acc
 	}
-	s.prefix[u] = p
+	s.prefix[u].Store(&p)
 	return p
 }
 

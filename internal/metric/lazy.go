@@ -4,6 +4,8 @@ import (
 	"iter"
 	"math"
 	"sort"
+
+	"rings/internal/par"
 	"sync"
 	"sync/atomic"
 )
@@ -63,7 +65,7 @@ func NewLazyIndex(space Space, opts Options) *LazyIndex {
 		space:   space,
 		n:       n,
 		initial: initial,
-		workers: clampWorkers(opts.Workers, n),
+		workers: par.Workers(opts.Workers, n),
 		rows:    make([]lazyRow, n),
 	}
 }

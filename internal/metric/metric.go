@@ -28,10 +28,9 @@ import (
 	"fmt"
 	"iter"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
+
+	"rings/internal/par"
 )
 
 // Space is a finite metric space on the node set {0, ..., N()-1}.
@@ -178,7 +177,7 @@ func newEager(space Space, workers int) *Index {
 		sorted: make([][]Neighbor, n),
 		minPos: math.Inf(1),
 	}
-	workers = clampWorkers(workers, n)
+	workers = par.Workers(workers, n)
 	if workers <= 1 {
 		for u := 0; u < n; u++ {
 			idx.setRow(u, buildRow(space, u, n))
@@ -202,65 +201,37 @@ func newEager(space Space, workers int) *Index {
 	return idx
 }
 
-// parallelScan distributes [0, n) across workers goroutines and merges
-// each range's (diameter, min positive distance) fold. Workers claim
-// small interleaved batches from a shared counter — cheap dynamic load
-// balancing, since Dist cost can be arbitrarily uneven across
-// user-supplied spaces and triangular pair scans skew work toward low
-// node ids.
+// parallelScan distributes [0, n) across the shared par worker pool and
+// merges each range's (diameter, min positive distance) fold. Dynamic
+// batch claiming matters here: Dist cost can be arbitrarily uneven
+// across user-supplied spaces and triangular pair scans skew work toward
+// low node ids.
 func parallelScan(n, workers int, scan func(lo, hi int) (diam, minPos float64)) (diam, minPos float64) {
-	const batch = 16
+	workers = par.Workers(workers, n)
+	diams := make([]float64, workers)
+	mins := make([]float64, workers)
+	for w := range mins {
+		mins[w] = math.Inf(1)
+	}
+	par.ForRange(workers, n, func(w, lo, hi int) {
+		d, m := scan(lo, hi)
+		if d > diams[w] {
+			diams[w] = d
+		}
+		if m < mins[w] {
+			mins[w] = m
+		}
+	})
 	minPos = math.Inf(1)
-	var next atomic.Int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			localDiam, localMin := 0.0, math.Inf(1)
-			for {
-				lo := int(next.Add(batch)) - batch
-				if lo >= n {
-					break
-				}
-				hi := lo + batch
-				if hi > n {
-					hi = n
-				}
-				d, m := scan(lo, hi)
-				if d > localDiam {
-					localDiam = d
-				}
-				if m < localMin {
-					localMin = m
-				}
-			}
-			mu.Lock()
-			if localDiam > diam {
-				diam = localDiam
-			}
-			if localMin < minPos {
-				minPos = localMin
-			}
-			mu.Unlock()
-		}()
+		if diams[w] > diam {
+			diam = diams[w]
+		}
+		if mins[w] < minPos {
+			minPos = mins[w]
+		}
 	}
-	wg.Wait()
 	return diam, minPos
-}
-
-func clampWorkers(workers, n int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
 }
 
 func buildRow(space Space, u, n int) []Neighbor {

@@ -180,14 +180,27 @@ func (h *Hierarchy) NearestInLevel(k, u int) (node int, dist float64) {
 // InBall returns the members of level k inside the closed ball B_u(r), in
 // ascending distance order from u.
 func (h *Hierarchy) InBall(k, u int, r float64) []int {
-	var out []int
+	return h.AppendInBall(nil, k, u, r)
+}
+
+// AppendInBall appends the members of level k inside the closed ball
+// B_u(r), in ascending distance order from u, to dst and returns it. It
+// is the allocation-free form of InBall for callers with scratch
+// buffers (the parallel ring and Z-set fills).
+func (h *Hierarchy) AppendInBall(dst []int, k, u int, r float64) []int {
+	mask := h.member[k]
 	for _, nb := range h.idx.Ball(u, r) {
-		if h.member[k][nb.Node] {
-			out = append(out, nb.Node)
+		if mask[nb.Node] {
+			dst = append(dst, nb.Node)
 		}
 	}
-	return out
+	return dst
 }
+
+// MaskLevel returns the level-k membership mask, indexed by node id
+// (shared; callers must not modify). It lets tight loops test
+// membership without the per-call level translation.
+func (h *Hierarchy) MaskLevel(k int) []bool { return h.member[k] }
 
 // RoutingScales returns the Section 2 scale sequence s_j = D/2^j for
 // j = 0..L-1, where D is the diameter and L is chosen so the last scale is
@@ -276,6 +289,17 @@ func (a Ascending) Nearest(j, u int) (node int, dist float64) {
 func (a Ascending) InBall(j, u int, r float64) []int {
 	return a.H.InBall(a.level(j), u, r)
 }
+
+// AppendInBall appends the members of G_j within the closed ball B_u(r),
+// ascending by distance from u, to dst and returns it (the
+// allocation-free InBall).
+func (a Ascending) AppendInBall(dst []int, j, u int, r float64) []int {
+	return a.H.AppendInBall(dst, a.level(j), u, r)
+}
+
+// Mask returns the G_j membership mask indexed by node id (shared; do
+// not modify).
+func (a Ascending) Mask(j int) []bool { return a.H.MaskLevel(a.level(j)) }
 
 // JForScale clamps and converts a real-valued scale to a valid ascending
 // index: the paper's j = max(0, floor(log2 s)) idiom, relative to the

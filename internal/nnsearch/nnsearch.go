@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"rings/internal/intset"
 	"rings/internal/metric"
 )
 
@@ -63,21 +64,19 @@ func New(idx metric.BallIndex, members []int, cfg Config) (*Overlay, error) {
 	if cfg.RingBase <= 1 || cfg.PerRing < 1 {
 		return nil, fmt.Errorf("nnsearch: invalid config %+v", cfg)
 	}
-	uniq := map[int]bool{}
+	var uniq intset.Set
+	uniq.Reset(idx.N())
 	for _, m := range members {
 		if m < 0 || m >= idx.N() {
 			return nil, fmt.Errorf("nnsearch: member %d out of range", m)
 		}
-		uniq[m] = true
+		uniq.Add(m)
 	}
-	if len(uniq) == 0 {
+	if uniq.Len() == 0 {
 		return nil, fmt.Errorf("nnsearch: no members")
 	}
-	o := &Overlay{idx: idx, cfg: cfg, rings: make(map[int][]int, len(uniq))}
-	for m := range uniq {
-		o.members = append(o.members, m)
-	}
-	sort.Ints(o.members)
+	o := &Overlay{idx: idx, cfg: cfg, rings: make(map[int][]int, uniq.Len())}
+	o.members = uniq.Sorted()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, m := range o.members {
 		o.rings[m] = o.sampleRings(m, rng)
@@ -212,23 +211,30 @@ func (o *Overlay) MultiRange(entry, target int, r float64, maxHops int) ([]int, 
 	if err != nil {
 		return nil, err
 	}
-	seen := map[int]bool{}
+	// Scratch sets live in the member universe (ids remapped through the
+	// sorted member list), not the node universe: per query that is one
+	// |members|-sized allocation each instead of O(n). (Not pooled
+	// per-Overlay: MultiRange must stay safe for concurrent callers, and
+	// a pool's mutex would serialize them for a small win.)
+	mi := func(id int) int { return sort.SearchInts(o.members, id) }
+	var seen, visited intset.Set
+	seen.Reset(len(o.members))
+	visited.Reset(len(o.members))
 	var out []int
 	stack := []int{res.Member}
-	visited := map[int]bool{res.Member: true}
+	visited.Add(mi(res.Member))
 	for len(stack) > 0 {
 		m := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if o.idx.Dist(m, target) <= r && !seen[m] {
-			seen[m] = true
+		if o.idx.Dist(m, target) <= r && seen.Add(mi(m)) {
 			out = append(out, m)
 		}
 		if o.idx.Dist(m, target) > 2*r {
 			continue // too far to contribute new in-range members
 		}
 		for _, v := range o.rings[m] {
-			if !visited[v] && o.idx.Dist(v, target) <= 2*r {
-				visited[v] = true
+			if vi := mi(v); !visited.Has(vi) && o.idx.Dist(v, target) <= 2*r {
+				visited.Add(vi)
 				stack = append(stack, v)
 			}
 		}

@@ -260,6 +260,7 @@ type EngineStats struct {
 	Version   int64                    `json:"version"`
 	Swaps     int64                    `json:"swaps"`
 	UptimeSec float64                  `json:"uptime_sec"`
+	Build     BuildStats               `json:"build"`
 	Cache     CacheStats               `json:"cache"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
@@ -274,6 +275,7 @@ func (e *Engine) Stats() EngineStats {
 		Version:   st.snap.Version,
 		Swaps:     e.swaps.Load(),
 		UptimeSec: time.Since(e.started).Seconds(),
+		Build:     st.snap.Build,
 		Cache:     st.cache.stats(),
 		Endpoints: make(map[string]EndpointStats, len(e.endpoints)),
 	}

@@ -33,10 +33,11 @@
 // Theorem 3.4 labels ("labels", the paper's headline scheme — answers are
 // byte-identical to distlabel.Estimate on the same labels) or from the
 // Theorem 3.2 triangulation directly ("beacons"). Labels carry the full
-// zooming machinery and their construction cost grows steeply with n;
-// beacon estimates build in seconds at n = 4096 under the tuned profile
-// (see triangulation.TunedParams and DESIGN.md §4), which is what the
-// serving benchmarks use.
+// zooming machinery; since the parallel allocation-lean build of
+// DESIGN.md §7 they are buildable at serving scale (~5 s at n = 2048
+// single-core under the tuned profile, EXPERIMENTS.md B2), and every
+// snapshot carries its per-phase BuildStats so the cost stays tracked.
+// Beacon estimates remain the cheap fallback for the largest instances.
 package oracle
 
 import (
@@ -46,6 +47,7 @@ import (
 	"rings/internal/distlabel"
 	"rings/internal/metric"
 	"rings/internal/nnsearch"
+	"rings/internal/par"
 	"rings/internal/routing"
 	"rings/internal/triangulation"
 	"rings/internal/workload"
@@ -198,18 +200,26 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	phase := time.Now()
 	idx := metric.New(space, opts)
 	n := idx.N()
+	indexSec := time.Since(phase).Seconds()
 
+	params.Workers = cfg.Workers
 	cons, err := triangulation.NewConstructionParams(idx, params)
 	if err != nil {
 		return nil, err
 	}
+	phase = time.Now()
 	tri := triangulation.FromConstruction(cons, cfg.Delta)
+	triSec := time.Since(phase).Seconds()
+	verifySec := 0.0
 	if cfg.Verify {
+		phase = time.Now()
 		if _, err := tri.VerifyAllPairs(); err != nil {
 			return nil, fmt.Errorf("oracle: triangulation verification: %w", err)
 		}
+		verifySec = time.Since(phase).Seconds()
 	}
 
 	snap := &Snapshot{
@@ -219,50 +229,102 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 		Tri:    tri,
 	}
 
-	if cfg.Scheme == SchemeLabels {
-		scheme, err := distlabel.FromConstruction(cons, cfg.Delta)
-		if err != nil {
-			return nil, err
-		}
-		snap.Scheme = scheme
-		snap.Labels = make([]*distlabel.Label, n)
-		for u := 0; u < n; u++ {
-			snap.Labels[u] = scheme.Label(u)
-		}
-	} // SchemeBeacons: estimates come straight from snap.Tri.
-
-	if !cfg.SkipOverlay {
-		stride := cfg.MemberStride
-		if stride < 1 {
-			stride = 1
-		}
-		var members []int
-		for m := 0; m < n; m += stride {
-			members = append(members, m)
-		}
-		overlay, err := nnsearch.New(idx, members, nnsearch.DefaultConfig(cfg.Seed))
-		if err != nil {
-			return nil, err
-		}
-		snap.Overlay = overlay
-		snap.entry = overlay.Members()[0]
-		// The climb strictly decreases the distance over a finite member
-		// set, so |members|+1 hops always suffice.
-		snap.nearHops = len(overlay.Members()) + 1
-	}
-
-	if !cfg.SkipRouting {
-		router, err := routing.NewThm21Metric(idx, cfg.Delta)
-		if err != nil {
-			return nil, err
-		}
-		snap.Router = router
-		snap.routeHops = cfg.RouteHops
-		if snap.routeHops <= 0 {
-			snap.routeHops = 80 * n
-		}
+	// The remaining artifacts are independent of each other — labels read
+	// only the construction, the overlay and router only the index — so
+	// they build concurrently. Each phase is itself parallel over the
+	// worker pool; overlapping them additionally hides the shorter phases
+	// behind the label build, the dominant cost at serving scale.
+	var labelsSec, overlaySec, routerSec float64
+	err = par.Group(
+		func() error {
+			if cfg.Scheme != SchemeLabels {
+				return nil // SchemeBeacons: estimates come straight from snap.Tri.
+			}
+			t0 := time.Now()
+			scheme, err := distlabel.FromConstruction(cons, cfg.Delta)
+			if err != nil {
+				return err
+			}
+			labelsSec = time.Since(t0).Seconds()
+			snap.Scheme = scheme
+			snap.Labels = make([]*distlabel.Label, n)
+			for u := 0; u < n; u++ {
+				snap.Labels[u] = scheme.Label(u)
+			}
+			return nil
+		},
+		func() error {
+			if cfg.SkipOverlay {
+				return nil
+			}
+			t0 := time.Now()
+			stride := cfg.MemberStride
+			if stride < 1 {
+				stride = 1
+			}
+			var members []int
+			for m := 0; m < n; m += stride {
+				members = append(members, m)
+			}
+			overlay, err := nnsearch.New(idx, members, nnsearch.DefaultConfig(cfg.Seed))
+			if err != nil {
+				return err
+			}
+			overlaySec = time.Since(t0).Seconds()
+			snap.Overlay = overlay
+			snap.entry = overlay.Members()[0]
+			// The climb strictly decreases the distance over a finite member
+			// set, so |members|+1 hops always suffice.
+			snap.nearHops = len(overlay.Members()) + 1
+			return nil
+		},
+		func() error {
+			if cfg.SkipRouting {
+				return nil
+			}
+			t0 := time.Now()
+			router, err := routing.NewThm21Metric(idx, cfg.Delta)
+			if err != nil {
+				return err
+			}
+			routerSec = time.Since(t0).Seconds()
+			snap.Router = router
+			snap.routeHops = cfg.RouteHops
+			if snap.routeHops <= 0 {
+				snap.routeHops = 80 * n
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
 	}
 
 	snap.BuildElapsed = time.Since(start)
+	snap.Build = BuildStats{
+		N:                n,
+		Workload:         name,
+		Scheme:           cfg.Scheme,
+		Profile:          cfg.Profile,
+		Workers:          par.Workers(cfg.Workers, n),
+		IndexSec:         indexSec,
+		NetsSec:          cons.Timings.Nets.Seconds(),
+		RadiiSec:         cons.Timings.Radii.Seconds(),
+		PackingsSec:      cons.Timings.Packings.Seconds(),
+		RingsSec:         cons.Timings.Rings.Seconds(),
+		TriangulationSec: triSec,
+		VerifySec:        verifySec,
+		OverlaySec:       overlaySec,
+		RouterSec:        routerSec,
+		LabelsTotalSec:   labelsSec,
+		TotalSec:         snap.BuildElapsed.Seconds(),
+	}
+	if snap.Scheme != nil {
+		lt := snap.Scheme.Timings
+		snap.Build.ZSetsSec = lt.ZSets.Seconds()
+		snap.Build.TSetsSec = lt.TSets.Seconds()
+		snap.Build.HostEnumsSec = lt.HostEnums.Seconds()
+		snap.Build.LabelFillSec = lt.Labels.Seconds()
+	}
 	return snap, nil
 }

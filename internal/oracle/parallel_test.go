@@ -1,0 +1,92 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBuildSnapshotWorkerInvariance: snapshots built with 1 and 4
+// workers answer every query byte-identically — estimates (labels
+// scheme), nearest-member climbs and routed paths — over every workload
+// family. Together with distlabel's wire-identity test this is the
+// acceptance proof that the parallel pipeline cannot change served
+// answers. Run under -race in CI, it also exercises the concurrent
+// label/overlay/router phase group.
+func TestBuildSnapshotWorkerInvariance(t *testing.T) {
+	configs := []Config{
+		{Workload: "grid", Side: 5},
+		{Workload: "cube", N: 48, Seed: 31},
+		{Workload: "expline", N: 24, LogAspect: 60},
+		{Workload: "latency", N: 48, Seed: 32},
+	}
+	for _, base := range configs {
+		base.Scheme = SchemeLabels
+		cfg1 := base
+		cfg1.Workers = 1
+		seq, err := BuildSnapshot(cfg1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", base.Workload, err)
+		}
+		cfg4 := base
+		cfg4.Workers = 4
+		parl, err := BuildSnapshot(cfg4)
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", base.Workload, err)
+		}
+		n := seq.N()
+		if parl.N() != n {
+			t.Fatalf("%s: node counts differ", base.Workload)
+		}
+		for u := 0; u < n; u++ {
+			for v := u; v < n; v++ {
+				a, err := seq.Estimate(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := parl.Estimate(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.OK != b.OK ||
+					math.Float64bits(a.Lower) != math.Float64bits(b.Lower) ||
+					math.Float64bits(a.Upper) != math.Float64bits(b.Upper) {
+					t.Fatalf("%s estimate(%d,%d): %+v vs %+v", base.Workload, u, v, a, b)
+				}
+			}
+			na, err := seq.Nearest(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb, err := parl.Nearest(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if na.Member != nb.Member || na.Dist != nb.Dist || na.Hops != nb.Hops {
+				t.Fatalf("%s nearest(%d): %+v vs %+v", base.Workload, u, na, nb)
+			}
+			ra, err := seq.Route(0, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := parl.Route(0, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ra.Length != rb.Length || ra.Hops != rb.Hops || !equalPath(ra.Path, rb.Path) {
+				t.Fatalf("%s route(0,%d): %+v vs %+v", base.Workload, u, ra, rb)
+			}
+		}
+	}
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -50,10 +50,46 @@ type Snapshot struct {
 	Router routing.Scheme
 	// BuildElapsed is how long BuildSnapshot took.
 	BuildElapsed time.Duration
+	// Build is the per-phase build breakdown (what /snapshot and /stats
+	// report, and what cmd/ringbench's BENCH_build.json tracks).
+	Build BuildStats
 
 	entry     int // overlay entry member (smallest member id)
 	nearHops  int
 	routeHops int
+}
+
+// BuildStats is the per-phase wall-clock breakdown of one BuildSnapshot
+// call, in seconds (JSON-friendly). Phases that were skipped or not
+// applicable are zero. The label sub-phases sum to at most
+// LabelsTotalSec (which wraps the whole scheme build); TotalSec is
+// wall-clock of the whole build, which is less than the sum of phases
+// when independent artifacts built concurrently.
+type BuildStats struct {
+	N        int    `json:"n"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Profile  string `json:"profile"`
+	Workers  int    `json:"workers"`
+
+	IndexSec    float64 `json:"index_sec"`
+	NetsSec     float64 `json:"nets_sec"`
+	RadiiSec    float64 `json:"radii_sec"`
+	PackingsSec float64 `json:"packings_sec"`
+	RingsSec    float64 `json:"rings_sec"`
+
+	TriangulationSec float64 `json:"triangulation_sec"`
+	VerifySec        float64 `json:"verify_sec"`
+
+	ZSetsSec       float64 `json:"zsets_sec"`
+	TSetsSec       float64 `json:"tsets_sec"`
+	HostEnumsSec   float64 `json:"host_enums_sec"`
+	LabelFillSec   float64 `json:"label_fill_sec"`
+	LabelsTotalSec float64 `json:"labels_total_sec"`
+
+	OverlaySec float64 `json:"overlay_sec"`
+	RouterSec  float64 `json:"router_sec"`
+	TotalSec   float64 `json:"total_sec"`
 }
 
 // N reports the node count of the snapshot's space.

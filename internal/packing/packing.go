@@ -22,8 +22,10 @@ import (
 	"math"
 	"sort"
 
+	"rings/internal/intset"
 	"rings/internal/measure"
 	"rings/internal/metric"
+	"rings/internal/par"
 )
 
 // Ball is a member of a packing: the closed ball of the given radius
@@ -52,22 +54,33 @@ type Packing struct {
 	RadiusAt []float64
 }
 
-// New builds an (eps,µ)-packing. eps must lie in (0, 1].
+// New builds an (eps,µ)-packing with a GOMAXPROCS worker pool.
 func New(idx metric.BallIndex, smp *measure.Sampler, eps float64) (*Packing, error) {
+	return NewParallel(idx, smp, eps, 0)
+}
+
+// NewParallel builds an (eps,µ)-packing; eps must lie in (0, 1]. The
+// per-node phases (radius fill, candidate-ball descent, cover location)
+// run across workers goroutines (0 = GOMAXPROCS); the maximal-disjoint
+// selection stays sequential because its scan order is load-bearing, so
+// the result is identical for every worker count.
+func NewParallel(idx metric.BallIndex, smp *measure.Sampler, eps float64, workers int) (*Packing, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("packing: eps = %v, want (0,1]", eps)
 	}
 	n := idx.N()
 	radiusAt := make([]float64, n)
-	for u := 0; u < n; u++ {
+	par.For(workers, n, func(u int) {
 		radiusAt[u] = smp.RadiusForMass(u, eps)
-	}
+	})
 
-	// Per-node candidate balls.
+	// Per-node candidate balls, with one covered-set scratch per worker
+	// (the greedy sub-cover of candidateBall used to burn a map per round).
 	candidates := make([]Ball, n)
-	for u := 0; u < n; u++ {
-		candidates[u] = candidateBall(idx, smp, u, radiusAt[u], eps)
-	}
+	scratch := make([]intset.Set, par.Workers(workers, n))
+	par.ForWorker(workers, n, func(w, u int) {
+		candidates[u] = candidateBall(idx, smp, u, radiusAt[u], eps, &scratch[w])
+	})
 
 	// Maximal disjoint subfamily ("consecutively going through all
 	// balls"), scanning candidates by ascending radius (ties by id for
@@ -113,7 +126,7 @@ func New(idx metric.BallIndex, smp *measure.Sampler, eps float64) (*Packing, err
 	}
 
 	// Locate, for every node, a packing ball within the A.1 budget.
-	for u := 0; u < n; u++ {
+	par.For(workers, n, func(u int) {
 		p.CoverFor[u] = -1
 		budget := 6 * radiusAt[u]
 		for i := range p.Balls {
@@ -123,6 +136,8 @@ func New(idx metric.BallIndex, smp *measure.Sampler, eps float64) (*Packing, err
 				break
 			}
 		}
+	})
+	for u := 0; u < n; u++ {
 		if p.CoverFor[u] < 0 {
 			return nil, fmt.Errorf("packing: no ball within 6*r_u for node %d (eps=%v)", u, eps)
 		}
@@ -132,7 +147,7 @@ func New(idx metric.BallIndex, smp *measure.Sampler, eps float64) (*Packing, err
 
 // candidateBall finds either a u-zooming ball or a heavy singleton, per
 // the Lemma A.1 existence argument.
-func candidateBall(idx metric.BallIndex, smp *measure.Sampler, u int, ru, eps float64) Ball {
+func candidateBall(idx metric.BallIndex, smp *measure.Sampler, u int, ru, eps float64, covered *intset.Set) Ball {
 	center, rho := u, ru
 	if rho == 0 {
 		// u alone already has measure >= eps.
@@ -143,7 +158,7 @@ func candidateBall(idx metric.BallIndex, smp *measure.Sampler, u int, ru, eps fl
 	// zooming ball of radius rho/8 or halves rho, so the loop terminates
 	// in O(log aspect) rounds at a singleton of measure >= eps.
 	for rho >= minD {
-		v := heaviestCoverBall(idx, smp, center, rho)
+		v := heaviestCoverBall(idx, smp, center, rho, covered)
 		if smp.BallMass(v, rho/2) <= eps {
 			return makeBall(idx, smp, v, rho/8)
 		}
@@ -155,17 +170,17 @@ func candidateBall(idx metric.BallIndex, smp *measure.Sampler, u int, ru, eps fl
 // heaviestCoverBall greedily covers B_center(rho) with balls of radius
 // rho/8 centered at its members and returns the center whose rho/8-ball is
 // heaviest.
-func heaviestCoverBall(idx metric.BallIndex, smp *measure.Sampler, center int, rho float64) int {
+func heaviestCoverBall(idx metric.BallIndex, smp *measure.Sampler, center int, rho float64, covered *intset.Set) int {
 	sub := rho / 8
 	ball := idx.Ball(center, rho)
-	covered := make(map[int]bool, len(ball))
+	covered.Reset(idx.N())
 	best, bestMass := center, -1.0
 	for _, nb := range ball {
-		if covered[nb.Node] {
+		if covered.Has(nb.Node) {
 			continue
 		}
 		for _, other := range idx.Ball(nb.Node, sub) {
-			covered[other.Node] = true
+			covered.Add(other.Node)
 		}
 		if m := smp.BallMass(nb.Node, sub); m > bestMass {
 			best, bestMass = nb.Node, m

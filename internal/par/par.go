@@ -1,0 +1,117 @@
+// Package par is the shared worker pool of the construction pipeline.
+//
+// Every per-node loop in the paper's constructions — sorted-row builds,
+// radii r_ui, packings, X/Y/Zoom rings, Z-sets, virtual and host
+// enumerations, label fills — is embarrassingly parallel: iteration u
+// writes only slot u of a preallocated output. This package gives those
+// loops one scheduling discipline: workers claim small interleaved
+// batches from a shared atomic counter, which load-balances even when
+// per-node cost is wildly uneven (deep nodes of a packing, dense rings of
+// a cluster core) without any per-node goroutine or channel traffic.
+//
+// Determinism: the pool only schedules; callers must write results into
+// per-index slots. Every construction in this repo does, so build output
+// is byte-identical for any worker count — the cross-build equivalence
+// property tests pin that down.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// batch is the claim granularity: small enough to balance skewed
+// workloads, large enough to keep the shared counter off the hot path.
+const batch = 16
+
+// Workers clamps a requested worker count: <= 0 means GOMAXPROCS, and
+// the result never exceeds n (no point waking workers with no work) and
+// is at least 1.
+func Workers(requested, n int) int {
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > n {
+		requested = n
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// For runs fn(u) for every u in [0, n), distributed over Workers
+// (workers, n) goroutines. With one effective worker it runs inline —
+// zero goroutine overhead for the sequential case.
+func For(workers, n int, fn func(u int)) {
+	ForWorker(workers, n, func(_, u int) { fn(u) })
+}
+
+// ForWorker is For with a stable worker id (0 .. effective-1) passed to
+// fn, so callers can keep per-worker scratch buffers — the
+// allocation-lean pattern used by the Z-set, T-set and label fills.
+func ForWorker(workers, n int, fn func(worker, u int)) {
+	ForRange(workers, n, func(worker, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			fn(worker, u)
+		}
+	})
+}
+
+// ForRange hands each worker half-open batches [lo, hi) instead of
+// single indices, letting callers amortize per-batch setup. fn may be
+// called many times per worker; batches are claimed dynamically.
+func ForRange(workers, n int, fn func(worker, lo, hi int)) {
+	workers = Workers(workers, n)
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(batch)) - batch
+				if lo >= n {
+					return
+				}
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Group runs independent build phases concurrently and returns the first
+// error (in argument order, so error selection is deterministic even
+// when several phases fail). It is the barrier oracle.BuildSnapshot uses
+// to overlap the label, overlay and router builds.
+func Group(fns ...func() error) error {
+	if len(fns) == 1 {
+		return fns[0]()
+	}
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for i, fn := range fns {
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	if w := Workers(0, 1000); w < 1 {
+		t.Fatalf("Workers(0, 1000) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Fatalf("Workers(-1, 0) = %d, want 1", w)
+	}
+	if w := Workers(4, 100); w != 4 {
+		t.Fatalf("Workers(4, 100) = %d, want 4", w)
+	}
+}
+
+// TestForCoversEveryIndexOnce checks the claim loop: every index in
+// [0, n) is visited exactly once, for worker counts around the batch
+// size and for n values that don't divide evenly into batches.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 15, 16, 17, 100, 1000} {
+			visits := make([]atomic.Int32, n)
+			For(workers, n, func(u int) { visits[u].Add(1) })
+			for u := range visits {
+				if c := visits[u].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, u, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForWorkerIdsAreStable checks that worker ids fall in [0, effective)
+// so per-worker scratch arrays can be sized with Workers().
+func TestForWorkerIdsAreStable(t *testing.T) {
+	const workers, n = 4, 1000
+	eff := Workers(workers, n)
+	seen := make([]atomic.Int32, n)
+	ForWorker(workers, n, func(w, u int) {
+		if w < 0 || w >= eff {
+			t.Errorf("worker id %d out of [0, %d)", w, eff)
+		}
+		seen[u].Add(1)
+	})
+	for u := range seen {
+		if seen[u].Load() != 1 {
+			t.Fatalf("index %d visited %d times", u, seen[u].Load())
+		}
+	}
+}
+
+func TestForRangeCoversAll(t *testing.T) {
+	const n = 531
+	visits := make([]atomic.Int32, n)
+	ForRange(3, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			visits[u].Add(1)
+		}
+	})
+	for u := range visits {
+		if visits[u].Load() != 1 {
+			t.Fatalf("index %d visited %d times", u, visits[u].Load())
+		}
+	}
+}
+
+func TestGroupFirstErrorByArgumentOrder(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	err := Group(
+		func() error { return nil },
+		func() error { return e1 },
+		func() error { return e2 },
+	)
+	if err != e1 {
+		t.Fatalf("Group error = %v, want %v (deterministic by argument order)", err, e1)
+	}
+	if err := Group(func() error { return nil }, func() error { return nil }); err != nil {
+		t.Fatalf("Group of nils = %v", err)
+	}
+}

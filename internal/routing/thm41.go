@@ -7,8 +7,10 @@ import (
 	"rings/internal/bitio"
 	"rings/internal/distlabel"
 	"rings/internal/graph"
+	"rings/internal/intset"
 	"rings/internal/metric"
 	"rings/internal/nets"
+	"rings/internal/par"
 )
 
 // Thm41 is the paper's Theorem 4.1 scheme: a "really simple" (1+δ)-stretch
@@ -113,32 +115,28 @@ func thm41Neighbors(idx metric.BallIndex, deltaInt float64) ([][]int, error) {
 	asc := nets.Ascending{H: h}
 	n := idx.N()
 	sets := make([][]int, n)
-	for u := 0; u < n; u++ {
-		seen := map[int]bool{}
+	scratch := make([]ringScratch, par.Workers(0, n))
+	par.ForWorker(0, n, func(w, u int) {
+		sc := &scratch[w]
+		sc.seen.Reset(n)
 		for j := 0; j <= asc.MaxJ(); j++ {
 			r := 4 * asc.Scale(j) / deltaInt
-			for _, v := range asc.InBall(j, u, r) {
+			sc.buf = asc.AppendInBall(sc.buf[:0], j, u, r)
+			for _, v := range sc.buf {
 				if v != u {
-					seen[v] = true
+					sc.seen.Add(v)
 				}
 			}
 		}
-		sets[u] = sortedIntSet(seen)
-	}
+		sets[u] = sc.seen.Sorted()
+	})
 	return sets, nil
 }
 
-func sortedIntSet(set map[int]bool) []int {
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	for i := 1; i < len(out); i++ { // insertion sort: sets are small
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
+// ringScratch is one worker's reusable state for thm41Neighbors.
+type ringScratch struct {
+	seen intset.Set
+	buf  []int
 }
 
 func buildThm41(name string, g *graph.Graph, idx metric.BallIndex, delta float64, oracle LinkOracle, sets [][]int) (*Thm41, error) {

@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"sync"
 
+	"rings/internal/intset"
 	"rings/internal/measure"
 	"rings/internal/metric"
 )
@@ -64,21 +65,19 @@ func greedyNext(idx metric.BallIndex, contacts []int, t int) (int, bool) {
 }
 
 // uniformBallSamples draws k independent uniform samples (with
-// replacement, deduplicated) from the closed ball B_u(r).
-func uniformBallSamples(idx metric.BallIndex, u int, r float64, k int, rng *rand.Rand) []int {
+// replacement, deduplicated through the caller's scratch set) from the
+// closed ball B_u(r). Deduplication happens in draw order — a Set keeps
+// insertion order, so seeded runs stay reproducible.
+func uniformBallSamples(idx metric.BallIndex, u int, r float64, k int, rng *rand.Rand, seen *intset.Set) []int {
 	ball := idx.Ball(u, r)
 	if len(ball) == 0 {
 		return nil
 	}
-	// Deduplicate in draw order: ranging over a set here would leak
-	// Go's randomized map order into the contact lists and make seeded
-	// runs non-reproducible.
-	seen := make(map[int]bool, k)
+	seen.Reset(idx.N())
 	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		v := ball[rng.Intn(len(ball))].Node
-		if !seen[v] {
-			seen[v] = true
+		if seen.Add(v) {
 			out = append(out, v)
 		}
 	}
@@ -86,12 +85,11 @@ func uniformBallSamples(idx metric.BallIndex, u int, r float64, k int, rng *rand
 }
 
 // measureBallSamples draws k µ-weighted samples from B_u(r).
-func measureBallSamples(smp *measure.Sampler, u int, r float64, k int, rng *rand.Rand) []int {
-	seen := make(map[int]bool, k)
+func measureBallSamples(smp *measure.Sampler, u int, r float64, k int, rng *rand.Rand, seen *intset.Set) []int {
+	seen.Reset(smp.Measure().N())
 	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
-		if v, ok := smp.SampleBall(u, r, rng); ok && !seen[v] {
-			seen[v] = true
+		if v, ok := smp.SampleBall(u, r, rng); ok && seen.Add(v) {
 			out = append(out, v)
 		}
 	}
@@ -110,23 +108,24 @@ func logN(n int) int {
 // xContacts samples the X-type contacts of Theorem 5.2: for each
 // cardinality scale i, samplesPerLevel uniform draws from the smallest
 // ball around u holding at least ceil(n/2^i) nodes.
-func xContacts(idx metric.BallIndex, u, samplesPerLevel int, rng *rand.Rand) []int {
+func xContacts(idx metric.BallIndex, u, samplesPerLevel int, rng *rand.Rand, seen *intset.Set) []int {
 	n := idx.N()
 	var out []int
 	for i := 0; i <= logN(n); i++ {
 		k := int(math.Ceil(float64(n) / math.Pow(2, float64(i))))
 		r := idx.RadiusForCount(u, k)
-		out = append(out, uniformBallSamples(idx, u, r, samplesPerLevel, rng)...)
+		out = append(out, uniformBallSamples(idx, u, r, samplesPerLevel, rng, seen)...)
 	}
-	return dedup(out)
+	return dedup(out, n, seen)
 }
 
-func dedup(in []int) []int {
-	seen := make(map[int]bool, len(in))
+// dedup deduplicates in place preserving draw order, through a scratch
+// set over the node universe [0, n).
+func dedup(in []int, n int, seen *intset.Set) []int {
+	seen.Reset(n)
 	out := in[:0]
 	for _, v := range in {
-		if !seen[v] {
-			seen[v] = true
+		if seen.Add(v) {
 			out = append(out, v)
 		}
 	}
@@ -135,8 +134,8 @@ func dedup(in []int) []int {
 
 // dedupExcl deduplicates and drops the node's own id (self-samples from
 // ball draws are useless as contacts).
-func dedupExcl(in []int, self int) []int {
-	out := dedup(in)
+func dedupExcl(in []int, self, n int, seen *intset.Set) []int {
+	out := dedup(in, n, seen)
 	for i, v := range out {
 		if v == self {
 			return append(out[:i], out[i+1:]...)

@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
+	"rings/internal/intset"
 	"rings/internal/metric"
+	"rings/internal/par"
 )
 
 // Structures is Kleinberg's group-structure small world [32] applied to
@@ -60,7 +61,10 @@ func NewStructures(idx metric.BallIndex, c float64, exact bool, seed int64) (*St
 	ln := float64(logN(n))
 	k := int(math.Ceil(c * ln * ln))
 	m := &Structures{idx: idx, contacts: make([][]int, n), exact: exact}
-	buildParallel(n, func(u int) {
+	scratch := make([]intset.Set, par.Workers(0, n))
+	buildParallel(n, func(w, u int) {
+		seen := &scratch[w]
+		seen.Reset(n)
 		rng := rand.New(rand.NewSource(seed + int64(u)*31337))
 		weights := make([]float64, n)
 		total := 0.0
@@ -77,7 +81,6 @@ func NewStructures(idx metric.BallIndex, c float64, exact bool, seed int64) (*St
 			weights[v] = 1 / float64(x)
 			total += weights[v]
 		}
-		seen := make(map[int]bool, k)
 		// Property 5.4(d) puts P[v is a contact of u] at Θ(log n)/x_uv,
 		// which saturates at 1 for x_uv <= log n: those near-group members
 		// are contacts deterministically. (This is also what makes greedy
@@ -94,7 +97,7 @@ func NewStructures(idx metric.BallIndex, c float64, exact bool, seed int64) (*St
 				x = MinBallApprox(idx, u, v)
 			}
 			if x <= logN(n) {
-				seen[v] = true
+				seen.Add(v)
 			}
 		}
 		for i := 0; i < k; i++ {
@@ -104,20 +107,15 @@ func NewStructures(idx metric.BallIndex, c float64, exact bool, seed int64) (*St
 				acc += weights[v]
 				if acc >= r {
 					if v != u {
-						seen[v] = true
+						seen.Add(v)
 					}
 					break
 				}
 			}
 		}
-		cs := make([]int, 0, len(seen))
-		for v := range seen {
-			cs = append(cs, v)
-		}
-		// Sorted contact lists keep seeded runs reproducible (map order
-		// is randomized per process) and fix greedy tie-breaks.
-		sort.Ints(cs)
-		m.contacts[u] = cs
+		// Sorted contact lists keep seeded runs reproducible and fix
+		// greedy tie-breaks.
+		m.contacts[u] = seen.Sorted()
 	})
 	for _, cs := range m.contacts {
 		if len(cs) > m.deg {

@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
+	"rings/internal/intset"
 	"rings/internal/measure"
 	"rings/internal/metric"
+	"rings/internal/par"
 )
 
 // Params tunes the sampling intensities of the Theorem 5.2 models. The
@@ -51,14 +52,16 @@ func NewThm52a(idx metric.BallIndex, p Params) (*Thm52a, error) {
 	perLevelX := int(math.Ceil(p.CX * float64(logN(n))))
 	perLevelY := int(math.Ceil(p.CY * float64(logN(n))))
 	scales := radiusScales(idx)
-	buildParallel(n, func(u int) {
+	scratch := make([]intset.Set, par.Workers(0, n))
+	buildParallel(n, func(w, u int) {
+		seen := &scratch[w]
 		rng := rand.New(rand.NewSource(p.Seed + int64(u)*7919))
 		var cs []int
-		cs = append(cs, xContacts(idx, u, perLevelX, rng)...)
+		cs = append(cs, xContacts(idx, u, perLevelX, rng, seen)...)
 		for _, r := range scales {
-			cs = append(cs, measureBallSamples(smp, u, r, perLevelY, rng)...)
+			cs = append(cs, measureBallSamples(smp, u, r, perLevelY, rng, seen)...)
 		}
-		m.contacts[u] = dedupExcl(cs, u)
+		m.contacts[u] = dedupExcl(cs, u, n, seen)
 	})
 	for _, cs := range m.contacts {
 		if len(cs) > m.deg {
@@ -117,18 +120,11 @@ func doublingSampler(idx metric.BallIndex) (*measure.Sampler, error) {
 	return measure.NewSampler(idx, mu)
 }
 
-func buildParallel(n int, build func(u int)) {
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	wg.Add(n)
-	for u := 0; u < n; u++ {
-		sem <- struct{}{}
-		go func(u int) {
-			defer func() { <-sem; wg.Done() }()
-			build(u)
-		}(u)
-	}
-	wg.Wait()
+// buildParallel runs the per-node sampling across the shared worker
+// pool (it used to spawn one goroutine per node behind a fixed
+// 8-permit semaphore). The worker id selects per-worker scratch.
+func buildParallel(n int, build func(worker, u int)) {
+	par.ForWorker(0, n, build)
 }
 
 // Thm52b is the barrier-breaking model of Theorem 5.2(b): X-type contacts,
@@ -164,11 +160,13 @@ func NewThm52b(idx metric.BallIndex, p Params) (*Thm52b, error) {
 	imax := logN(n)
 
 	budgets := make([]int, n)
-	buildParallel(n, func(u int) {
+	scratch := make([]intset.Set, par.Workers(0, n))
+	buildParallel(n, func(w, u int) {
+		seen := &scratch[w]
 		rng := rand.New(rand.NewSource(p.Seed + int64(u)*104729))
 		budget := 0
 		var cs []int
-		cs = append(cs, xContacts(idx, u, perLevelX, rng)...)
+		cs = append(cs, xContacts(idx, u, perLevelX, rng, seen)...)
 		budget += (logN(n) + 1) * perLevelX
 		// Z-type contacts: one per annulus.
 		prev := 0.0
@@ -202,11 +200,11 @@ func NewThm52b(idx metric.BallIndex, p Params) (*Thm52b, error) {
 				if r <= rNext || r >= rPrev {
 					continue
 				}
-				cs = append(cs, measureBallSamples(smp, u, r, perLevelY, rng)...)
+				cs = append(cs, measureBallSamples(smp, u, r, perLevelY, rng, seen)...)
 				budget += perLevelY
 			}
 		}
-		m.contacts[u] = dedupExcl(cs, u)
+		m.contacts[u] = dedupExcl(cs, u, n, seen)
 		budgets[u] = budget
 	})
 	for u, cs := range m.contacts {

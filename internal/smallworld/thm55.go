@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"rings/internal/graph"
+	"rings/internal/intset"
 	"rings/internal/metric"
 )
 
@@ -40,6 +41,7 @@ func NewThm55(g *graph.Graph, idx metric.BallIndex, seed int64) (*Thm55, error) 
 	m := &Thm55{idx: idx, g: g, long: make([]int, n), contacts: make([][]int, n)}
 	scales := radiusScales(idx)
 	rng := rand.New(rand.NewSource(seed))
+	var seen intset.Set
 	for u := 0; u < n; u++ {
 		r := scales[rng.Intn(len(scales))]
 		v, ok := smp.SampleBall(u, r, rng)
@@ -54,7 +56,7 @@ func NewThm55(g *graph.Graph, idx metric.BallIndex, seed int64) (*Thm55, error) 
 		if v != u {
 			cs = append(cs, v)
 		}
-		m.contacts[u] = dedup(cs)
+		m.contacts[u] = dedup(cs, n, &seen)
 		if len(m.contacts[u]) > m.deg {
 			m.deg = len(m.contacts[u])
 		}

@@ -31,11 +31,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"rings/internal/measure"
 	"rings/internal/metric"
 	"rings/internal/nets"
 	"rings/internal/packing"
+	"rings/internal/par"
 )
 
 // Params tunes the ring geometry of the construction. The zero value is
@@ -59,6 +61,10 @@ type Params struct {
 	// YScaleFactor scales the Y-ring net: scale = YScaleFactor * r_ui.
 	// Paper: δ'/4.
 	YScaleFactor float64
+	// Workers bounds build parallelism across the per-node and per-ball
+	// loops (0 = GOMAXPROCS). The output is byte-identical for every
+	// worker count: all parallel fills write preassigned slots.
+	Workers int
 }
 
 // DefaultParams returns the paper's constants for a given δ'.
@@ -103,6 +109,21 @@ type Construction struct {
 	// Zoom[u][i] = f_ui: the net point of G_(l(u,i)) within r_ui/4 of u,
 	// where l(u,i) = JForScale(r_ui/4). Zoom[u][i] may equal u.
 	Zoom [][]int
+	// Timings records how long each build phase took.
+	Timings Timings
+}
+
+// Timings is the per-phase wall-clock breakdown of a construction build
+// (the substrate rows of cmd/ringbench's BENCH_build.json).
+type Timings struct {
+	// Nets covers the sampler and nested net hierarchy.
+	Nets time.Duration
+	// Radii covers the r_ui table.
+	Radii time.Duration
+	// Packings covers every F_i.
+	Packings time.Duration
+	// Rings covers the X/Y/Zoom fills.
+	Rings time.Duration
 }
 
 // NewConstruction builds the shared substrate with internal parameter
@@ -125,6 +146,7 @@ func NewConstructionParams(idx metric.BallIndex, params Params) (*Construction, 
 	if n < 2 {
 		return nil, fmt.Errorf("triangulation: need at least 2 nodes, got %d", n)
 	}
+	start := time.Now()
 	smp, err := measure.NewSampler(idx, measure.Counting(n))
 	if err != nil {
 		return nil, err
@@ -140,43 +162,135 @@ func NewConstructionParams(idx metric.BallIndex, params Params) (*Construction, 
 		IMax:       int(math.Floor(math.Log2(float64(n)))),
 		Nets:       nets.Ascending{H: h},
 	}
+	workers := params.Workers
+	c.Timings.Nets = time.Since(start)
 
 	// Radii r_ui, with the level-0 uniformization.
+	start = time.Now()
+	diam := idx.Diameter()
 	c.R = make([][]float64, n)
-	for u := 0; u < n; u++ {
+	par.For(workers, n, func(u int) {
 		row := make([]float64, c.IMax+1)
-		row[0] = idx.Diameter()
+		row[0] = diam
 		for i := 1; i <= c.IMax; i++ {
 			row[i] = idx.RadiusForMass(u, math.Pow(2, -float64(i)))
 		}
 		c.R[u] = row
-	}
+	})
+	c.Timings.Radii = time.Since(start)
 
-	// Packings F_i.
+	// Packings F_i (each level parallel across nodes internally).
+	start = time.Now()
 	c.Packings = make([]*packing.Packing, c.IMax+1)
 	for i := 0; i <= c.IMax; i++ {
-		p, err := packing.New(idx, smp, math.Pow(2, -float64(i)))
+		p, err := packing.NewParallel(idx, smp, math.Pow(2, -float64(i)), workers)
 		if err != nil {
 			return nil, fmt.Errorf("triangulation: packing F_%d: %w", i, err)
 		}
 		c.Packings[i] = p
 	}
+	c.Timings.Packings = time.Since(start)
 
 	// X-, Y-neighbors and zooming sequences.
+	start = time.Now()
 	c.X = make([][][]int, n)
 	c.Y = make([][][]int, n)
 	c.Zoom = make([][]int, n)
-	for u := 0; u < n; u++ {
+	par.For(workers, n, func(u int) {
 		c.X[u] = make([][]int, c.IMax+1)
 		c.Y[u] = make([][]int, c.IMax+1)
 		c.Zoom[u] = make([]int, c.IMax+1)
+	})
+	c.fillXNeighbors(workers)
+	type yScratch struct {
+		buf []int
+	}
+	scr := make([]yScratch, par.Workers(workers, n))
+	par.ForWorker(workers, n, func(w, u int) {
+		s := &scr[w]
 		for i := 0; i <= c.IMax; i++ {
-			c.X[u][i] = c.xNeighbors(u, i)
-			c.Y[u][i] = c.yNeighbors(u, i)
+			c.Y[u][i] = c.yNeighborsWith(u, i, &s.buf)
 			c.Zoom[u][i] = c.zoomPoint(u, i)
 		}
-	}
+	})
+	c.Timings.Rings = time.Since(start)
 	return c, nil
+}
+
+// fillXNeighbors computes every X_ui by inverting the scan: instead of
+// testing all packing balls against every node u (O(n·|F_i|) Dist calls
+// per level), each packing ball enumerates one index ball around its
+// center and marks the nodes it qualifies for. The membership test
+// d(u,c) + radius <= r_(u,i-1) is unchanged — the enumeration radius
+// max_u r_(u,i-1) is a superset cutoff (fl(d+radius) >= d for radius
+// >= 0, so no qualifying node can sit outside it) — which keeps the
+// result bit-identical to the direct scan while reusing the sorted
+// rows' precomputed distances.
+func (c *Construction) fillXNeighbors(workers int) {
+	n := c.Idx.N()
+	counts := make([]int32, n)
+	for i := 0; i <= c.IMax; i++ {
+		balls := c.Packings[i].Balls
+		// The enumeration cutoff: the loosest bound any node applies at
+		// this level (+Inf at level 0, the uniform diameter at level 1).
+		maxBound := 0.0
+		if i == 0 {
+			maxBound = math.Inf(1)
+		} else {
+			for u := 0; u < n; u++ {
+				if r := c.R[u][i-1]; r > maxBound {
+					maxBound = r
+				}
+			}
+		}
+		// Per-ball qualifier lists, in parallel: ball bi qualifies for
+		// node u when u's own bound admits it.
+		qual := make([][]int32, len(balls))
+		par.For(workers, len(balls), func(bi int) {
+			b := &balls[bi]
+			var q []int32
+			for _, nb := range c.Idx.Ball(b.Center, maxBound) {
+				if nb.Dist+b.Radius <= c.prevR(nb.Node, i) {
+					q = append(q, int32(nb.Node))
+				}
+			}
+			qual[bi] = q
+		})
+		// Transpose into per-node center lists. Scanning balls in
+		// ascending center order makes every X_ui come out sorted without
+		// a per-node sort; one arena holds the whole level.
+		order := make([]int, len(balls))
+		for k := range order {
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool { return balls[order[a]].Center < balls[order[b]].Center })
+		total := 0
+		for u := range counts {
+			counts[u] = 0
+		}
+		for _, q := range qual {
+			total += len(q)
+			for _, u := range q {
+				counts[u]++
+			}
+		}
+		arena := make([]int, total)
+		pos := 0
+		for u := 0; u < n; u++ {
+			if counts[u] == 0 {
+				continue // stay nil, as the direct scan would
+			}
+			end := pos + int(counts[u])
+			c.X[u][i] = arena[pos:pos:end]
+			pos = end
+		}
+		for _, bi := range order {
+			center := balls[bi].Center
+			for _, u := range qual[bi] {
+				c.X[u][i] = append(c.X[u][i], center)
+			}
+		}
+	}
 }
 
 // prevR reports r_(u,i-1), with r_(u,-1) = +Inf.
@@ -187,7 +301,10 @@ func (c *Construction) prevR(u, i int) float64 {
 	return c.R[u][i-1]
 }
 
-func (c *Construction) xNeighbors(u, i int) []int {
+// xNeighborsScan is the direct O(|F_i|) per-node scan — the reference
+// implementation fillXNeighbors inverts. Tests pin the two against each
+// other.
+func (c *Construction) xNeighborsScan(u, i int) []int {
 	bound := c.prevR(u, i)
 	var out []int
 	for bi := range c.Packings[i].Balls {
@@ -206,9 +323,18 @@ func (c *Construction) yNetIndex(u, i int) int {
 	return c.Nets.JForScale(c.Params.YScaleFactor * c.R[u][i])
 }
 
-func (c *Construction) yNeighbors(u, i int) []int {
+// yNeighborsWith computes Y_ui through a reusable scratch buffer: the
+// ball walk lands in scratch, only the exact-size sorted result is
+// allocated.
+func (c *Construction) yNeighborsWith(u, i int, scratch *[]int) []int {
 	r := c.Params.YBallFactor * c.R[u][i]
-	out := append([]int(nil), c.Nets.InBall(c.yNetIndex(u, i), u, r)...)
+	buf := c.Nets.AppendInBall((*scratch)[:0], c.yNetIndex(u, i), u, r)
+	*scratch = buf
+	if len(buf) == 0 {
+		return nil
+	}
+	out := make([]int, len(buf))
+	copy(out, buf)
 	sort.Ints(out)
 	return out
 }

@@ -1,0 +1,89 @@
+package triangulation
+
+import (
+	"reflect"
+	"testing"
+
+	"rings/internal/workload"
+)
+
+// buildSpecs is the workload sweep the parallel-build equivalence tests
+// run over: one instance per generator family in the catalogue.
+func buildSpecs() []workload.MetricSpec {
+	return []workload.MetricSpec{
+		{Name: "grid", Side: 5},
+		{Name: "cube", N: 48, Seed: 5},
+		{Name: "expline", N: 28, LogAspect: 60},
+		{Name: "latency", N: 48, Seed: 6},
+	}
+}
+
+// TestXNeighborsInversionMatchesScan pins the inverted per-ball fill
+// against the direct per-node scan it replaced, for both ring profiles.
+func TestXNeighborsInversionMatchesScan(t *testing.T) {
+	for _, spec := range buildSpecs() {
+		inst, err := workload.Metric(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, params := range []Params{DefaultParams(0.5 / 6), TunedParams(0.5/6, 2)} {
+			cons, err := NewConstructionParams(inst.Idx, params)
+			if err != nil {
+				t.Fatalf("%s: %v", inst.Name, err)
+			}
+			for u := 0; u < inst.Idx.N(); u++ {
+				for i := 0; i <= cons.IMax; i++ {
+					want := cons.xNeighborsScan(u, i)
+					if got := cons.X[u][i]; !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s params=%+v: X[%d][%d] = %v, scan %v", inst.Name, params, u, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConstructionWorkerCountInvariance: the construction is
+// byte-identical for any worker count (1, 2, 4), including the packings
+// and every ring slice — the determinism contract of internal/par.
+func TestConstructionWorkerCountInvariance(t *testing.T) {
+	for _, spec := range buildSpecs() {
+		inst, err := workload.Metric(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := TunedParams(0.5/6, 2)
+		params.Workers = 1
+		seq, err := NewConstructionParams(inst.Idx, params)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		for _, workers := range []int{2, 4} {
+			params.Workers = workers
+			got, err := NewConstructionParams(inst.Idx, params)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", inst.Name, workers, err)
+			}
+			if !reflect.DeepEqual(got.R, seq.R) {
+				t.Fatalf("%s workers=%d: radii diverged", inst.Name, workers)
+			}
+			if !reflect.DeepEqual(got.X, seq.X) {
+				t.Fatalf("%s workers=%d: X rings diverged", inst.Name, workers)
+			}
+			if !reflect.DeepEqual(got.Y, seq.Y) {
+				t.Fatalf("%s workers=%d: Y rings diverged", inst.Name, workers)
+			}
+			if !reflect.DeepEqual(got.Zoom, seq.Zoom) {
+				t.Fatalf("%s workers=%d: zoom sequences diverged", inst.Name, workers)
+			}
+			for lvl := range seq.Packings {
+				if !reflect.DeepEqual(got.Packings[lvl].Balls, seq.Packings[lvl].Balls) {
+					t.Fatalf("%s workers=%d: packing F_%d diverged", inst.Name, workers, lvl)
+				}
+				if !reflect.DeepEqual(got.Packings[lvl].CoverFor, seq.Packings[lvl].CoverFor) {
+					t.Fatalf("%s workers=%d: packing F_%d cover diverged", inst.Name, workers, lvl)
+				}
+			}
+		}
+	}
+}

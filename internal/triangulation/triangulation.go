@@ -8,6 +8,7 @@ import (
 
 	"rings/internal/bitio"
 	"rings/internal/metric"
+	"rings/internal/par"
 )
 
 // Triangulation is a (0,δ)-triangulation per Theorem 3.2: every node
@@ -39,10 +40,12 @@ func New(idx metric.BallIndex, delta float64) (*Triangulation, error) {
 
 // FromConstruction wraps an existing construction as a triangulation
 // (sharing it with, e.g., a distance labeling built on the same δ').
+// The per-node beacon maps are filled across the construction's worker
+// pool.
 func FromConstruction(cons *Construction, delta float64) *Triangulation {
 	n := cons.Idx.N()
 	t := &Triangulation{Delta: delta, Cons: cons, beacons: make([]map[int]float64, n)}
-	for u := 0; u < n; u++ {
+	par.For(cons.Params.Workers, n, func(u int) {
 		m := make(map[int]float64)
 		for i := 0; i <= cons.IMax; i++ {
 			for _, w := range cons.X[u][i] {
@@ -53,7 +56,7 @@ func FromConstruction(cons *Construction, delta float64) *Triangulation {
 			}
 		}
 		t.beacons[u] = m
-	}
+	})
 	return t
 }
 

@@ -157,6 +157,11 @@ type OracleEngine = oracle.Engine
 // OracleEngineOptions tunes the engine's cache and latency sampling.
 type OracleEngineOptions = oracle.EngineOptions
 
+// OracleBuildStats is the per-phase build breakdown attached to every
+// snapshot (index, nets, packings, rings, Z/T-sets, label fill, overlay,
+// router) — the BENCH_build.json row type.
+type OracleBuildStats = oracle.BuildStats
+
 // BuildOracleSnapshot constructs every artifact the config asks for
 // (the expensive call Swap exists to hide).
 func BuildOracleSnapshot(cfg OracleConfig) (*OracleSnapshot, error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -142,13 +143,66 @@ func checkBuildBaseline(path string, rows []oracle.BuildStats) error {
 			nRow.Workers, bRow.Workers, factor)
 	}
 	limit := bRow.LabelsTotalSec * factor
-	fmt.Printf("\nbaseline gate: n=%d label build %.3fs vs baseline %.3fs (limit %.3fs)\n",
-		nRow.N, nRow.LabelsTotalSec, bRow.LabelsTotalSec, limit)
+	ratio := 0.0
+	if bRow.LabelsTotalSec > 0 {
+		ratio = nRow.LabelsTotalSec / bRow.LabelsTotalSec
+	}
+	fmt.Printf("\nbaseline gate: n=%d label build %.3fs vs baseline %.3fs (ratio %.2fx, limit %.3fs)\n",
+		nRow.N, nRow.LabelsTotalSec, bRow.LabelsTotalSec, ratio, limit)
 	if nRow.LabelsTotalSec > limit {
-		return fmt.Errorf("label build at n=%d regressed: %.3fs > %.2f × baseline %.3fs",
-			nRow.N, nRow.LabelsTotalSec, factor, bRow.LabelsTotalSec)
+		// Name the phase that actually blew up, so a CI regression is
+		// diagnosable from the log without re-running locally.
+		worst := worstPhases(bRow, nRow, 3)
+		return fmt.Errorf("label build at n=%d regressed: %.3fs is %.2fx the %.3fs baseline (limit %.2fx); worst phases: %s",
+			nRow.N, nRow.LabelsTotalSec, ratio, bRow.LabelsTotalSec, factor, worst)
 	}
 	return nil
+}
+
+// phaseRatio is one build phase's baseline comparison.
+type phaseRatio struct {
+	name           string
+	base, run, rel float64
+}
+
+// worstPhases ranks the per-phase regressions (measured/baseline, phases
+// above 1ms baseline only — ratios of microsecond phases are noise) and
+// formats the top k for the gate's failure message.
+func worstPhases(base, run oracle.BuildStats, k int) string {
+	phases := []phaseRatio{
+		{name: "index", base: base.IndexSec, run: run.IndexSec},
+		{name: "nets", base: base.NetsSec, run: run.NetsSec},
+		{name: "radii", base: base.RadiiSec, run: run.RadiiSec},
+		{name: "packings", base: base.PackingsSec, run: run.PackingsSec},
+		{name: "rings", base: base.RingsSec, run: run.RingsSec},
+		{name: "triangulation", base: base.TriangulationSec, run: run.TriangulationSec},
+		{name: "zsets", base: base.ZSetsSec, run: run.ZSetsSec},
+		{name: "tsets", base: base.TSetsSec, run: run.TSetsSec},
+		{name: "host_enums", base: base.HostEnumsSec, run: run.HostEnumsSec},
+		{name: "label_fill", base: base.LabelFillSec, run: run.LabelFillSec},
+		{name: "overlay", base: base.OverlaySec, run: run.OverlaySec},
+		{name: "router", base: base.RouterSec, run: run.RouterSec},
+	}
+	ranked := phases[:0]
+	for _, p := range phases {
+		if p.base < 1e-3 {
+			continue
+		}
+		p.rel = p.run / p.base
+		ranked = append(ranked, p)
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].rel > ranked[j].rel })
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	parts := make([]string, len(ranked))
+	for i, p := range ranked {
+		parts[i] = fmt.Sprintf("%s %.2fx (%.3fs vs %.3fs)", p.name, p.rel, p.run, p.base)
+	}
+	if len(parts) == 0 {
+		return "(no phase above the 1ms noise floor)"
+	}
+	return strings.Join(parts, ", ")
 }
 
 func writeBuildBench(path string, file buildBenchFile) error {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rings/internal/churn"
+	"rings/internal/oracle"
+	"rings/internal/stats"
+	"rings/internal/workload"
+)
+
+// churnBenchFile is the BENCH_churn.json schema: one row per instance
+// size comparing localized repair against the full rebuild on the same
+// surviving node set.
+type churnBenchFile struct {
+	Schema string          `json:"schema"`
+	Seed   int64           `json:"seed"`
+	Rows   []churnBenchRow `json:"rows"`
+}
+
+const churnBenchSchema = "rings/bench-churn/v1"
+
+// churnBenchRow is one measured size.
+type churnBenchRow struct {
+	N        int    `json:"n"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Ops      int    `json:"ops"`
+	// RebuildSec is a full from-scratch build (index included) on the
+	// post-trace surviving node set — what every mutation used to cost.
+	RebuildSec float64 `json:"rebuild_sec"`
+	// Per-op repair wall-clock, split by direction.
+	JoinAvgSec  float64 `json:"join_avg_sec"`
+	LeaveAvgSec float64 `json:"leave_avg_sec"`
+	RepairAvg   float64 `json:"repair_avg_sec"`
+	RepairMax   float64 `json:"repair_max_sec"`
+	// RepairedAvg is the mean repaired-label count per op (ReusedAvg is
+	// its complement: labels structurally shared with the previous
+	// snapshot).
+	RepairedAvg   float64 `json:"repaired_labels_avg"`
+	ReusedAvg     float64 `json:"reused_labels_avg"`
+	FullFallbacks int64   `json:"full_fallbacks"`
+	// Speedup is RebuildSec / RepairAvg — the headline EXPERIMENTS.md C1
+	// tracks (criterion: >= 10x at n=2048, latency/tuned).
+	Speedup float64 `json:"speedup"`
+}
+
+// expChurn measures single-op join/leave repair latency against the
+// full-rebuild baseline across a size sweep on the latency workload
+// (labels scheme, tuned profile, routing disabled — the router has no
+// localized repair and would otherwise dominate both sides; see
+// DESIGN.md §8).
+func expChurn(seed int64, quick bool) error {
+	section("C1 / churn: localized repair vs full rebuild")
+	sizes := []int{256, 512, 1024}
+	if quick {
+		sizes = []int{128, 256}
+	}
+	if buildSizes != "" {
+		sizes = sizes[:0]
+		for _, tok := range strings.Split(buildSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 16 {
+				return fmt.Errorf("bad -sizes entry %q", tok)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	ops := 16
+	if quick {
+		ops = 8
+	}
+
+	tbl := stats.NewTable("n", "rebuild", "join avg", "leave avg", "repair avg", "repair max",
+		"repaired/op", "reused/op", "fallbacks", "speedup")
+	var rows []churnBenchRow
+	for _, n := range sizes {
+		ocfg := oracle.Config{
+			Workload:    "latency",
+			N:           n,
+			Seed:        seed,
+			Scheme:      oracle.SchemeLabels,
+			Profile:     oracle.ProfileTuned,
+			Backend:     benchBackend,
+			Workers:     benchWorkers,
+			SkipRouting: true,
+		}
+		m, err := churn.NewMutator(churn.Config{Oracle: ocfg})
+		if err != nil {
+			return fmt.Errorf("churn n=%d: %w", n, err)
+		}
+		spec := workload.MetricSpec{Name: "latency", N: n, Seed: seed}
+		tr, err := workload.GenerateChurnTrace(spec, 0, workload.ChurnTraceConfig{Ops: ops, Seed: seed + 1})
+		if err != nil {
+			return err
+		}
+		var joinSec, leaveSec, repairedSum, reusedSum, maxSec float64
+		var joins, leaves int
+		for _, op := range tr.Ops {
+			kind := churn.Leave
+			if op.Join {
+				kind = churn.Join
+			}
+			if _, err := m.Apply(churn.Op{Kind: kind, Base: op.Base}); err != nil {
+				return fmt.Errorf("churn n=%d op: %w", n, err)
+			}
+			last := m.Stats().Last
+			if op.Join {
+				joinSec += last.ElapsedSec
+				joins++
+			} else {
+				leaveSec += last.ElapsedSec
+				leaves++
+			}
+			if last.ElapsedSec > maxSec {
+				maxSec = last.ElapsedSec
+			}
+			repairedSum += float64(last.RepairedLabels)
+			reusedSum += float64(last.ReusedLabels)
+		}
+		measured := joins + leaves
+		if measured == 0 {
+			return fmt.Errorf("churn n=%d: empty trace", n)
+		}
+		// Full rebuild on the exact surviving node set (what a serving
+		// deployment without this engine pays per membership change).
+		ref, err := oracle.BuildSnapshotOver(m.Config().Oracle, m.FrozenSpace(), "churn-baseline")
+		if err != nil {
+			return err
+		}
+		row := churnBenchRow{
+			N:             m.N(),
+			Workload:      m.Snapshot().Name,
+			Scheme:        ocfg.Scheme,
+			Ops:           measured,
+			RebuildSec:    ref.Build.TotalSec,
+			RepairAvg:     (joinSec + leaveSec) / float64(measured),
+			RepairMax:     maxSec,
+			RepairedAvg:   repairedSum / float64(measured),
+			ReusedAvg:     reusedSum / float64(measured),
+			FullFallbacks: m.Stats().FullFallbacks,
+		}
+		if joins > 0 {
+			row.JoinAvgSec = joinSec / float64(joins)
+		}
+		if leaves > 0 {
+			row.LeaveAvgSec = leaveSec / float64(leaves)
+		}
+		if row.RepairAvg > 0 {
+			row.Speedup = row.RebuildSec / row.RepairAvg
+		}
+		rows = append(rows, row)
+		tbl.AddRow(row.N, secs(row.RebuildSec), secs(row.JoinAvgSec), secs(row.LeaveAvgSec),
+			secs(row.RepairAvg), secs(row.RepairMax),
+			fmt.Sprintf("%.1f", row.RepairedAvg), fmt.Sprintf("%.1f", row.ReusedAvg),
+			row.FullFallbacks, fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nRepair touches only the dirty label set; the rebuild column rebuilds every")
+	fmt.Println("artifact (index included) on the identical surviving node set. Routing is")
+	fmt.Println("disabled on both sides: Theorem 2.1 tables have no localized form (DESIGN.md §8).")
+
+	if jsonOut {
+		file := churnBenchFile{Schema: churnBenchSchema, Seed: seed, Rows: rows}
+		buf, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(churnOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", churnOut, len(rows))
+	}
+	return nil
+}

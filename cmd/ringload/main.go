@@ -8,10 +8,24 @@
 //
 //	ringload -addr http://127.0.0.1:8390 -clients 8 -duration 5s
 //	ringload -addr http://127.0.0.1:8390 -mix estimate=6,batch=1,nearest=2,route=1 -json
+//	ringload -addr http://127.0.0.1:8390 -churn 3 -clients 4 -duration 5s
 //
 // The node-id range and the set of endpoints the server actually offers
 // are discovered from /healthz; mix entries for endpoints the snapshot
 // does not serve are dropped with a warning.
+//
+// -churn RATE drives the server's churn admin endpoints (POST /join,
+// POST /leave, needs ringsrv -churn) at RATE mutations per second while
+// the query clients keep running — the end-to-end smoke of the
+// incremental repair + delta-swap path. In churn mode ringload also
+// verifies what it can from the protocol alone: every /batch response
+// must carry one consistent snapshot version across its results, and
+// every estimate with u == v must answer exactly zero; a violation is
+// an "estimate mismatch" and fails the run. Because the node-id range
+// shrinks on /leave, a query racing a swap can 400 with the
+// machine-readable code "out_of_range" (and mutations can bounce off
+// "at_capacity"/"below_floor"); those are counted as tolerated churn
+// races, not errors (every other non-200 still fails the run).
 package main
 
 import (
@@ -27,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rings/internal/stats"
@@ -57,6 +72,9 @@ type sample struct {
 	latencyMs float64
 	status    int
 	err       error
+	// stale marks a 400 caused by a node id that fell out of range
+	// under churn — an expected race with a shrink swap, not a failure.
+	stale bool
 }
 
 // mixEntry is one weighted endpoint of the query mix.
@@ -105,6 +123,8 @@ func run() error {
 		batchSize = flag.Int("batch", 16, "pairs per /batch request")
 		seed      = flag.Int64("seed", 1, "query-stream seed")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		churnRate = flag.Float64("churn", 0, "mutations per second against /join and /leave (0 disables; needs ringsrv -churn)")
+		joinBias  = flag.Float64("churn-bias", 0.5, "probability a mutation is a join")
 	)
 	flag.Parse()
 
@@ -131,10 +151,17 @@ func run() error {
 		}
 	}
 
+	// curN tracks the live node count: the churner updates it from every
+	// mutation response, so query clients shrink their id range promptly
+	// after a leave (a short stale window remains and is tolerated).
+	var curN atomic.Int64
+	curN.Store(int64(h.N))
+
 	start := time.Now()
 	deadline := start.Add(*duration)
-	results := make([][]sample, *clients)
+	results := make([][]sample, *clients+1)
 	var wg sync.WaitGroup
+	verify := *churnRate > 0
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -142,9 +169,32 @@ func run() error {
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			for time.Now().Before(deadline) {
 				endpoint := picks[rng.Intn(len(picks))]
-				results[c] = append(results[c], doRequest(client, base, endpoint, h.N, *batchSize, rng))
+				n := int(curN.Load())
+				results[c] = append(results[c], doRequest(client, base, endpoint, n, *batchSize, rng, verify))
 			}
 		}(c)
+	}
+	if verify {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + 7919))
+			for time.Now().Before(deadline) {
+				time.Sleep(time.Duration(rng.ExpFloat64() / *churnRate * float64(time.Second)))
+				if !time.Now().Before(deadline) {
+					return
+				}
+				endpoint := "leave"
+				if rng.Float64() < *joinBias {
+					endpoint = "join"
+				}
+				s, n := doChurn(client, base, endpoint)
+				if n > 0 {
+					curN.Store(int64(n))
+				}
+				results[*clients] = append(results[*clients], s)
+			}
+		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -199,15 +249,21 @@ func pruneMix(mix []mixEntry, h health) []mixEntry {
 	return kept
 }
 
-func doRequest(client *http.Client, base, endpoint string, n, batchSize int, rng *rand.Rand) sample {
+func doRequest(client *http.Client, base, endpoint string, n, batchSize int, rng *rand.Rand, verify bool) sample {
 	var (
-		resp *http.Response
-		err  error
+		resp     *http.Response
+		err      error
+		selfPair bool
 	)
 	start := time.Now()
 	switch endpoint {
 	case "estimate":
-		resp, err = client.Get(fmt.Sprintf("%s/estimate?u=%d&v=%d", base, rng.Intn(n), rng.Intn(n)))
+		u, v := rng.Intn(n), rng.Intn(n)
+		if verify && rng.Intn(8) == 0 {
+			v = u // planted self-pair: the answer must be exactly zero
+		}
+		selfPair = u == v
+		resp, err = client.Get(fmt.Sprintf("%s/estimate?u=%d&v=%d", base, u, v))
 	case "batch":
 		type pair struct {
 			U int `json:"u"`
@@ -232,32 +288,126 @@ func doRequest(client *http.Client, base, endpoint string, n, batchSize int, rng
 		s.err = err
 		return s
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	defer resp.Body.Close()
 	s.status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
+		if verify && resp.StatusCode == http.StatusBadRequest && errCode(resp.Body) == "out_of_range" {
+			s.stale = true // raced a shrink swap; expected under churn
+			return s
+		}
 		s.err = fmt.Errorf("status %d", resp.StatusCode)
+		return s
+	}
+	if !verify {
+		io.Copy(io.Discard, resp.Body)
+		return s
+	}
+	// Churn-mode protocol checks ("estimate mismatch" failures).
+	switch endpoint {
+	case "estimate":
+		var res struct {
+			Upper float64 `json:"upper"`
+			OK    bool    `json:"ok"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&res); derr != nil {
+			s.err = fmt.Errorf("estimate body: %v", derr)
+			return s
+		}
+		if selfPair && (res.Upper != 0 || !res.OK) {
+			s.err = fmt.Errorf("estimate mismatch: self-pair answered upper=%v ok=%v", res.Upper, res.OK)
+		}
+	case "batch":
+		var res struct {
+			Results []struct {
+				Version int64 `json:"version"`
+			} `json:"results"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&res); derr != nil {
+			s.err = fmt.Errorf("batch body: %v", derr)
+			return s
+		}
+		for i := 1; i < len(res.Results); i++ {
+			if res.Results[i].Version != res.Results[0].Version {
+				s.err = fmt.Errorf("estimate mismatch: batch split across snapshot versions %d and %d",
+					res.Results[0].Version, res.Results[i].Version)
+				break
+			}
+		}
+	default:
+		io.Copy(io.Discard, resp.Body)
 	}
 	return s
+}
+
+// errCode extracts the machine-readable code of an error response.
+func errCode(body io.Reader) string {
+	var eb struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(io.LimitReader(body, 1<<12)).Decode(&eb); err != nil {
+		return ""
+	}
+	return eb.Code
+}
+
+// doChurn issues one mutation and reports the server's new node count
+// (0 when unavailable).
+func doChurn(client *http.Client, base, endpoint string) (sample, int) {
+	start := time.Now()
+	resp, err := client.Post(base+"/"+endpoint, "application/json", strings.NewReader("{}"))
+	s := sample{endpoint: endpoint, latencyMs: float64(time.Since(start)) / float64(time.Millisecond)}
+	if err != nil {
+		s.err = err
+		return s, 0
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		// Hitting the capacity ceiling or the MinNodes floor is a trace
+		// artifact, not a server failure (the server says which via the
+		// machine-readable code field).
+		if resp.StatusCode == http.StatusBadRequest {
+			switch errCode(resp.Body) {
+			case "at_capacity", "below_floor":
+				s.stale = true
+				return s, 0
+			}
+		}
+		s.err = fmt.Errorf("status %d", resp.StatusCode)
+		return s, 0
+	}
+	var res struct {
+		N int `json:"n"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&res); derr != nil {
+		s.err = fmt.Errorf("churn body: %v", derr)
+		return s, 0
+	}
+	return s, res.N
 }
 
 // EndpointReport summarizes one endpoint's traffic.
 type EndpointReport struct {
 	Requests  int           `json:"requests"`
 	Errors    int           `json:"errors"`
+	Stale     int           `json:"stale,omitempty"`
 	QPS       float64       `json:"qps"`
 	LatencyMs stats.Summary `json:"latency_ms"`
 }
 
 // Report is the machine-readable run summary (-json emits exactly this).
 type Report struct {
-	Workload  string                    `json:"workload"`
-	N         int                       `json:"n"`
-	Version   int64                     `json:"version"`
-	Clients   int                       `json:"clients"`
-	DurationS float64                   `json:"duration_sec"`
-	Requests  int                       `json:"requests"`
-	Errors    int                       `json:"errors"`
+	Workload  string  `json:"workload"`
+	N         int     `json:"n"`
+	Version   int64   `json:"version"`
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_sec"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	// Stale counts tolerated churn races: out-of-range queries right
+	// after a shrink swap, and mutations refused at the capacity or
+	// MinNodes bounds. They are excluded from Errors.
+	Stale     int                       `json:"stale,omitempty"`
 	QPS       float64                   `json:"qps"`
 	Endpoints map[string]EndpointReport `json:"endpoints"`
 }
@@ -279,11 +429,17 @@ func buildReport(results [][]sample, h health, clients int, elapsed time.Duratio
 			if s.err != nil {
 				ep.Errors++
 			}
+			if s.stale {
+				ep.Stale++
+			}
 			rep.Endpoints[s.endpoint] = ep
 			lats[s.endpoint] = append(lats[s.endpoint], s.latencyMs)
 			rep.Requests++
 			if s.err != nil {
 				rep.Errors++
+			}
+			if s.stale {
+				rep.Stale++
 			}
 		}
 	}
@@ -311,5 +467,10 @@ func printReport(rep Report) {
 			ep.LatencyMs.P50, ep.LatencyMs.P95, ep.LatencyMs.P99, ep.LatencyMs.Max)
 	}
 	fmt.Print(tb.String())
+	if rep.Stale > 0 {
+		fmt.Printf("total: %d requests, %d errors, %d stale churn races, %.0f qps\n",
+			rep.Requests, rep.Errors, rep.Stale, rep.QPS)
+		return
+	}
 	fmt.Printf("total: %d requests, %d errors, %.0f qps\n", rep.Requests, rep.Errors, rep.QPS)
 }

@@ -16,13 +16,28 @@
 //	GET  /route?src=S&dst=D        simulated compact-routing packet
 //	POST /snapshot                 rebuild on a fresh seed, zero-downtime swap
 //	GET  /stats                    engine counters and latency summaries
+//	POST /join                     -churn: activate dormant nodes (localized repair + swap)
+//	POST /leave                    -churn: retire active nodes (localized repair + swap)
+//	GET  /churn/stats              -churn: cumulative repair report
 //
-// cmd/ringload is the matching closed-loop load generator.
+// With -churn the server owns an incremental churn engine
+// (internal/churn): joins and leaves repair only the affected parts of
+// the serving structures and swap a structurally shared delta snapshot
+// in, so membership changes cost milliseconds instead of a rebuild.
+// With -snapshot-file the server persists the snapshot on every swap
+// and warm-starts from the file on boot, skipping the label build.
+// Combining the two, the churn engine still persists every committed
+// delta (a plain server can warm-start from it, churned membership
+// included) but itself always boots fresh: its repair state cannot be
+// reconstructed from codec-rounded wire labels without breaking the
+// byte-identity contract.
+//
+// cmd/ringload is the matching closed-loop load generator (-churn
+// drives the admin endpoints under query load).
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"rings/internal/churn"
 	"rings/internal/oracle"
 )
 
@@ -62,6 +78,11 @@ func run() error {
 		noOverlay  = flag.Bool("no-overlay", false, "skip the ring overlay (disables /nearest)")
 		shards     = flag.Int("cache-shards", 16, "estimate cache shards")
 		cacheCap   = flag.Int("cache-cap", 4096, "estimate cache entries per shard (-1 disables)")
+		churnOn    = flag.Bool("churn", false, "enable the incremental churn engine (POST /join, /leave)")
+		churnCap   = flag.Int("churn-capacity", 0, "churn universe capacity (0 = 2n; grid: the full lattice)")
+		churnMin   = flag.Int("churn-min", 0, "refuse leaves below this node count (0 = default)")
+		snapFile   = flag.String("snapshot-file", "", "persist the snapshot here on every swap; warm-start from it on boot (without -churn: under -churn the engine owns membership and always boots fresh, but keeps the file current for a later plain warm start)")
+		drain      = flag.Duration("drain-timeout", 5*time.Second, "in-flight request drain budget on shutdown")
 	)
 	flag.Parse()
 
@@ -83,37 +104,79 @@ func run() error {
 		SkipOverlay:     *noOverlay,
 	}
 
-	log.Printf("building snapshot: workload=%s scheme=%s profile=%s", *wl, *scheme, *profile)
-	snap, err := oracle.BuildSnapshot(cfg)
-	if err != nil {
-		return err
+	var (
+		snap    *oracle.Snapshot
+		mutator *churn.Mutator
+	)
+	switch {
+	case *churnOn:
+		// The churn engine owns the substrate; an existing snapshot file
+		// is ignored for state (membership lives in the mutator) but the
+		// file still receives every committed delta below.
+		log.Printf("building churn engine: workload=%s scheme=%s profile=%s", *wl, *scheme, *profile)
+		var err error
+		mutator, err = churn.NewMutator(churn.Config{Oracle: cfg, Capacity: *churnCap, MinNodes: *churnMin})
+		if err != nil {
+			return err
+		}
+		snap = mutator.Snapshot()
+		log.Printf("churn engine ready: n=%d capacity=%d", mutator.N(), mutator.Config().Capacity)
+	case *snapFile != "":
+		f, err := os.Open(*snapFile)
+		switch {
+		case err == nil:
+			log.Printf("warm-starting from %s", *snapFile)
+			loaded, rerr := oracle.ReadSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				return fmt.Errorf("warm start from %s: %w", *snapFile, rerr)
+			}
+			snap = loaded
+			log.Printf("warm start ready: %s n=%d (label build skipped)", snap.Name, snap.N())
+		case os.IsNotExist(err):
+			// First boot: fall through to the cold build (which persists).
+		default:
+			// Anything else (permissions, I/O) must not silently cold-build
+			// and then overwrite the file with a different node set.
+			return fmt.Errorf("snapshot file %s: %w", *snapFile, err)
+		}
+		fallthrough
+	default:
+		if snap == nil {
+			log.Printf("building snapshot: workload=%s scheme=%s profile=%s", *wl, *scheme, *profile)
+			built, err := oracle.BuildSnapshot(cfg)
+			if err != nil {
+				return err
+			}
+			snap = built
+			log.Printf("snapshot ready: %s n=%d build=%v routing=%v overlay=%v",
+				snap.Name, snap.N(), snap.BuildElapsed.Round(time.Millisecond),
+				snap.Router != nil, snap.Overlay != nil)
+		}
 	}
+
 	engine := oracle.NewEngine(snap, oracle.EngineOptions{
 		CacheShards:   *shards,
 		CacheCapacity: *cacheCap,
 	})
-	log.Printf("snapshot ready: %s n=%d build=%v routing=%v overlay=%v",
-		snap.Name, snap.N(), snap.BuildElapsed.Round(time.Millisecond),
-		snap.Router != nil, snap.Overlay != nil)
+	handler := newServer(engine)
+	if mutator != nil {
+		handler.enableChurn(mutator, *seed)
+	}
+	if *snapFile != "" {
+		handler.enablePersist(*snapFile)
+		if err := handler.persist(); err != nil {
+			return fmt.Errorf("persist %s: %w", *snapFile, err)
+		}
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(engine)}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("serving on http://%s", *addr)
-		errc <- srv.ListenAndServe()
-	}()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-		log.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
-		}
-		return nil
+	log.Printf("serving on http://%s", *addr)
+	err := gracefulServe(srv, ctx, *drain)
+	if ctx.Err() != nil {
+		log.Printf("shut down cleanly (in-flight requests drained)")
 	}
+	return err
 }

@@ -1,15 +1,20 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"time"
 
+	"rings/internal/churn"
 	"rings/internal/oracle"
 )
 
@@ -28,6 +33,16 @@ type server struct {
 	start  time.Time
 	// rebuildMu serializes /snapshot rebuilds; queries never take it.
 	rebuildMu sync.Mutex
+	// mutator, when non-nil, enables the churn admin endpoints. churnMu
+	// serializes mutations (the Mutator is single-writer by contract);
+	// queries never take it — they keep flowing against the engine's
+	// current snapshot while a repair runs, exactly like rebuilds.
+	mutator  *churn.Mutator
+	churnMu  sync.Mutex
+	churnRng *rand.Rand
+	// persistPath, when set, receives the current snapshot after every
+	// swap (and at boot) so a restart warm-starts from disk.
+	persistPath string
 }
 
 func newServer(engine *oracle.Engine) *server {
@@ -39,7 +54,75 @@ func newServer(engine *oracle.Engine) *server {
 	s.mux.HandleFunc("GET /route", s.handleRoute)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /join", s.handleJoin)
+	s.mux.HandleFunc("POST /leave", s.handleLeave)
+	s.mux.HandleFunc("GET /churn/stats", s.handleChurnStats)
 	return s
+}
+
+// enableChurn attaches a churn mutator (its current snapshot must be
+// the engine's). seed drives server-side random leave selection.
+func (s *server) enableChurn(m *churn.Mutator, seed int64) {
+	s.mutator = m
+	s.churnRng = rand.New(rand.NewSource(seed))
+}
+
+// enablePersist arranges for every swap to persist the snapshot.
+func (s *server) enablePersist(path string) { s.persistPath = path }
+
+// persist writes the current snapshot to the persist path (atomic
+// rename), when enabled.
+func (s *server) persist() error {
+	if s.persistPath == "" {
+		return nil
+	}
+	snap := s.engine.Snapshot()
+	tmp := s.persistPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	// WriteTo issues two small writes per label; buffering keeps a
+	// per-commit persist at a handful of syscalls instead of thousands.
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := snap.WriteTo(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, s.persistPath)
+}
+
+// gracefulServe runs srv until ctx is canceled, then drains in-flight
+// requests via http.Server.Shutdown bounded by drainTimeout. It returns
+// nil on a clean drain — including when the listener was closed by
+// shutdown — and the serve error otherwise.
+func gracefulServe(srv *http.Server, ctx context.Context, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -52,17 +135,39 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error class — what load generators
+	// key churn-race tolerance on (matching human prose would break on
+	// any rewording): "out_of_range" (node id raced a shrink swap),
+	// "below_floor" (leave refused at MinNodes), "at_capacity" (join
+	// refused, universe full), "not_implemented" (artifact disabled).
+	Code string `json:"code,omitempty"`
 }
+
+// Error codes for errorBody.Code.
+const (
+	codeOutOfRange     = "out_of_range"
+	codeBelowFloor     = "below_floor"
+	codeAtCapacity     = "at_capacity"
+	codeNotImplemented = "not_implemented"
+)
 
 // writeError maps engine errors to HTTP statuses: disabled artifacts are
 // 501 (the server genuinely cannot answer), everything else surfaced by
-// a query is a client-input problem (400).
+// a query is a client-input problem (400). Known error classes carry a
+// machine-readable code.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
-	if errors.Is(err, oracle.ErrNoRouter) || errors.Is(err, oracle.ErrNoOverlay) {
+	body := errorBody{Error: err.Error()}
+	switch {
+	case errors.Is(err, oracle.ErrNoRouter) || errors.Is(err, oracle.ErrNoOverlay):
 		status = http.StatusNotImplemented
+		body.Code = codeNotImplemented
+	case errors.Is(err, oracle.ErrNodeRange):
+		body.Code = codeOutOfRange
+	case errors.Is(err, churn.ErrBelowFloor):
+		body.Code = codeBelowFloor
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, body)
 }
 
 func intParam(r *http.Request, name string) (int, error) {
@@ -207,6 +312,14 @@ type snapshotResponse struct {
 // from the old snapshot until the swap — but rebuilds themselves are
 // serialized: a second request while one is building gets 409.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.mutator != nil {
+		// Membership lives in the churn engine; a spec rebuild would
+		// desynchronize the served snapshot from it.
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: "snapshot rebuilds are disabled under -churn (membership is owned by the churn engine; use /join and /leave)",
+		})
+		return
+	}
 	var req snapshotRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
@@ -230,6 +343,10 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
+	if err := s.persist(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("persist: %v", err)})
+		return
+	}
 	writeJSON(w, http.StatusOK, snapshotResponse{
 		Version:  snap.Version,
 		N:        snap.N(),
@@ -241,4 +358,159 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// ---- churn admin endpoints -------------------------------------------
+
+var errNoChurn = errors.New("churn disabled: start ringsrv with -churn")
+
+type joinRequest struct {
+	// Base picks a specific dormant base node; omitted or negative
+	// lets the server pick the smallest dormant ids (Count of them).
+	Base *int `json:"base,omitempty"`
+	// Count joins that many dormant nodes in one commit (default 1;
+	// ignored when Base picks a specific node).
+	Count int `json:"count,omitempty"`
+}
+
+type leaveRequest struct {
+	// Base picks a specific active base node; omitted or negative lets
+	// the server pick random active ones (Count of them).
+	Base *int `json:"base,omitempty"`
+	// Count retires that many nodes in one commit (default 1; ignored
+	// when Base picks a specific node).
+	Count int `json:"count,omitempty"`
+}
+
+// churnResponse reports one committed mutation batch.
+type churnResponse struct {
+	Version int64         `json:"version"`
+	N       int           `json:"n"`
+	Bases   []int         `json:"bases"`
+	Repair  churn.OpStats `json:"repair"`
+}
+
+// applyChurn runs one mutation batch under the churn lock, swaps the
+// delta snapshot in, and persists when enabled.
+func (s *server) applyChurn(w http.ResponseWriter, ops []churn.Op) {
+	snap, err := s.mutator.Apply(ops...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.engine.Swap(snap)
+	if err := s.persist(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("persist: %v", err)})
+		return
+	}
+	bases := make([]int, len(ops))
+	for i, op := range ops {
+		bases[i] = op.Base
+	}
+	writeJSON(w, http.StatusOK, churnResponse{
+		Version: snap.Version,
+		N:       snap.N(),
+		Bases:   bases,
+		Repair:  s.mutator.Stats().Last,
+	})
+}
+
+func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if s.mutator == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: errNoChurn.Error()})
+		return
+	}
+	var req joinRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("invalid join body: %v", err))
+			return
+		}
+	}
+	count := req.Count
+	if count <= 0 {
+		count = 1
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	var ops []churn.Op
+	if req.Base != nil && *req.Base >= 0 {
+		ops = []churn.Op{{Kind: churn.Join, Base: *req.Base}}
+	} else {
+		for _, b := range s.mutator.DormantBases(count) {
+			ops = append(ops, churn.Op{Kind: churn.Join, Base: b})
+		}
+		if len(ops) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: "universe at capacity: nothing to join",
+				Code:  codeAtCapacity,
+			})
+			return
+		}
+	}
+	s.applyChurn(w, ops)
+}
+
+func (s *server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if s.mutator == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: errNoChurn.Error()})
+		return
+	}
+	var req leaveRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("invalid leave body: %v", err))
+			return
+		}
+	}
+	count := req.Count
+	if count <= 0 {
+		count = 1
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	var ops []churn.Op
+	if req.Base != nil && *req.Base >= 0 {
+		ops = []churn.Op{{Kind: churn.Leave, Base: *req.Base}}
+	} else {
+		floor := s.mutator.Config().MinNodes
+		seen := map[int]bool{}
+		for i := 0; i < count && s.mutator.N()-len(ops) > floor; i++ {
+			u := s.churnRng.Intn(s.mutator.N())
+			b := s.mutator.ActiveBase(u)
+			for tries := 0; seen[b] && tries < 8; tries++ {
+				b = s.mutator.ActiveBase(s.churnRng.Intn(s.mutator.N()))
+			}
+			if seen[b] {
+				break
+			}
+			seen[b] = true
+			ops = append(ops, churn.Op{Kind: churn.Leave, Base: b})
+		}
+		if len(ops) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("at the MinNodes=%d floor: nothing to retire", floor),
+				Code:  codeBelowFloor,
+			})
+			return
+		}
+	}
+	s.applyChurn(w, ops)
+}
+
+// churnStatsBody frames the mutator's report for /churn/stats.
+type churnStatsBody struct {
+	Enabled bool         `json:"enabled"`
+	Stats   *churn.Stats `json:"stats,omitempty"`
+}
+
+func (s *server) handleChurnStats(w http.ResponseWriter, r *http.Request) {
+	if s.mutator == nil {
+		writeJSON(w, http.StatusOK, churnStatsBody{Enabled: false})
+		return
+	}
+	s.churnMu.Lock()
+	st := s.mutator.Stats()
+	s.churnMu.Unlock()
+	writeJSON(w, http.StatusOK, churnStatsBody{Enabled: true, Stats: &st})
 }

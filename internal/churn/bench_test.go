@@ -1,0 +1,34 @@
+package churn
+
+import (
+	"testing"
+
+	"rings/internal/oracle"
+)
+
+// BenchmarkMutatorApply measures one join+leave repair cycle at a
+// serving-ish size (pair with -cpuprofile to see where repair time
+// goes). The pair keeps the membership stationary so every iteration
+// does equivalent work.
+func BenchmarkMutatorApply(b *testing.B) {
+	n := 1024
+	if testing.Short() {
+		n = 256
+	}
+	m, err := NewMutator(Config{Oracle: oracle.Config{
+		Workload: "latency", N: n, Seed: 1, SkipRouting: true,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := m.NextDormant()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Apply(Op{Kind: Join, Base: base}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Apply(Op{Kind: Leave, Base: base}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

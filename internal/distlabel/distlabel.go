@@ -32,8 +32,6 @@ package distlabel
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"time"
 
 	"rings/internal/core"
@@ -141,10 +139,12 @@ func NewInternal(idx metric.BallIndex, deltaPrime float64) (*Scheme, error) {
 // (cons.Params.Workers) and writes only per-node slots, so the labels
 // are byte-identical for any worker count; per-worker scratch sets and
 // sorted-slice merges replace the map[int]bool unions that used to
-// dominate the build's allocation profile.
+// dominate the build's allocation profile. The phases delegate to the
+// exported builders (BuildZSets, BuildTSet, BuildHostEnum, FillLabel),
+// which the churn engine's localized repair reuses one node at a time —
+// one construction implementation, two drivers.
 func FromConstruction(cons *triangulation.Construction, delta float64) (*Scheme, error) {
-	idx := cons.Idx
-	n := idx.N()
+	n := cons.Idx.N()
 	workers := cons.Params.Workers
 	nw := par.Workers(workers, n)
 	s := &Scheme{
@@ -156,65 +156,17 @@ func FromConstruction(cons *triangulation.Construction, delta float64) (*Scheme,
 	}
 
 	// Z-neighbor sets: Z_u = union over scales t_k of B_u(t_k) ∩ G_jz(k).
-	// One pass over each node's sorted row instead of one ball walk per
-	// scale: a neighbor at distance d first qualifies at the smallest k
-	// with t_k >= d, and because jz(k) is nondecreasing in k while the
-	// nets are nested (G_(j+1) ⊆ G_j), membership at any later scale
-	// implies membership at that first one — so testing G_jz(k0(d)) alone
-	// decides w ∈ Z_u.
 	start := time.Now()
-	finest := cons.Nets.Scale(0)
-	diam := idx.Diameter()
-	var tks []float64
-	var zMasks [][]bool
-	for k := 0; ; k++ {
-		tk := finest * math.Pow(2, float64(k))
-		tks = append(tks, tk)
-		zMasks = append(zMasks, cons.Nets.Mask(cons.Nets.JForScale(tk*cons.DeltaPrime/zScaleDiv)))
-		if tk >= diam {
-			break
-		}
-	}
-	zAll := make([][]int, n)
-	zBuf := make([][]int, nw)
-	par.ForWorker(workers, n, func(w, u int) {
-		buf := zBuf[w][:0]
-		for _, nb := range idx.Sorted(u) {
-			k0 := sort.SearchFloat64s(tks, nb.Dist)
-			if k0 < len(tks) && zMasks[k0][nb.Node] {
-				buf = append(buf, nb.Node)
-			}
-		}
-		zBuf[w] = buf
-		out := make([]int, len(buf))
-		copy(out, buf)
-		sort.Ints(out)
-		zAll[u] = out
-	})
+	zAll := BuildZSets(cons, workers)
 	s.Timings.ZSets = time.Since(start)
 
 	// X unions and virtual neighbor sets T_u = X_u ∪ Z_u ∪ (∪_{v∈X_u} Z_v).
 	start = time.Now()
-	xAll := make([][]int, n)
+	xAll := BuildXAll(cons, workers)
 	sets := make([]intset.Set, nw)
-	par.ForWorker(workers, n, func(w, u int) {
-		st := &sets[w]
-		st.Reset(n)
-		for i := 0; i <= cons.IMax; i++ {
-			st.AddAll(cons.X[u][i])
-		}
-		xAll[u] = st.Sorted()
-	})
 	maxTs := make([]int, nw)
 	par.ForWorker(workers, n, func(w, u int) {
-		st := &sets[w]
-		st.Reset(n)
-		st.AddAll(xAll[u])
-		st.AddAll(zAll[u])
-		for _, v := range xAll[u] {
-			st.AddAll(zAll[v])
-		}
-		s.tEnums[u] = core.NewEnumFromSorted(st.Sorted())
+		s.tEnums[u] = core.NewEnumFromSorted(BuildTSet(xAll, zAll, u, &sets[w], n))
 		if sz := s.tEnums[u].Size(); sz > maxTs[w] {
 			maxTs[w] = sz
 		}
@@ -230,140 +182,27 @@ func FromConstruction(cons *triangulation.Construction, delta float64) (*Scheme,
 	start = time.Now()
 	lvl0Buf := make([][]int, nw)
 	par.ForWorker(workers, n, func(w, u int) {
-		lvl0 := intset.MergeSorted(lvl0Buf[w][:0], cons.X[u][0], cons.Y[u][0])
-		lvl0Buf[w] = lvl0
-		st := &sets[w]
-		st.Reset(n)
-		for i := 1; i <= cons.IMax; i++ {
-			st.AddAll(cons.X[u][i])
-			st.AddAll(cons.Y[u][i])
-		}
-		s.hostEnums[u] = core.NewEnumOrderedSorted(lvl0, st.SortedMembers())
+		s.hostEnums[u], lvl0Buf[w] = BuildHostEnum(cons, u, &sets[w], lvl0Buf[w])
 	})
-	level0Count := len(intset.MergeSorted(nil, cons.X[0][0], cons.Y[0][0]))
+	level0Count := Level0Count(cons)
 	s.Timings.HostEnums = time.Since(start)
 
 	// Labels.
 	start = time.Now()
-	type transMeta struct {
-		x          int32
-		start, end int32
-	}
-	type labScratch struct {
-		level, next []int
-		// nextZ[w] is w's host index when w is a next-level neighbor of
-		// the node being labeled, else -1. The mark array turns the ζ-map
-		// inner loop into a linear scan of ψ_v with zero hash lookups.
-		nextZ []int32
-		// entries accumulates one level's ζ entries (reused across
-		// levels and nodes: appends stop allocating once it reaches the
-		// high-water mark); meta records the per-x spans. The persistent
-		// label gets one exact-size copy per level, so append-growth
-		// never memmoves label data twice.
-		entries []transEntry
-		meta    []transMeta
-	}
-	scr := make([]labScratch, nw)
+	scr := make([]*LabelScratch, nw)
 	for w := range scr {
-		scr[w].nextZ = make([]int32, n)
-		for v := range scr[w].nextZ {
-			scr[w].nextZ[v] = -1
-		}
+		scr[w] = NewLabelScratch(n)
 	}
+	vs := enumVirtualSet(s.tEnums)
 	errs := make([]error, nw)
 	par.ForWorker(workers, n, func(w, u int) {
 		if errs[w] != nil {
 			return
 		}
-		host := s.hostEnums[u]
-		lab := &Label{
-			Level0Count: level0Count,
-			Dists:       make([]float64, host.Size()),
-			ZoomPsi:     make([]int32, cons.IMax),
-			Trans:       make([]LevelMap, cons.IMax),
-			hostNodes:   append([]int(nil), host.Nodes()...),
-		}
-		for h := 0; h < host.Size(); h++ {
-			lab.Dists[h] = idx.Dist(u, host.Node(h))
-		}
-		z0, ok := host.IndexOf(cons.Zoom[u][0])
-		if !ok || z0 >= level0Count {
-			errs[w] = fmt.Errorf("distlabel: f_%d,0 not in the shared level-0 prefix", u)
+		lab, err := FillLabel(cons, u, s.hostEnums[u], level0Count, vs, scr[w])
+		if err != nil {
+			errs[w] = err
 			return
-		}
-		lab.Zoom0 = z0
-		for i := 0; i < cons.IMax; i++ {
-			f := cons.Zoom[u][i]
-			next := cons.Zoom[u][i+1]
-			psi, ok := s.tEnums[f].IndexOf(next)
-			if !ok {
-				errs[w] = fmt.Errorf("distlabel: claim 3.5(c) violated: f_(%d,%d)=%d not a virtual neighbor of f_(%d,%d)=%d",
-					u, i+1, next, u, i, f)
-				return
-			}
-			lab.ZoomPsi[i] = int32(psi)
-		}
-		// Translation maps ζ_ui. The next-level neighbors are marked in a
-		// node-indexed scratch array carrying their host index; each v's
-		// entries then come from one linear scan of ψ_v's node list —
-		// the index in that list IS psi — with zero hash lookups in the
-		// hot pair loop, and entries emerge already sorted by Y. One
-		// backing array per level replaces the per-x entry slices
-		// (full-capacity subslices stay valid if the backing array later
-		// grows).
-		sc := &scr[w]
-		for i := 0; i < cons.IMax; i++ {
-			sc.level = intset.MergeSorted(sc.level[:0], cons.X[u][i], cons.Y[u][i])
-			sc.next = intset.MergeSorted(sc.next[:0], cons.X[u][i+1], cons.Y[u][i+1])
-			for _, wNode := range sc.next {
-				z, ok := host.IndexOf(wNode)
-				if !ok {
-					errs[w] = fmt.Errorf("distlabel: level-%d neighbor %d missing from host enum of %d", i+1, wNode, u)
-					return
-				}
-				sc.nextZ[wNode] = int32(z)
-			}
-			sc.entries = sc.entries[:0]
-			sc.meta = sc.meta[:0]
-			for _, v := range sc.level {
-				x, ok := host.IndexOf(v)
-				if !ok {
-					errs[w] = fmt.Errorf("distlabel: level-%d neighbor %d missing from host enum of %d", i, v, u)
-					return
-				}
-				first := len(sc.entries)
-				tvNodes := s.tEnums[v].Nodes()
-				if len(tvNodes) <= 8*len(sc.next) {
-					for psi, wNode := range tvNodes {
-						if z := sc.nextZ[wNode]; z >= 0 {
-							sc.entries = append(sc.entries, transEntry{Y: int32(psi), Z: z})
-						}
-					}
-				} else {
-					// T_v dwarfs the next-level ring: binary-search each
-					// next neighbor in ψ_v instead of scanning all of it.
-					// w ascends, ψ_v is id-sorted, so psi still ascends.
-					for _, wNode := range sc.next {
-						psi := sort.SearchInts(tvNodes, wNode)
-						if psi < len(tvNodes) && tvNodes[psi] == wNode {
-							sc.entries = append(sc.entries, transEntry{Y: int32(psi), Z: sc.nextZ[wNode]})
-						}
-					}
-				}
-				if len(sc.entries) > first {
-					sc.meta = append(sc.meta, transMeta{x: int32(x), start: int32(first), end: int32(len(sc.entries))})
-				}
-			}
-			for _, wNode := range sc.next {
-				sc.nextZ[wNode] = -1
-			}
-			buf := make([]transEntry, len(sc.entries))
-			copy(buf, sc.entries)
-			lm := make(LevelMap, len(sc.meta))
-			for _, m := range sc.meta {
-				lm[m.x] = buf[m.start:m.end:m.end]
-			}
-			lab.Trans[i] = lm
 		}
 		s.labels[u] = lab
 	})

@@ -1,0 +1,153 @@
+package distlabel
+
+import (
+	"math"
+	"sort"
+
+	"rings/internal/intset"
+	"rings/internal/par"
+	"rings/internal/triangulation"
+)
+
+// ZParams is the Z-neighbor scale ladder of one construction: the scales
+// t_k (ascending, finest first) and, per scale, the ascending net index
+// jz(k) whose members qualify at that scale. A node w belongs to Z_u iff
+// w is a member of G_(jz(k0)) for k0 the smallest k with t_k >= d(u,w).
+//
+// The ladder is exposed (rather than kept inline in the build) because
+// the churn engine's localized repair needs to re-evaluate exactly this
+// qualification predicate for single nodes: after a mutation it diffs
+// the per-scale net memberships and patches only the Z-sets whose
+// qualifications could have flipped, instead of re-deriving every Z_u.
+type ZParams struct {
+	// Tks are the Z scales, ascending; the last is >= the diameter.
+	Tks []float64
+	// Levels[k] is the ascending net index jz(k) used at scale Tks[k].
+	Levels []int
+}
+
+// ZSetParams derives the Z scale ladder of a construction.
+func ZSetParams(cons *triangulation.Construction) ZParams {
+	finest := cons.Nets.Scale(0)
+	diam := cons.Idx.Diameter()
+	var zp ZParams
+	for k := 0; ; k++ {
+		tk := finest * math.Pow(2, float64(k))
+		zp.Tks = append(zp.Tks, tk)
+		zp.Levels = append(zp.Levels, cons.Nets.JForScale(tk*cons.DeltaPrime/zScaleDiv))
+		if tk >= diam {
+			break
+		}
+	}
+	return zp
+}
+
+// Equal reports whether two ladders are identical (same scales, same
+// level mapping) — the precondition for incremental Z-set maintenance
+// across a mutation.
+func (zp ZParams) Equal(other ZParams) bool {
+	if len(zp.Tks) != len(other.Tks) {
+		return false
+	}
+	for k := range zp.Tks {
+		if zp.Tks[k] != other.Tks[k] || zp.Levels[k] != other.Levels[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Masks returns, per scale, the membership mask of the qualifying net
+// level (shared slices of the construction's hierarchy; do not modify).
+func (zp ZParams) Masks(cons *triangulation.Construction) [][]bool {
+	masks := make([][]bool, len(zp.Levels))
+	for k, j := range zp.Levels {
+		masks[k] = cons.Nets.Mask(j)
+	}
+	return masks
+}
+
+// ScaleIndex reports k0(d): the smallest k with Tks[k] >= d, or
+// len(Tks) when d exceeds every scale (cannot happen for d <= diameter).
+func (zp ZParams) ScaleIndex(d float64) int {
+	return sort.SearchFloat64s(zp.Tks, d)
+}
+
+// Qualifies reports whether w (at distance d from the probe node)
+// belongs to the probe's Z-set, given the per-scale masks.
+func (zp ZParams) Qualifies(masks [][]bool, w int, d float64) bool {
+	k0 := zp.ScaleIndex(d)
+	return k0 < len(zp.Tks) && masks[k0][w]
+}
+
+// BuildZSets computes every Z-neighbor set: Z_u is the union over
+// scales t_k of B_u(t_k) ∩ G_jz(k), derived in one pass over each
+// node's sorted row (see the package doc for why testing the first
+// qualifying scale alone decides membership). Each Z_u comes out
+// sorted by node id.
+func BuildZSets(cons *triangulation.Construction, workers int) [][]int {
+	idx := cons.Idx
+	n := idx.N()
+	zp := ZSetParams(cons)
+	masks := zp.Masks(cons)
+	zAll := make([][]int, n)
+	nw := par.Workers(workers, n)
+	zBuf := make([][]int, nw)
+	par.ForWorker(workers, n, func(w, u int) {
+		buf := zBuf[w][:0]
+		for _, nb := range idx.Sorted(u) {
+			if zp.Qualifies(masks, nb.Node, nb.Dist) {
+				buf = append(buf, nb.Node)
+			}
+		}
+		zBuf[w] = buf
+		out := make([]int, len(buf))
+		copy(out, buf)
+		sort.Ints(out)
+		zAll[u] = out
+	})
+	return zAll
+}
+
+// BuildZSet computes a single node's Z-set (the churn repair path for a
+// freshly joined node), sorted by id.
+func BuildZSet(cons *triangulation.Construction, zp ZParams, masks [][]bool, u int) []int {
+	var out []int
+	for _, nb := range cons.Idx.Sorted(u) {
+		if zp.Qualifies(masks, nb.Node, nb.Dist) {
+			out = append(out, nb.Node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BuildXAll computes every node's X union ∪_i X_ui, sorted by id.
+func BuildXAll(cons *triangulation.Construction, workers int) [][]int {
+	n := cons.Idx.N()
+	xAll := make([][]int, n)
+	nw := par.Workers(workers, n)
+	sets := make([]intset.Set, nw)
+	par.ForWorker(workers, n, func(w, u int) {
+		st := &sets[w]
+		st.Reset(n)
+		for i := 0; i <= cons.IMax; i++ {
+			st.AddAll(cons.X[u][i])
+		}
+		xAll[u] = st.Sorted()
+	})
+	return xAll
+}
+
+// BuildTSet computes one node's virtual neighbor set
+// T_u = X_u ∪ Z_u ∪ (∪_{v∈X_u} Z_v), sorted by id, through the caller's
+// scratch set.
+func BuildTSet(xAll, zAll [][]int, u int, st *intset.Set, n int) []int {
+	st.Reset(n)
+	st.AddAll(xAll[u])
+	st.AddAll(zAll[u])
+	for _, v := range xAll[u] {
+		st.AddAll(zAll[v])
+	}
+	return st.Sorted()
+}

@@ -42,6 +42,23 @@ func Counting(n int) *Measure {
 	return &Measure{w: w}
 }
 
+// CountingScaled returns the counting measure over n nodes normalized
+// by a fixed reference count: µ(S) = |S|/ref. For n == ref it is
+// exactly Counting(n); for n != ref the total mass is n/ref rather
+// than 1. The churn engine pins ref to the universe capacity so that a
+// node's mass — and hence every mass-threshold comparison in the
+// packing and radius machinery — is invariant under membership churn:
+// with the live-count normalization, one join changes every ball mass
+// in the space and the whole substrate shifts, which is exactly what
+// localized repair cannot afford.
+func CountingScaled(n, ref int) *Measure {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(ref)
+	}
+	return &Measure{w: w}
+}
+
 // FromWeights normalizes arbitrary positive weights into a measure.
 func FromWeights(weights []float64) (*Measure, error) {
 	total := 0.0

@@ -1,0 +1,128 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dynTestSpaces returns base spaces covering distinct-distance and
+// tie-heavy geometries (the grid's integer offsets produce many exactly
+// equal distances, which is what stresses the rename repositioning).
+func dynTestSpaces(t *testing.T) map[string]Space {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	lat, err := NewClusteredLatency(48, 3, []int{3, 3}, []float64{200, 40, 8}, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGrid(7, 2, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := ExponentialLineForAspect(40, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Space{
+		"latency": lat,
+		"grid":    grid,
+		"expline": line,
+		"cube":    UniformCube(44, 2, 100, rand.New(rand.NewSource(9))),
+	}
+}
+
+func assertRowsEqual(t *testing.T, name string, dyn *DynamicIndex, step int) {
+	t.Helper()
+	frozen := dyn.Freeze()
+	fresh := newEager(frozen.Space(), 1)
+	if frozen.N() != fresh.N() {
+		t.Fatalf("%s step %d: n %d vs %d", name, step, frozen.N(), fresh.N())
+	}
+	for u := 0; u < fresh.N(); u++ {
+		a, b := frozen.Sorted(u), fresh.Sorted(u)
+		if len(a) != len(b) {
+			t.Fatalf("%s step %d: row %d length %d vs %d", name, step, u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s step %d: row %d entry %d: %+v vs %+v", name, step, u, i, a[i], b[i])
+			}
+		}
+	}
+	if frozen.Diameter() != fresh.Diameter() {
+		t.Fatalf("%s step %d: diameter %v vs %v", name, step, frozen.Diameter(), fresh.Diameter())
+	}
+	fm, dm := fresh.MinDistance(), frozen.MinDistance()
+	if fm != dm && !(math.IsInf(fm, 1) && math.IsInf(dm, 1)) {
+		t.Fatalf("%s step %d: minDistance %v vs %v", name, step, dm, fm)
+	}
+}
+
+// TestDynamicIndexMatchesEager churns a dynamic index through random
+// joins and leaves and pins rows, diameter and minimum distance against
+// a from-scratch eager build on the frozen subspace after every step.
+func TestDynamicIndexMatchesEager(t *testing.T) {
+	for name, base := range dynTestSpaces(t) {
+		t.Run(name, func(t *testing.T) {
+			capacity := base.N()
+			start := capacity * 2 / 3
+			active := make([]int32, start)
+			for i := range active {
+				active[i] = int32(i)
+			}
+			dormant := []int32{}
+			for i := start; i < capacity; i++ {
+				dormant = append(dormant, int32(i))
+			}
+			dyn, err := NewDynamicIndex(base, active, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRowsEqual(t, name, dyn, -1)
+			rng := rand.New(rand.NewSource(11))
+			for step := 0; step < 40; step++ {
+				join := len(dormant) > 0 && (dyn.N() <= 4 || rng.Intn(2) == 0)
+				if join {
+					k := rng.Intn(len(dormant))
+					b := dormant[k]
+					dormant = append(dormant[:k], dormant[k+1:]...)
+					if _, err := dyn.Join(int(b)); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					u := rng.Intn(dyn.N())
+					b := int32(dyn.BaseNode(u))
+					if _, err := dyn.Leave(u); err != nil {
+						t.Fatal(err)
+					}
+					dormant = append(dormant, b)
+				}
+				assertRowsEqual(t, name, dyn, step)
+			}
+		})
+	}
+}
+
+// TestDynamicIndexCapacity pins the capacity and last-node guards.
+func TestDynamicIndexCapacity(t *testing.T) {
+	base := UniformCube(4, 2, 10, rand.New(rand.NewSource(1)))
+	dyn, err := NewDynamicIndex(base, []int32{0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dyn.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dyn.Join(3); err == nil {
+		t.Fatal("join beyond capacity should fail")
+	}
+	for dyn.N() > 1 {
+		if _, err := dyn.Leave(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dyn.Leave(0); err == nil {
+		t.Fatal("removing the last node should fail")
+	}
+}

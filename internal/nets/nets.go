@@ -31,6 +31,17 @@ import (
 // id order, so the construction is deterministic. The returned net is
 // sorted by node id.
 func Greedy(idx metric.BallIndex, r float64, seeds []int) []int {
+	return GreedyOrdered(idx, r, seeds, nil)
+}
+
+// GreedyOrdered is Greedy with an explicit consideration order (nil
+// means ascending id). The churn engine passes the ascending base-id
+// order of its subspace view: the greedy scan is then invariant under
+// internal-id renames, so a membership change perturbs the net only
+// where the departed or joined node's ball actually reached — the
+// precondition for localized repair. The returned net is sorted by node
+// id either way.
+func GreedyOrdered(idx metric.BallIndex, r float64, seeds []int, order []int) []int {
 	n := idx.N()
 	covered := make([]bool, n)
 	net := make([]int, 0, len(seeds))
@@ -43,9 +54,17 @@ func Greedy(idx metric.BallIndex, r float64, seeds []int) []int {
 	for _, s := range seeds {
 		add(s)
 	}
-	for u := 0; u < n; u++ {
-		if !covered[u] {
-			add(u)
+	if order == nil {
+		for u := 0; u < n; u++ {
+			if !covered[u] {
+				add(u)
+			}
+		}
+	} else {
+		for _, u := range order {
+			if !covered[u] {
+				add(u)
+			}
 		}
 	}
 	sort.Ints(net)
@@ -109,6 +128,12 @@ type Hierarchy struct {
 // is seeded with level k, which yields the nesting the paper's
 // constructions require.
 func NewHierarchy(idx metric.BallIndex, scales []float64) (*Hierarchy, error) {
+	return NewHierarchyOrdered(idx, scales, nil)
+}
+
+// NewHierarchyOrdered is NewHierarchy with an explicit greedy
+// consideration order per level (see GreedyOrdered).
+func NewHierarchyOrdered(idx metric.BallIndex, scales []float64, order []int) (*Hierarchy, error) {
 	if len(scales) == 0 {
 		return nil, fmt.Errorf("nets: no scales")
 	}
@@ -127,7 +152,7 @@ func NewHierarchy(idx metric.BallIndex, scales []float64) (*Hierarchy, error) {
 	}
 	var prev []int
 	for k, s := range scales {
-		lvl := Greedy(idx, s, prev)
+		lvl := GreedyOrdered(idx, s, prev, order)
 		h.levels[k] = lvl
 		mem := make([]bool, n)
 		for _, p := range lvl {

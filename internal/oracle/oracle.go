@@ -26,8 +26,11 @@
 //     every endpoint plus cache and swap counters.
 //
 // cmd/ringsrv exposes the engine over HTTP/JSON and cmd/ringload drives
-// it under closed-loop load; future scaling work (sharding, replication,
-// incremental rebuild) plugs in behind the same Snapshot/Swap contract.
+// it under closed-loop load. The Snapshot/Swap contract is what lets
+// producers other than BuildSnapshot feed the engine: internal/churn
+// commits incrementally repaired delta snapshots through the same Swap
+// (see AssembleSnapshot), and ReadSnapshot warm-starts one from disk;
+// future scaling work (sharding, replication) plugs in the same way.
 //
 // Estimator schemes. A Snapshot answers distance estimates either from
 // Theorem 3.4 labels ("labels", the paper's headline scheme — answers are
@@ -97,6 +100,12 @@ type Config struct {
 	// Verify runs triangulation.VerifyAllPairs after the build (O(n²);
 	// recommended with ProfileTuned at small n, prohibitive at large n).
 	Verify bool
+	// RefCount, when non-zero, pins the construction's mass
+	// normalization and level count to a fixed reference node count (see
+	// triangulation.Params.RefN). The churn engine sets it to the
+	// universe capacity so the substrate stays churn-stable; static
+	// serving leaves it 0 (live count).
+	RefCount int
 
 	// Backend selects the ball-index backend: "eager" or "lazy".
 	Backend string
@@ -116,6 +125,11 @@ type Config struct {
 	// routesim convention).
 	RouteHops int
 }
+
+// WithDefaults returns the config with every unset knob resolved to its
+// default — the exact recipe BuildSnapshot runs under, exposed so the
+// churn engine can mirror it.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	if c.Delta == 0 {
@@ -163,11 +177,73 @@ func (c Config) indexOptions() (metric.Options, error) {
 	return opts, nil
 }
 
+// TriangulationParams resolves the ring geometry of the config's
+// profile (defaults applied). The churn engine uses it to rebuild the
+// construction substrate with exactly the recipe BuildSnapshot would.
+func (c Config) TriangulationParams() (triangulation.Params, error) {
+	c = c.withDefaults()
+	if c.Delta <= 0 || c.Delta > 1 {
+		return triangulation.Params{}, fmt.Errorf("oracle: delta = %v, want (0, 1]", c.Delta)
+	}
+	var params triangulation.Params
+	switch c.Profile {
+	case ProfilePaper:
+		params = triangulation.DefaultParams(c.Delta / 6)
+	case ProfileTuned:
+		params = triangulation.TunedParams(c.Delta/6, c.TunedBallFactor)
+	default:
+		return triangulation.Params{}, fmt.Errorf("oracle: unknown profile %q (want paper|tuned)", c.Profile)
+	}
+	params.Workers = c.Workers
+	params.RefN = c.RefCount
+	return params, nil
+}
+
+// OverlayMembers is the member subset of the Meridian overlay for an
+// n-node snapshot: every stride-th node (stride clamped to >= 1). One
+// definition shared by BuildSnapshot and the churn repair keeps "the
+// overlay over the surviving nodes" meaning the same thing on both
+// paths.
+func OverlayMembers(n, stride int) []int {
+	if stride < 1 {
+		stride = 1
+	}
+	var members []int
+	for m := 0; m < n; m += stride {
+		members = append(members, m)
+	}
+	return members
+}
+
 // BuildSnapshot constructs every artifact the config asks for. It is the
 // expensive call the Engine's Swap exists to hide: run it on a fresh
 // config while the previous snapshot keeps serving, then Swap the result
 // in.
 func BuildSnapshot(cfg Config) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	space, name, err := cfg.spec().Space()
+	if err != nil {
+		return nil, err
+	}
+	return BuildSnapshotOver(cfg, space, name)
+}
+
+// BuildSnapshotOver is BuildSnapshot over an explicit metric space
+// instead of the config's workload spec: the from-scratch reference the
+// churn engine's delta snapshots are tested against (both constructions
+// then see literally the same metric), and the warm-start path's way to
+// rebuild derived artifacts over a restored node set. The config's
+// workload knobs are used only for naming/defaults; the space is served
+// as given.
+func BuildSnapshotOver(cfg Config, space metric.Space, name string) (*Snapshot, error) {
+	return buildSnapshotOver(cfg, space, name, nil)
+}
+
+// labelSource replaces the Theorem 3.4 scheme build on the warm-start
+// path: it yields prebuilt (decoded) labels once the index exists.
+type labelSource func(idx metric.BallIndex) ([]*distlabel.Label, LabelMeta, error)
+
+func buildSnapshotOver(cfg Config, space metric.Space, name string, preLabels labelSource) (*Snapshot, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	// Validate everything validatable before the index build: at large n
@@ -178,17 +254,9 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Delta <= 0 || cfg.Delta > 1 {
-		return nil, fmt.Errorf("oracle: delta = %v, want (0, 1]", cfg.Delta)
-	}
-	var params triangulation.Params
-	switch cfg.Profile {
-	case ProfilePaper:
-		params = triangulation.DefaultParams(cfg.Delta / 6)
-	case ProfileTuned:
-		params = triangulation.TunedParams(cfg.Delta/6, cfg.TunedBallFactor)
-	default:
-		return nil, fmt.Errorf("oracle: unknown profile %q (want paper|tuned)", cfg.Profile)
+	params, err := cfg.TriangulationParams()
+	if err != nil {
+		return nil, err
 	}
 	switch cfg.Scheme {
 	case SchemeLabels, SchemeBeacons:
@@ -196,16 +264,17 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 		return nil, fmt.Errorf("oracle: unknown scheme %q (want labels|beacons)", cfg.Scheme)
 	}
 
-	space, name, err := cfg.spec().Space()
-	if err != nil {
-		return nil, err
-	}
 	phase := time.Now()
 	idx := metric.New(space, opts)
 	n := idx.N()
 	indexSec := time.Since(phase).Seconds()
+	if sub, ok := space.(*metric.Subspace); ok && cfg.RefCount > 0 {
+		// Churned views run every greedy scan in base-id order so this
+		// from-scratch build reproduces the churn engine's incremental
+		// repair bit for bit (and vice versa).
+		params.StableOrder = sub.BaseOrder()
+	}
 
-	params.Workers = cfg.Workers
 	cons, err := triangulation.NewConstructionParams(idx, params)
 	if err != nil {
 		return nil, err
@@ -240,6 +309,15 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 			if cfg.Scheme != SchemeLabels {
 				return nil // SchemeBeacons: estimates come straight from snap.Tri.
 			}
+			if preLabels != nil {
+				labels, meta, err := preLabels(idx)
+				if err != nil {
+					return err
+				}
+				snap.Labels = labels
+				snap.LabelMeta = meta
+				return nil
+			}
 			t0 := time.Now()
 			scheme, err := distlabel.FromConstruction(cons, cfg.Delta)
 			if err != nil {
@@ -251,6 +329,11 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 			for u := 0; u < n; u++ {
 				snap.Labels[u] = scheme.Label(u)
 			}
+			snap.LabelMeta = LabelMeta{
+				IMax:        cons.IMax,
+				MaxT:        scheme.MaxT,
+				Level0Count: snap.Labels[0].Level0Count,
+			}
 			return nil
 		},
 		func() error {
@@ -258,24 +341,12 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 				return nil
 			}
 			t0 := time.Now()
-			stride := cfg.MemberStride
-			if stride < 1 {
-				stride = 1
-			}
-			var members []int
-			for m := 0; m < n; m += stride {
-				members = append(members, m)
-			}
-			overlay, err := nnsearch.New(idx, members, nnsearch.DefaultConfig(cfg.Seed))
+			overlay, err := nnsearch.New(idx, OverlayMembers(n, cfg.MemberStride), nnsearch.DefaultConfig(cfg.Seed))
 			if err != nil {
 				return err
 			}
 			overlaySec = time.Since(t0).Seconds()
-			snap.Overlay = overlay
-			snap.entry = overlay.Members()[0]
-			// The climb strictly decreases the distance over a finite member
-			// set, so |members|+1 hops always suffice.
-			snap.nearHops = len(overlay.Members()) + 1
+			snap.setOverlay(overlay)
 			return nil
 		},
 		func() error {
@@ -288,11 +359,7 @@ func BuildSnapshot(cfg Config) (*Snapshot, error) {
 				return err
 			}
 			routerSec = time.Since(t0).Seconds()
-			snap.Router = router
-			snap.routeHops = cfg.RouteHops
-			if snap.routeHops <= 0 {
-				snap.routeHops = 80 * n
-			}
+			snap.setRouter(router, cfg.RouteHops)
 			return nil
 		},
 	)

@@ -1,0 +1,209 @@
+package oracle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rings/internal/distlabel"
+	"rings/internal/metric"
+	"rings/internal/workload"
+)
+
+// persistMagic versions the snapshot file format.
+const persistMagic = "RINGSNAP1\n"
+
+// persistHeader is the JSON header of a snapshot file: everything a
+// loader needs to regenerate the workload view and decode the label
+// blocks. Derived artifacts (index, triangulation, overlay, router) are
+// deliberately not serialized — they rebuild deterministically from the
+// config, and the label build they replace is the phase that dominates
+// cold-start time.
+type persistHeader struct {
+	Config    Config    `json:"config"`
+	Name      string    `json:"name"`
+	N         int       `json:"n"`
+	Capacity  int       `json:"capacity,omitempty"`
+	Perm      []int32   `json:"perm,omitempty"`
+	LabelMeta LabelMeta `json:"label_meta"`
+	// Labels reports how many label blocks follow (0 under beacons).
+	Labels int `json:"labels"`
+}
+
+// WriteTo serializes the snapshot: a JSON header plus, under
+// SchemeLabels, one wire-encoded label block per node (the
+// distlabel.Wire codec — the same bits the byte-identity property tests
+// hash). Distances inside labels go through the codec's
+// mantissa/exponent rounding, so a loaded snapshot answers estimates in
+// wire semantics: the (1+δ) upper bound survives (slightly loosened),
+// the lower bound degrades per the codec's documented contract.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: w}
+	if _, err := bw.Write([]byte(persistMagic)); err != nil {
+		return bw.n, err
+	}
+	hdr := persistHeader{
+		Config:    s.Config,
+		Name:      s.Name,
+		N:         s.N(),
+		Capacity:  s.Capacity,
+		Perm:      s.Perm,
+		LabelMeta: s.LabelMeta,
+		Labels:    len(s.Labels),
+	}
+	hdrBuf, err := json.Marshal(hdr)
+	if err != nil {
+		return bw.n, err
+	}
+	if err := writeUvarint(bw, uint64(len(hdrBuf))); err != nil {
+		return bw.n, err
+	}
+	if _, err := bw.Write(hdrBuf); err != nil {
+		return bw.n, err
+	}
+	if len(s.Labels) == 0 {
+		return bw.n, nil
+	}
+	wire, err := s.LabelWire()
+	if err != nil {
+		return bw.n, err
+	}
+	for u, lab := range s.Labels {
+		buf, bits, err := wire.Encode(lab)
+		if err != nil {
+			return bw.n, fmt.Errorf("oracle: encode label %d: %w", u, err)
+		}
+		if err := writeUvarint(bw, uint64(bits)); err != nil {
+			return bw.n, err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return bw.n, err
+		}
+	}
+	return bw.n, nil
+}
+
+// ReadSnapshot restores a snapshot from WriteTo's format: the workload
+// view is regenerated from the header (including a churned node subset
+// via Perm), every derived artifact is rebuilt deterministically, and
+// the labels are decoded from their wire blocks instead of being
+// rebuilt — the warm start skips the dominant build phase.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("oracle: snapshot magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("oracle: not a snapshot file (magic %q)", magic)
+	}
+	hdrLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	hdrBuf := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrBuf); err != nil {
+		return nil, err
+	}
+	var hdr persistHeader
+	if err := json.Unmarshal(hdrBuf, &hdr); err != nil {
+		return nil, fmt.Errorf("oracle: snapshot header: %w", err)
+	}
+
+	cfg := hdr.Config.withDefaults()
+	var space metric.Space
+	name := hdr.Name
+	if hdr.Perm != nil {
+		spec := cfg.spec()
+		base, _, err := workload.ChurnBase(spec, hdr.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range hdr.Perm {
+			if int(b) < 0 || int(b) >= base.N() {
+				return nil, fmt.Errorf("oracle: perm references base node %d of %d", b, base.N())
+			}
+		}
+		space = metric.NewSubspace(base, hdr.Perm)
+	} else {
+		var err error
+		space, name, err = cfg.spec().Space()
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Name != "" {
+			name = hdr.Name
+		}
+	}
+	if space.N() != hdr.N {
+		return nil, fmt.Errorf("oracle: restored space has %d nodes, header says %d", space.N(), hdr.N)
+	}
+
+	var preLabels labelSource
+	if hdr.Labels > 0 {
+		if hdr.Labels != hdr.N {
+			return nil, fmt.Errorf("oracle: %d label blocks for %d nodes", hdr.Labels, hdr.N)
+		}
+		blocks := make([][]byte, hdr.Labels)
+		bits := make([]int, hdr.Labels)
+		for u := 0; u < hdr.Labels; u++ {
+			b, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: label %d frame: %w", u, err)
+			}
+			bits[u] = int(b)
+			blocks[u] = make([]byte, (b+7)/8)
+			if _, err := io.ReadFull(br, blocks[u]); err != nil {
+				return nil, fmt.Errorf("oracle: label %d: %w", u, err)
+			}
+		}
+		preLabels = func(idx metric.BallIndex) ([]*distlabel.Label, LabelMeta, error) {
+			wire, err := wireFor(idx, cfg, hdr.LabelMeta)
+			if err != nil {
+				return nil, LabelMeta{}, err
+			}
+			labels := make([]*distlabel.Label, hdr.Labels)
+			for u := range labels {
+				lab, err := wire.Decode(blocks[u], bits[u])
+				if err != nil {
+					return nil, LabelMeta{}, fmt.Errorf("oracle: decode label %d: %w", u, err)
+				}
+				labels[u] = lab
+			}
+			return labels, hdr.LabelMeta, nil
+		}
+	}
+	snap, err := buildSnapshotOver(cfg, space, name, preLabels)
+	if err != nil {
+		return nil, err
+	}
+	snap.Perm = hdr.Perm
+	snap.Capacity = hdr.Capacity
+	return snap, nil
+}
+
+// wireFor mirrors Snapshot.LabelWire for a not-yet-assembled snapshot.
+func wireFor(idx metric.BallIndex, cfg Config, meta LabelMeta) (distlabel.Wire, error) {
+	tmp := &Snapshot{Config: cfg, Idx: idx, LabelMeta: meta, Labels: []*distlabel.Label{}}
+	return tmp.LabelWire()
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"rings/internal/bitio"
 	"rings/internal/distlabel"
 	"rings/internal/metric"
 	"rings/internal/nnsearch"
@@ -19,6 +20,12 @@ var ErrNoOverlay = errors.New("oracle: snapshot has no nearest-neighbor overlay"
 // ErrNoRouter is returned by Route when the snapshot was built with
 // SkipRouting.
 var ErrNoRouter = errors.New("oracle: snapshot has no routing scheme")
+
+// ErrNodeRange marks a query naming a node id outside [0, N()) — under
+// membership churn a client's id range can lag a shrink swap, and the
+// serving layer distinguishes that expected race from other bad input
+// by this sentinel (HTTP surfaces map it to a machine-readable code).
+var ErrNodeRange = errors.New("node id out of range")
 
 // Snapshot is one immutable serving unit: a workload plus every artifact
 // built over it. All methods are pure reads — a Snapshot may be shared
@@ -39,8 +46,11 @@ type Snapshot struct {
 	// Tri is the Theorem 3.2 triangulation (always built; it shares its
 	// construction with the labels).
 	Tri *triangulation.Triangulation
-	// Scheme and Labels are the Theorem 3.4 labeling (nil under
-	// SchemeBeacons). Labels[u] == Scheme.Label(u).
+	// Scheme and Labels are the Theorem 3.4 labeling (both nil under
+	// SchemeBeacons). Labels alone answers estimates; Scheme is the full
+	// build-side object and is nil on snapshots whose labels were
+	// repaired incrementally (churn) or decoded from disk (warm start) —
+	// when present, Labels[u] == Scheme.Label(u).
 	Scheme *distlabel.Scheme
 	Labels []*distlabel.Label
 	// Overlay is the Meridian-style ring overlay (nil under SkipOverlay).
@@ -53,10 +63,113 @@ type Snapshot struct {
 	// Build is the per-phase build breakdown (what /snapshot and /stats
 	// report, and what cmd/ringbench's BENCH_build.json tracks).
 	Build BuildStats
+	// Perm, when non-nil, records that this snapshot serves a churned
+	// subset of a capacity-sized base workload: node u of the snapshot is
+	// base node Perm[u] of the workload generated with N = Capacity.
+	// Spec-built snapshots leave it nil. Persistence uses it to restore
+	// the exact surviving node set on warm start.
+	Perm []int32
+	// Capacity is the base-workload size behind Perm (0 when Perm is nil).
+	Capacity int
+
+	// LabelMeta carries the scheme-wide label constants (zero under
+	// SchemeBeacons). It exists so snapshots whose labels did not come
+	// from a live *distlabel.Scheme — churn deltas, warm starts — can
+	// still derive a Wire codec.
+	LabelMeta LabelMeta
 
 	entry     int // overlay entry member (smallest member id)
 	nearHops  int
 	routeHops int
+}
+
+// LabelMeta are the scheme-wide constants a distlabel.Wire needs.
+type LabelMeta struct {
+	IMax        int `json:"imax"`
+	MaxT        int `json:"max_t"`
+	Level0Count int `json:"level0_count"`
+}
+
+// LabelWire derives the serialization context of the snapshot's labels
+// — the same context Scheme.Wire would return for the scheme that
+// (conceptually) produced them. It errors under SchemeBeacons.
+func (s *Snapshot) LabelWire() (distlabel.Wire, error) {
+	if s.Labels == nil {
+		return distlabel.Wire{}, fmt.Errorf("oracle: snapshot has no labels to serialize")
+	}
+	codec, err := bitio.NewDistCodec(s.Idx.MinDistance(), s.Idx.Diameter(), s.Config.Delta/6)
+	if err != nil {
+		return distlabel.Wire{}, err
+	}
+	return distlabel.Wire{
+		IMax:        s.LabelMeta.IMax,
+		MaxT:        s.LabelMeta.MaxT,
+		Level0Count: s.LabelMeta.Level0Count,
+		Codec:       codec,
+	}, nil
+}
+
+// setOverlay installs the overlay plus its derived query parameters.
+func (s *Snapshot) setOverlay(overlay *nnsearch.Overlay) {
+	s.Overlay = overlay
+	s.entry = overlay.Members()[0]
+	// The climb strictly decreases the distance over a finite member
+	// set, so |members|+1 hops always suffice.
+	s.nearHops = len(overlay.Members()) + 1
+}
+
+// setRouter installs the router plus the per-route hop budget.
+func (s *Snapshot) setRouter(router routing.Scheme, routeHops int) {
+	s.Router = router
+	s.routeHops = routeHops
+	if s.routeHops <= 0 {
+		s.routeHops = 80 * s.Idx.N()
+	}
+}
+
+// Artifacts is the prebuilt-parts input of AssembleSnapshot.
+type Artifacts struct {
+	Idx     metric.BallIndex
+	Tri     *triangulation.Triangulation
+	Scheme  *distlabel.Scheme
+	Labels  []*distlabel.Label
+	Overlay *nnsearch.Overlay
+	Router  routing.Scheme
+	// LabelMeta must be set when Labels is (see Snapshot.LabelMeta).
+	LabelMeta LabelMeta
+	// Perm/Capacity identify a churned node subset (see Snapshot.Perm).
+	Perm     []int32
+	Capacity int
+}
+
+// AssembleSnapshot wraps externally built artifacts into a Snapshot,
+// deriving the same query parameters (overlay entry, hop budgets)
+// BuildSnapshot would. It is the commit path of the churn engine —
+// which repairs artifacts incrementally and must still publish an
+// ordinary, immutable Snapshot — and of the persistence warm start,
+// which decodes labels and rebuilds the rest.
+func AssembleSnapshot(cfg Config, name string, a Artifacts, elapsed time.Duration, build BuildStats) *Snapshot {
+	cfg = cfg.withDefaults()
+	snap := &Snapshot{
+		Config:       cfg,
+		Name:         name,
+		Idx:          a.Idx,
+		Tri:          a.Tri,
+		Scheme:       a.Scheme,
+		Labels:       a.Labels,
+		LabelMeta:    a.LabelMeta,
+		Perm:         a.Perm,
+		Capacity:     a.Capacity,
+		BuildElapsed: elapsed,
+		Build:        build,
+	}
+	if a.Overlay != nil {
+		snap.setOverlay(a.Overlay)
+	}
+	if a.Router != nil {
+		snap.setRouter(a.Router, cfg.RouteHops)
+	}
+	return snap
 }
 
 // BuildStats is the per-phase wall-clock breakdown of one BuildSnapshot
@@ -133,7 +246,7 @@ type RouteResult struct {
 
 func (s *Snapshot) checkNode(kind string, u int) error {
 	if u < 0 || u >= s.Idx.N() {
-		return fmt.Errorf("oracle: %s node %d out of range [0, %d)", kind, u, s.Idx.N())
+		return fmt.Errorf("oracle: %s node %d out of range [0, %d): %w", kind, u, s.Idx.N(), ErrNodeRange)
 	}
 	return nil
 }

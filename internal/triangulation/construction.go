@@ -65,6 +65,39 @@ type Params struct {
 	// loops (0 = GOMAXPROCS). The output is byte-identical for every
 	// worker count: all parallel fills write preassigned slots.
 	Workers int
+	// RefN, when non-zero, switches the construction to the
+	// churn-stable profile:
+	//
+	//   - the mass normalization and level count pin to RefN instead of
+	//     the live node count (IMax = floor(log2 RefN), the level-i
+	//     radius targets ceil(2^-i * RefN) nodes, the packing measure
+	//     weighs every node 1/RefN) — otherwise one membership change
+	//     renormalizes every mass in the space;
+	//   - the radii r_ui (and the packing's per-node radius starts) are
+	//     snapped up to the net-scale ladder (powers of two over the
+	//     finest net scale) — the raw k-th-neighbor distance moves a
+	//     little whenever any node enters or leaves the ball, and every
+	//     downstream threshold test would flip with it; the quantized
+	//     radius moves only when the raw one crosses a power-of-two
+	//     boundary.
+	//
+	// Both are constant-factor relaxations the proofs absorb (rings
+	// inflate by at most 2x the occupancy ratio; coverage budgets only
+	// grow), re-checked per instance under the tuned profile. The churn
+	// engine sets RefN to the universe capacity so mutations perturb
+	// the substrate only locally; 0 keeps the paper-exact live-count
+	// behavior, bit-identical to the pre-churn implementation. Note
+	// Claim 3.3 (|r_ui - r_vi| <= d_uv) holds for raw radii only;
+	// Verify is not applicable under a pinned RefN.
+	RefN int
+	// StableOrder, when non-nil, is the consideration order for every
+	// id-order-sensitive greedy scan (net construction, packing
+	// selection tie-breaks): a permutation of the node ids, churned
+	// views pass their ascending base-id order. Internal-id renames
+	// then cannot reshuffle any greedy scan, which is what keeps a
+	// single membership change from cascading through the nets and
+	// packings globally. nil keeps the id order (the static behavior).
+	StableOrder []int
 }
 
 // DefaultParams returns the paper's constants for a given δ'.
@@ -146,12 +179,16 @@ func NewConstructionParams(idx metric.BallIndex, params Params) (*Construction, 
 	if n < 2 {
 		return nil, fmt.Errorf("triangulation: need at least 2 nodes, got %d", n)
 	}
+	refN := params.RefN
+	if refN <= 0 {
+		refN = n
+	}
 	start := time.Now()
-	smp, err := measure.NewSampler(idx, measure.Counting(n))
+	smp, err := measure.NewSampler(idx, measure.CountingScaled(n, refN))
 	if err != nil {
 		return nil, err
 	}
-	h, err := nets.NewHierarchy(idx, nets.LabelingScales(idx))
+	h, err := nets.NewHierarchyOrdered(idx, nets.LabelingScales(idx), params.StableOrder)
 	if err != nil {
 		return nil, fmt.Errorf("triangulation: nets: %w", err)
 	}
@@ -159,21 +196,30 @@ func NewConstructionParams(idx metric.BallIndex, params Params) (*Construction, 
 		Idx:        idx,
 		Params:     params,
 		DeltaPrime: deltaPrime,
-		IMax:       int(math.Floor(math.Log2(float64(n)))),
+		IMax:       int(math.Floor(math.Log2(float64(refN)))),
 		Nets:       nets.Ascending{H: h},
 	}
 	workers := params.Workers
 	c.Timings.Nets = time.Since(start)
 
-	// Radii r_ui, with the level-0 uniformization.
+	// Radii r_ui, with the level-0 uniformization. The level-i ball must
+	// hold ceil(2^-i * refN) nodes — with the default refN = n this is
+	// exactly r_u(2^-i) under the counting measure; a pinned refN keeps
+	// the count thresholds fixed under churn and snaps the result to the
+	// scale ladder (see Params.RefN).
 	start = time.Now()
+	quantum := 0.0
+	if params.RefN > 0 {
+		quantum = h.Scale(h.NumLevels() - 1) // finest net scale
+	}
 	diam := idx.Diameter()
 	c.R = make([][]float64, n)
 	par.For(workers, n, func(u int) {
 		row := make([]float64, c.IMax+1)
-		row[0] = diam
+		row[0] = packing.QuantizeUp(diam, quantum)
 		for i := 1; i <= c.IMax; i++ {
-			row[i] = idx.RadiusForMass(u, math.Pow(2, -float64(i)))
+			k := int(math.Ceil(math.Pow(2, -float64(i)) * float64(refN)))
+			row[i] = packing.QuantizeUp(idx.RadiusForCount(u, k), quantum)
 		}
 		c.R[u] = row
 	})
@@ -181,9 +227,21 @@ func NewConstructionParams(idx metric.BallIndex, params Params) (*Construction, 
 
 	// Packings F_i (each level parallel across nodes internally).
 	start = time.Now()
+	var rank []int
+	if params.StableOrder != nil {
+		rank = make([]int, n)
+		for pos, u := range params.StableOrder {
+			rank[u] = pos
+		}
+	}
 	c.Packings = make([]*packing.Packing, c.IMax+1)
 	for i := 0; i <= c.IMax; i++ {
-		p, err := packing.NewParallel(idx, smp, math.Pow(2, -float64(i)), workers)
+		p, err := packing.NewWithOptions(idx, smp, math.Pow(2, -float64(i)), packing.Options{
+			Workers: workers,
+			Quantum: quantum,
+			Nets:    c.Nets,
+			Rank:    rank,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("triangulation: packing F_%d: %w", i, err)
 		}

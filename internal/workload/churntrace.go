@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rings/internal/metric"
+)
+
+// ChurnSizes resolves the (initial, capacity) node counts of a churned
+// workload. The base space is generated once at capacity; the live set
+// starts as its first `initial` nodes. For the grid family the capacity
+// is pinned to the full side*side lattice (there is nowhere else for a
+// joiner to stand) and the initial set is three quarters of it; for the
+// sampled families capacity defaults to twice the spec's N.
+func ChurnSizes(spec MetricSpec, capacity int) (initial, cap int, err error) {
+	if spec.Name == "grid" {
+		lattice := spec.Side * spec.Side
+		if capacity != 0 && capacity != lattice {
+			return 0, 0, fmt.Errorf("workload: grid capacity is the %d-node lattice, got %d", lattice, capacity)
+		}
+		initial = lattice * 3 / 4
+		if initial < 2 {
+			initial = lattice
+		}
+		return initial, lattice, nil
+	}
+	if spec.N < 2 {
+		return 0, 0, fmt.Errorf("workload: churn needs n >= 2, got %d", spec.N)
+	}
+	if capacity == 0 {
+		capacity = 2 * spec.N
+	}
+	if capacity < spec.N {
+		return 0, 0, fmt.Errorf("workload: capacity %d below initial n %d", capacity, spec.N)
+	}
+	return spec.N, capacity, nil
+}
+
+// ChurnBase generates the capacity-sized base space of a churned
+// workload. Every sampled family draws its points sequentially from one
+// seeded stream, so the first n base nodes of the capacity-sized space
+// are exactly the nodes of the spec's own n-sized space — the churned
+// universe is a strict extension of the static workload, not a
+// different instance.
+func ChurnBase(spec MetricSpec, capacity int) (metric.Space, string, error) {
+	base := spec
+	if spec.Name != "grid" {
+		base.N = capacity
+	}
+	space, _, err := base.Space()
+	if err != nil {
+		return nil, "", err
+	}
+	// The canonical name reflects the spec (the serving identity), not
+	// the capacity.
+	_, name, err := spec.Space()
+	if err != nil {
+		return nil, "", err
+	}
+	return space, name + "+churn", nil
+}
+
+// ChurnOp mirrors churn.Op without importing it (workload sits below
+// the churn engine): one membership mutation against a stable base id.
+type ChurnOp struct {
+	// Join is true for an arrival, false for a departure.
+	Join bool `json:"join"`
+	// Base is the stable base-node id.
+	Base int `json:"base"`
+	// At is the offset from trace start (Poisson arrivals: exponential
+	// inter-arrival gaps at the configured rate).
+	At time.Duration `json:"at"`
+}
+
+// ChurnTraceConfig tunes GenerateChurnTrace.
+type ChurnTraceConfig struct {
+	// Ops is the trace length.
+	Ops int
+	// Rate is the mean mutation rate per second (Poisson process);
+	// defaults to 1/s. Only the At stamps depend on it.
+	Rate float64
+	// JoinBias in [0,1] is the probability a mutation is a join when
+	// both directions are possible (default 0.5).
+	JoinBias float64
+	// MinNodes floors departures (default 8).
+	MinNodes int
+	// Seed drives the trace stream.
+	Seed int64
+}
+
+// ChurnTrace is a reproducible membership schedule over one workload
+// family: the base spec, the resolved sizes, and the op sequence. The
+// generator simulates the engine's own membership rules (capacity
+// bound, min-node floor), so every op in the trace is valid when
+// applied in order from the initial state.
+type ChurnTrace struct {
+	Spec     MetricSpec
+	Initial  int
+	Capacity int
+	Ops      []ChurnOp
+}
+
+// GenerateChurnTrace builds a Poisson arrival/departure schedule for
+// the spec. Join targets are drawn uniformly from the dormant base ids,
+// departures uniformly from the active ones.
+func GenerateChurnTrace(spec MetricSpec, capacity int, cfg ChurnTraceConfig) (*ChurnTrace, error) {
+	initial, capacity, err := ChurnSizes(spec, capacity)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 64
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	if cfg.JoinBias <= 0 {
+		cfg.JoinBias = 0.5
+	}
+	if cfg.MinNodes == 0 {
+		cfg.MinNodes = 8
+	}
+	if cfg.MinNodes < 2 {
+		cfg.MinNodes = 2
+	}
+	if initial < cfg.MinNodes {
+		return nil, fmt.Errorf("workload: initial %d below MinNodes %d", initial, cfg.MinNodes)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	active := make([]int, initial)
+	for i := range active {
+		active[i] = i
+	}
+	dormant := make([]int, 0, capacity-initial)
+	for i := initial; i < capacity; i++ {
+		dormant = append(dormant, i)
+	}
+	tr := &ChurnTrace{Spec: spec, Initial: initial, Capacity: capacity}
+	at := time.Duration(0)
+	for k := 0; k < cfg.Ops; k++ {
+		at += time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		canJoin := len(dormant) > 0
+		canLeave := len(active) > cfg.MinNodes
+		if !canJoin && !canLeave {
+			break
+		}
+		join := canJoin && (!canLeave || rng.Float64() < cfg.JoinBias)
+		if join {
+			k := rng.Intn(len(dormant))
+			b := dormant[k]
+			dormant[k] = dormant[len(dormant)-1]
+			dormant = dormant[:len(dormant)-1]
+			active = append(active, b)
+			tr.Ops = append(tr.Ops, ChurnOp{Join: true, Base: b, At: at})
+		} else {
+			k := rng.Intn(len(active))
+			b := active[k]
+			active[k] = active[len(active)-1]
+			active = active[:len(active)-1]
+			dormant = append(dormant, b)
+			tr.Ops = append(tr.Ops, ChurnOp{Join: false, Base: b, At: at})
+		}
+	}
+	return tr, nil
+}

@@ -23,6 +23,9 @@
 package rings
 
 import (
+	"io"
+
+	"rings/internal/churn"
 	"rings/internal/distlabel"
 	"rings/internal/graph"
 	"rings/internal/metric"
@@ -171,4 +174,53 @@ func BuildOracleSnapshot(cfg OracleConfig) (*OracleSnapshot, error) {
 // NewOracleEngine creates an engine serving the given snapshot.
 func NewOracleEngine(snap *OracleSnapshot, opts OracleEngineOptions) *OracleEngine {
 	return oracle.NewEngine(snap, opts)
+}
+
+// ReadOracleSnapshot restores a snapshot persisted with
+// OracleSnapshot.WriteTo: the workload view (including a churned node
+// subset) regenerates from the header, derived artifacts rebuild
+// deterministically, and the labels decode from their wire blocks —
+// the warm start skips the dominant build phase.
+func ReadOracleSnapshot(r io.Reader) (*OracleSnapshot, error) {
+	return oracle.ReadSnapshot(r)
+}
+
+// ChurnMutator is the incremental membership engine: Join/Leave by
+// localized repair over a mutable substrate, each batch committed as a
+// delta snapshot that structurally shares everything unchanged with its
+// predecessor and swaps into an OracleEngine with zero downtime. After
+// any batch the delta snapshot is byte-identical (wire labels and
+// estimate/nearest/route answers) to a from-scratch build on the
+// surviving node set.
+type ChurnMutator = churn.Mutator
+
+// ChurnConfig describes a churn engine: the oracle build recipe plus
+// the universe capacity and the minimum node floor.
+type ChurnConfig = churn.Config
+
+// ChurnOp is one membership mutation against a stable base id.
+type ChurnOp = churn.Op
+
+// ChurnStats is the engine's cumulative repair report.
+type ChurnStats = churn.Stats
+
+// Churn op kinds.
+const (
+	// ChurnJoin activates a dormant base node.
+	ChurnJoin = churn.Join
+	// ChurnLeave retires an active base node.
+	ChurnLeave = churn.Leave
+)
+
+// NewChurnMutator generates the capacity-sized base workload and
+// performs the initial full build; later ApplyChurn batches repair
+// incrementally.
+func NewChurnMutator(cfg ChurnConfig) (*ChurnMutator, error) {
+	return churn.NewMutator(cfg)
+}
+
+// ApplyChurn applies one mutation batch and returns the committed delta
+// snapshot (hand it to OracleEngine.Swap to publish).
+func ApplyChurn(m *ChurnMutator, ops ...ChurnOp) (*OracleSnapshot, error) {
+	return m.Apply(ops...)
 }

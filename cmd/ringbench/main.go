@@ -32,6 +32,7 @@ var (
 	jsonOut      bool
 	benchOut     = "BENCH_build.json"
 	churnOut     = "BENCH_churn.json"
+	shardOut     = "BENCH_shard.json"
 	baselinePath string
 	buildSizes   string
 	// benchBackend/benchWorkers mirror -backend/-workers into the build
@@ -51,6 +52,7 @@ func run() error {
 	flag.BoolVar(&jsonOut, "json", false, "write machine-readable output (build experiment: BENCH_build.json)")
 	flag.StringVar(&benchOut, "benchout", benchOut, "output path for -json build rows")
 	flag.StringVar(&churnOut, "churnout", churnOut, "output path for -json churn rows")
+	flag.StringVar(&shardOut, "shardout", shardOut, "output path for -json shard rows")
 	flag.StringVar(&baselinePath, "baseline", "", "BENCH_build.json baseline; fail if the gate-size label build regressed >25%")
 	flag.StringVar(&buildSizes, "sizes", "", "comma-separated n values for -exp build (default 128,256,512,1024; quick: 128,256)")
 	flag.Parse()
@@ -70,6 +72,7 @@ func run() error {
 	all := map[string]func(int64, bool) error{
 		"build":      expBuild,
 		"churn":      expChurn,
+		"shard":      expShard,
 		"table1":     expTable1,
 		"table2":     expTable2,
 		"table3":     expTable3,

@@ -11,6 +11,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 	experiments := map[string]func(int64, bool) error{
 		"build":      expBuild,
+		"shard":      expShard,
 		"table1":     expTable1,
 		"table2":     expTable2,
 		"table3":     expTable3,

@@ -14,6 +14,15 @@
 // are discovered from /healthz; mix entries for endpoints the snapshot
 // does not serve are dropped with a warning.
 //
+// Against a sharded server (ringsrv -shards K; /healthz advertises the
+// shard count and the global id universe) ringload drives a mixed
+// intra/cross-shard workload: -cross sets the fraction of estimate and
+// batch pairs whose endpoints live in different shards (cross-shard
+// estimates show up as the "estimate-x" report row, so the split is
+// visible per endpoint), routes always stay within one shard (the
+// fleet answers cross-shard routes 501 by contract), and under churn
+// the batch version check is applied per owning shard.
+//
 // -churn RATE drives the server's churn admin endpoints (POST /join,
 // POST /leave, needs ringsrv -churn) at RATE mutations per second while
 // the query clients keep running — the end-to-end smoke of the
@@ -57,6 +66,9 @@ func main() {
 // health mirrors ringsrv's /healthz body (kept in sync by the CI smoke
 // run; ringload deliberately has no compile-time dependency on the
 // server so it can drive any deployment speaking the same protocol).
+// Shards/Universe are set by sharded servers: ids are then global with
+// owner = id mod Shards, drawn from [0, Universe) (under churn only a
+// subset is active, so out-of-range answers are expected races).
 type health struct {
 	OK       bool   `json:"ok"`
 	Version  int64  `json:"version"`
@@ -64,6 +76,8 @@ type health struct {
 	Workload string `json:"workload"`
 	Routing  bool   `json:"routing"`
 	Overlay  bool   `json:"overlay"`
+	Shards   int    `json:"shards"`
+	Universe int    `json:"universe"`
 }
 
 // sample is one completed request.
@@ -125,6 +139,7 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		churnRate = flag.Float64("churn", 0, "mutations per second against /join and /leave (0 disables; needs ringsrv -churn)")
 		joinBias  = flag.Float64("churn-bias", 0.5, "probability a mutation is a join")
+		crossFrac = flag.Float64("cross", 0.5, "fraction of estimate/batch pairs spanning shards (sharded servers only)")
 	)
 	flag.Parse()
 
@@ -154,14 +169,27 @@ func run() error {
 	// curN tracks the live node count: the churner updates it from every
 	// mutation response, so query clients shrink their id range promptly
 	// after a leave (a short stale window remains and is tolerated).
+	// Sharded servers advertise a fixed global id universe instead; ids
+	// are drawn from it and inactive ones answer out_of_range (an
+	// expected race under churn, tolerated like stale ranges).
 	var curN atomic.Int64
 	curN.Store(int64(h.N))
+
+	g := &generator{
+		base:      base,
+		batchSize: *batchSize,
+		verify:    *churnRate > 0,
+		shards:    h.Shards,
+		universe:  h.Universe,
+		initialN:  h.N,
+		cross:     *crossFrac,
+	}
 
 	start := time.Now()
 	deadline := start.Add(*duration)
 	results := make([][]sample, *clients+1)
 	var wg sync.WaitGroup
-	verify := *churnRate > 0
+	verify := g.verify
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -169,8 +197,8 @@ func run() error {
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			for time.Now().Before(deadline) {
 				endpoint := picks[rng.Intn(len(picks))]
-				n := int(curN.Load())
-				results[c] = append(results[c], doRequest(client, base, endpoint, n, *batchSize, rng, verify))
+				n := g.idRange(int(curN.Load()))
+				results[c] = append(results[c], g.doRequest(client, endpoint, n, rng))
 			}
 		}(c)
 	}
@@ -249,41 +277,117 @@ func pruneMix(mix []mixEntry, h health) []mixEntry {
 	return kept
 }
 
-func doRequest(client *http.Client, base, endpoint string, n, batchSize int, rng *rand.Rand, verify bool) sample {
+// generator shapes one client's requests: the id universe, the shard
+// partition (owner = id mod shards, mirroring the server's static
+// round-robin rule) and the target cross-shard fraction.
+type generator struct {
+	base      string
+	batchSize int
+	verify    bool
+	shards    int
+	universe  int
+	// initialN is the boot-time active count (health.N), the prefix of
+	// the universe that started active on a churned sharded server.
+	initialN int
+	cross    float64
+}
+
+// idRange picks the id space queries draw from: the fixed global
+// universe on sharded servers, the live node count otherwise.
+func (g *generator) idRange(curN int) int {
+	if g.universe > 0 {
+		return g.universe
+	}
+	return curN
+}
+
+// pickPair draws one query pair, honoring the cross fraction against
+// a sharded server; cross reports whether the pair spans shards.
+func (g *generator) pickPair(rng *rand.Rand, n int) (u, v int, cross bool) {
+	u = rng.Intn(n)
+	if g.shards <= 1 || n <= g.shards {
+		return u, rng.Intn(n), false
+	}
+	if rng.Float64() < g.cross {
+		for v = rng.Intn(n); v%g.shards == u%g.shards; v = rng.Intn(n) {
+		}
+		return u, v, true
+	}
+	return u, g.sameShard(rng, u, n), false
+}
+
+// sameShard draws an id congruent to u modulo the shard count.
+func (g *generator) sameShard(rng *rand.Rand, u, n int) int {
+	r := u % g.shards
+	m := (n - r + g.shards - 1) / g.shards // ids ≡ r (mod shards) below n
+	return rng.Intn(m)*g.shards + r
+}
+
+// batchRange narrows batch pair draws on a churned sharded server to
+// the boot-time active prefix: a batch fails whole on any inactive
+// id, and a draw from the full universe (half dormant at the default
+// capacity) would make out_of_range the near-certain outcome for
+// every batch — the per-shard version check would never run. Ids
+// below the boot-time active count stay mostly active (only leaves
+// retire them), so most batches succeed, while single estimates keep
+// drawing from the full universe and exercising the inactive-id path.
+func (g *generator) batchRange(n int) int {
+	if g.shards > 1 && g.verify && g.initialN > 0 && g.initialN < n {
+		return g.initialN
+	}
+	return n
+}
+
+func (g *generator) doRequest(client *http.Client, endpoint string, n int, rng *rand.Rand) sample {
 	var (
 		resp     *http.Response
 		err      error
 		selfPair bool
 	)
+	name := endpoint
 	start := time.Now()
 	switch endpoint {
 	case "estimate":
-		u, v := rng.Intn(n), rng.Intn(n)
-		if verify && rng.Intn(8) == 0 {
+		u, v, cross := g.pickPair(rng, n)
+		if g.verify && !cross && rng.Intn(8) == 0 {
 			v = u // planted self-pair: the answer must be exactly zero
 		}
 		selfPair = u == v
-		resp, err = client.Get(fmt.Sprintf("%s/estimate?u=%d&v=%d", base, u, v))
+		if cross {
+			name = "estimate-x" // the report's intra/cross split
+		}
+		resp, err = client.Get(fmt.Sprintf("%s/estimate?u=%d&v=%d", g.base, u, v))
 	case "batch":
 		type pair struct {
 			U int `json:"u"`
 			V int `json:"v"`
 		}
-		pairs := make([]pair, batchSize)
+		pairs := make([]pair, g.batchSize)
+		nb := g.batchRange(n)
 		for i := range pairs {
-			pairs[i] = pair{U: rng.Intn(n), V: rng.Intn(n)}
+			u, v, _ := g.pickPair(rng, nb)
+			pairs[i] = pair{U: u, V: v}
 		}
 		body, merr := json.Marshal(map[string]any{"pairs": pairs})
 		if merr != nil {
 			return sample{endpoint: endpoint, err: merr}
 		}
-		resp, err = client.Post(base+"/batch", "application/json", bytes.NewReader(body))
+		resp, err = client.Post(g.base+"/batch", "application/json", bytes.NewReader(body))
 	case "nearest":
-		resp, err = client.Get(fmt.Sprintf("%s/nearest?target=%d", base, rng.Intn(n)))
+		resp, err = client.Get(fmt.Sprintf("%s/nearest?target=%d", g.base, rng.Intn(n)))
 	case "route":
-		resp, err = client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", base, rng.Intn(n), rng.Intn(n)))
+		// Cross-shard routes are 501 by contract; always draw the
+		// destination from the source's shard.
+		src := rng.Intn(n)
+		dst := src
+		if g.shards > 1 && n > g.shards {
+			dst = g.sameShard(rng, src, n)
+		} else {
+			dst = rng.Intn(n)
+		}
+		resp, err = client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", g.base, src, dst))
 	}
-	s := sample{endpoint: endpoint, latencyMs: float64(time.Since(start)) / float64(time.Millisecond)}
+	s := sample{endpoint: name, latencyMs: float64(time.Since(start)) / float64(time.Millisecond)}
 	if err != nil {
 		s.err = err
 		return s
@@ -291,14 +395,14 @@ func doRequest(client *http.Client, base, endpoint string, n, batchSize int, rng
 	defer resp.Body.Close()
 	s.status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
-		if verify && resp.StatusCode == http.StatusBadRequest && errCode(resp.Body) == "out_of_range" {
+		if g.verify && resp.StatusCode == http.StatusBadRequest && errCode(resp.Body) == "out_of_range" {
 			s.stale = true // raced a shrink swap; expected under churn
 			return s
 		}
 		s.err = fmt.Errorf("status %d", resp.StatusCode)
 		return s
 	}
-	if !verify {
+	if !g.verify {
 		io.Copy(io.Discard, resp.Body)
 		return s
 	}
@@ -320,18 +424,28 @@ func doRequest(client *http.Client, base, endpoint string, n, batchSize int, rng
 		var res struct {
 			Results []struct {
 				Version int64 `json:"version"`
+				UShard  int   `json:"ushard"`
+				Cross   bool  `json:"cross"`
 			} `json:"results"`
 		}
 		if derr := json.NewDecoder(resp.Body).Decode(&res); derr != nil {
 			s.err = fmt.Errorf("batch body: %v", derr)
 			return s
 		}
-		for i := 1; i < len(res.Results); i++ {
-			if res.Results[i].Version != res.Results[0].Version {
-				s.err = fmt.Errorf("estimate mismatch: batch split across snapshot versions %d and %d",
-					res.Results[0].Version, res.Results[i].Version)
+		// One batch must answer from one snapshot per shard: on a
+		// sharded server versions are per-shard (keyed by the owning
+		// shard of u), on a single engine everything shares shard 0.
+		versionOf := map[int]int64{}
+		for i, r := range res.Results {
+			if r.Cross {
+				continue // beacon answers span two shards' states
+			}
+			if v, seen := versionOf[r.UShard]; seen && v != r.Version {
+				s.err = fmt.Errorf("estimate mismatch: batch result %d split shard %d across snapshot versions %d and %d",
+					i, r.UShard, v, r.Version)
 				break
 			}
+			versionOf[r.UShard] = r.Version
 		}
 	default:
 		io.Copy(io.Discard, resp.Body)

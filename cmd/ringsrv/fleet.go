@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rings/internal/shard"
+)
+
+// Fleet-mode handlers: the same HTTP surface over a shard.Fleet. Node
+// ids in requests and responses are global (owner = id mod shards);
+// estimates whose endpoints live in different shards come from the
+// beacon tier and carry "cross": true.
+
+type fleetBatchResponse struct {
+	Results []shard.EstimateResult `json:"results"`
+}
+
+func (s *server) handleFleetHealthz(w http.ResponseWriter) {
+	// Shard 0 is representative: every shard builds from the same
+	// recipe, so scheme and artifact toggles are uniform. Version is
+	// the maximum across shards (each shard's engine versions its own
+	// swaps independently).
+	snap := s.fleet.ShardSnapshot(0)
+	var version int64
+	for i := 0; i < s.fleet.K(); i++ {
+		if v := s.fleet.ShardSnapshot(i).Version; v > version {
+			version = v
+		}
+	}
+	writeJSON(w, http.StatusOK, healthBody{
+		OK:        true,
+		Version:   version,
+		N:         s.fleet.N(),
+		Workload:  s.fleet.Name(),
+		Scheme:    snap.Config.Scheme,
+		Routing:   snap.Router != nil,
+		Overlay:   snap.Overlay != nil,
+		Shards:    s.fleet.K(),
+		Universe:  s.fleet.Universe(),
+		UptimeSec: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleFleetStats serves the fleet aggregation; ?shard=i narrows to
+// one shard's engine report.
+func (s *server) handleFleetStats(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("shard"); raw != "" {
+		i, err := strconv.Atoi(raw)
+		if err != nil || i < 0 || i >= s.fleet.K() {
+			writeError(w, fmt.Errorf("shard %q out of range [0, %d)", raw, s.fleet.K()))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.fleet.ShardEngine(i).Stats())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fleet.Stats())
+}
+
+// fleetChurnResponse reports the commits of one mutation request: the
+// fleet-wide active count plus one entry per touched shard.
+type fleetChurnResponse struct {
+	N       int                 `json:"n"`
+	Commits []shard.ChurnCommit `json:"commits"`
+}
+
+func (s *server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
+	if !s.fleet.ChurnEnabled() {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: errNoChurn.Error()})
+		return
+	}
+	var req joinRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("invalid join body: %v", err))
+			return
+		}
+	}
+	count := req.Count
+	if count <= 0 {
+		count = 1
+	}
+	var (
+		commits []shard.ChurnCommit
+		err     error
+	)
+	if req.Base != nil && *req.Base >= 0 {
+		commits, err = s.fleet.Apply([]shard.ChurnOp{{Kind: shard.ChurnJoin, Base: *req.Base}})
+	} else {
+		commits, err = s.fleet.AutoJoin(count)
+	}
+	s.finishFleetChurn(w, commits, err, errorBody{
+		Error: "universe at capacity: nothing to join",
+		Code:  codeAtCapacity,
+	})
+}
+
+func (s *server) handleFleetLeave(w http.ResponseWriter, r *http.Request) {
+	if !s.fleet.ChurnEnabled() {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: errNoChurn.Error()})
+		return
+	}
+	var req leaveRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("invalid leave body: %v", err))
+			return
+		}
+	}
+	count := req.Count
+	if count <= 0 {
+		count = 1
+	}
+	var (
+		commits []shard.ChurnCommit
+		err     error
+	)
+	if req.Base != nil && *req.Base >= 0 {
+		commits, err = s.fleet.Apply([]shard.ChurnOp{{Kind: shard.ChurnLeave, Base: *req.Base}})
+	} else {
+		// Each request derives a private stream from the seed counter,
+		// so concurrent leaves on different shards stay lock-free.
+		rng := rand.New(rand.NewSource(s.leaveSeed.Add(1)))
+		commits, err = s.fleet.AutoLeave(count, rng)
+	}
+	s.finishFleetChurn(w, commits, err, errorBody{
+		Error: "every shard at its floor: nothing to retire",
+		Code:  codeBelowFloor,
+	})
+}
+
+func (s *server) finishFleetChurn(w http.ResponseWriter, commits []shard.ChurnCommit, err error, empty errorBody) {
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(commits) == 0 {
+		writeJSON(w, http.StatusBadRequest, empty)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetChurnResponse{N: s.fleet.N(), Commits: commits})
+}

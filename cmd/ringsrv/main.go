@@ -20,6 +20,17 @@
 //	POST /leave                    -churn: retire active nodes (localized repair + swap)
 //	GET  /churn/stats              -churn: cumulative repair report
 //
+// With -shards K the server builds a partitioned fleet (internal/shard)
+// instead of one engine: the node universe splits round-robin across K
+// shards, each with its own snapshot and engine, and node ids in every
+// request are global. Intra-shard queries delegate to the owning
+// engine; cross-shard estimates come from the shared beacon tier
+// (answers carry "cross": true); cross-shard routes return 501 with
+// code "cross_shard". /stats returns the fleet aggregation plus
+// per-shard reports (?shard=i narrows to one engine), /snapshot is
+// refused (restart to rebuild a fleet), and with -churn each join or
+// leave routes to the owning shard and repairs only that shard.
+//
 // With -churn the server owns an incremental churn engine
 // (internal/churn): joins and leaves repair only the affected parts of
 // the serving structures and swap a structurally shared delta snapshot
@@ -49,6 +60,7 @@ import (
 
 	"rings/internal/churn"
 	"rings/internal/oracle"
+	"rings/internal/shard"
 )
 
 func main() {
@@ -80,7 +92,9 @@ func run() error {
 		cacheCap   = flag.Int("cache-cap", 4096, "estimate cache entries per shard (-1 disables)")
 		churnOn    = flag.Bool("churn", false, "enable the incremental churn engine (POST /join, /leave)")
 		churnCap   = flag.Int("churn-capacity", 0, "churn universe capacity (0 = 2n; grid: the full lattice)")
-		churnMin   = flag.Int("churn-min", 0, "refuse leaves below this node count (0 = default)")
+		churnMin   = flag.Int("churn-min", 0, "refuse leaves below this node count (0 = default; with -shards: per shard)")
+		shardK     = flag.Int("shards", 1, "serve a partitioned fleet of this many shards (1 = single engine)")
+		beacons    = flag.Int("beacons", 0, "cross-shard beacon count (0 = 2*ceil(log2 n)+4)")
 		snapFile   = flag.String("snapshot-file", "", "persist the snapshot here on every swap; warm-start from it on boot (without -churn: under -churn the engine owns membership and always boots fresh, but keeps the file current for a later plain warm start)")
 		drain      = flag.Duration("drain-timeout", 5*time.Second, "in-flight request drain budget on shutdown")
 	)
@@ -102,6 +116,41 @@ func run() error {
 		MemberStride:    *members,
 		SkipRouting:     *noRouting,
 		SkipOverlay:     *noOverlay,
+	}
+
+	if *shardK > 1 {
+		if *snapFile != "" {
+			return fmt.Errorf("-snapshot-file is not supported with -shards (per-shard persistence arrives with rebalancing)")
+		}
+		log.Printf("building %d-shard fleet: workload=%s scheme=%s profile=%s churn=%v",
+			*shardK, *wl, *scheme, *profile, *churnOn)
+		fleet, err := shard.NewFleet(shard.Config{
+			Oracle:        cfg,
+			Shards:        *shardK,
+			Beacons:       *beacons,
+			Churn:         *churnOn,
+			ChurnCapacity: *churnCap,
+			MinShardNodes: *churnMin,
+			Engine: oracle.EngineOptions{
+				CacheShards:   *shards,
+				CacheCapacity: *cacheCap,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("fleet ready: %s n=%d shards=%d beacons=%d build=%v",
+			fleet.Name(), fleet.N(), fleet.K(), fleet.Beacons(),
+			fleet.BuildElapsed().Round(time.Millisecond))
+		srv := &http.Server{Addr: *addr, Handler: newFleetServer(fleet, *seed)}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		log.Printf("serving on http://%s", *addr)
+		err = gracefulServe(srv, ctx, *drain)
+		if ctx.Err() != nil {
+			log.Printf("shut down cleanly (in-flight requests drained)")
+		}
+		return err
 	}
 
 	var (
@@ -165,7 +214,7 @@ func run() error {
 	}
 	if *snapFile != "" {
 		handler.enablePersist(*snapFile)
-		if err := handler.persist(); err != nil {
+		if err := handler.persistCurrent(); err != nil {
 			return fmt.Errorf("persist %s: %w", *snapFile, err)
 		}
 	}

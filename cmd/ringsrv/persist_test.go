@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"rings/internal/oracle"
+)
+
+func persistTestServer(t *testing.T, path string) *server {
+	t.Helper()
+	snap, err := oracle.BuildSnapshot(oracle.Config{
+		Workload:    "cube",
+		N:           24,
+		Seed:        1,
+		SkipRouting: true,
+		SkipOverlay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(oracle.NewEngine(snap, oracle.EngineOptions{}))
+	s.enablePersist(path)
+	return s
+}
+
+// TestPersistConcurrentWritersNeverCorrupt is the regression test for
+// the persistence race: with the old fixed persistPath+".tmp" scheme,
+// two writers arriving from different lock domains could interleave on
+// one temp file — one truncating it (os.Create) while the other
+// renamed it — leaving a truncated snapshot visible at the persist
+// path. Against that implementation this test fails (a concurrent
+// reader observes an unparseable file); with per-writer unique temp
+// files and the serialized persister it always passes.
+func TestPersistConcurrentWritersNeverCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	s := persistTestServer(t, path)
+	if err := s.persistCurrent(); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 6
+	stop := make(chan struct{})
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func() {
+			defer writerWg.Done()
+			for i := 0; i < 60; i++ {
+				if err := s.persistCurrent(); err != nil {
+					t.Errorf("persist: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// A reader racing the writers must only ever see complete files:
+	// the rename is atomic and only fsynced, fully written temps are
+	// ever renamed over the path.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Errorf("open persisted snapshot: %v", err)
+				return
+			}
+			_, rerr := oracle.ReadSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				t.Errorf("persisted snapshot unparseable mid-run: %v", rerr)
+				return
+			}
+		}
+	}()
+	writerWg.Wait()
+	close(stop)
+	<-readerDone
+
+	// The final file must round-trip byte-identically.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := oracle.ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("final persisted snapshot: %v", err)
+	}
+	var rewritten bytes.Buffer
+	if _, err := snap.WriteTo(&rewritten); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, rewritten.Bytes()) {
+		t.Fatalf("write -> read -> write changed the snapshot bytes (%d vs %d)", len(data), rewritten.Len())
+	}
+	// No temp files may linger after clean completion.
+	matches, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+// failingPayload writes a prefix then fails, simulating a snapshot
+// write interrupted partway through.
+type failingPayload struct{}
+
+func (failingPayload) WriteTo(w io.Writer) (int64, error) {
+	n, _ := w.Write([]byte("partial snapshot bytes"))
+	return int64(n), errors.New("injected mid-write failure")
+}
+
+// TestInterruptedWriteNeverVisible: a write that fails partway must
+// leave the previous file untouched and remove its temp file — the
+// visible path never holds a partial write.
+func TestInterruptedWriteNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	good := []byte("good complete snapshot")
+	if err := writeFileAtomic(path, bytes.NewBuffer(good)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, failingPayload{}); err == nil {
+		t.Fatal("interrupted write reported success")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, good) {
+		t.Fatalf("interrupted write disturbed the visible file: %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Fatalf("stray file after interrupted write: %s", e.Name())
+		}
+	}
+}
+
+// TestWarmStartRejectsTruncatedSnapshot: a file cut short (the crash
+// the old non-synced rename could produce) must be rejected with a
+// clear error instead of warm-starting a half-decoded snapshot.
+func TestWarmStartRejectsTruncatedSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	s := persistTestServer(t, path)
+	if err := s.persistCurrent(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int64{2, 4, 16} {
+		if err := os.Truncate(path, info.Size()/frac); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := oracle.ReadSnapshot(f)
+		f.Close()
+		if rerr == nil {
+			t.Fatalf("truncated snapshot (1/%d) decoded without error", frac)
+		}
+		if !strings.Contains(rerr.Error(), "oracle:") {
+			t.Fatalf("truncation error lacks context: %v", rerr)
+		}
+	}
+}

@@ -1,21 +1,22 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net/http"
-	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rings/internal/churn"
 	"rings/internal/oracle"
+	"rings/internal/shard"
 )
 
 // maxBatchPairs bounds one /batch request so a single client cannot
@@ -23,12 +24,13 @@ import (
 // body.
 const maxBatchPairs = 4096
 
-// server wires an oracle.Engine to the HTTP surface. All query
-// endpoints are thin translations — parameter parsing in, JSON out —
-// so the engine's own counters and latency reservoirs describe the
-// served traffic faithfully.
+// server wires an oracle.Engine — or, under -shards, a shard.Fleet —
+// to the HTTP surface. All query endpoints are thin translations —
+// parameter parsing in, JSON out — so the engine's own counters and
+// latency reservoirs describe the served traffic faithfully.
 type server struct {
-	engine *oracle.Engine
+	engine *oracle.Engine // nil in fleet mode
+	fleet  *shard.Fleet   // nil in single-engine mode
 	mux    *http.ServeMux
 	start  time.Time
 	// rebuildMu serializes /snapshot rebuilds; queries never take it.
@@ -36,17 +38,39 @@ type server struct {
 	// mutator, when non-nil, enables the churn admin endpoints. churnMu
 	// serializes mutations (the Mutator is single-writer by contract);
 	// queries never take it — they keep flowing against the engine's
-	// current snapshot while a repair runs, exactly like rebuilds.
+	// current snapshot while a repair runs, exactly like rebuilds. In
+	// fleet mode the fleet owns per-shard mutation locks instead.
 	mutator  *churn.Mutator
 	churnMu  sync.Mutex
 	churnRng *rand.Rand
-	// persistPath, when set, receives the current snapshot after every
-	// swap (and at boot) so a restart warm-starts from disk.
-	persistPath string
+	// leaveSeed seeds per-request leave selection in fleet mode (each
+	// request derives its own rand.Rand, so concurrent leaves on
+	// different shards never share one unsynchronized stream).
+	leaveSeed atomic.Int64
+	// persist, when non-nil, receives the current snapshot after every
+	// swap (and at boot) so a restart warm-starts from disk. Writes are
+	// serialized and coalesced by the persister, never by the mutation
+	// locks — see persist.go.
+	persist *persister
 }
 
 func newServer(engine *oracle.Engine) *server {
 	s := &server{engine: engine, mux: http.NewServeMux(), start: time.Now()}
+	s.routes()
+	return s
+}
+
+// newFleetServer serves the same HTTP surface over a sharded fleet.
+// seed pins server-side leave selection (each request derives a
+// private stream from it), mirroring -seed in single-engine mode.
+func newFleetServer(fleet *shard.Fleet, seed int64) *server {
+	s := &server{fleet: fleet, mux: http.NewServeMux(), start: time.Now()}
+	s.leaveSeed.Store(seed)
+	s.routes()
+	return s
+}
+
+func (s *server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
@@ -57,7 +81,6 @@ func newServer(engine *oracle.Engine) *server {
 	s.mux.HandleFunc("POST /join", s.handleJoin)
 	s.mux.HandleFunc("POST /leave", s.handleLeave)
 	s.mux.HandleFunc("GET /churn/stats", s.handleChurnStats)
-	return s
 }
 
 // enableChurn attaches a churn mutator (its current snapshot must be
@@ -68,38 +91,17 @@ func (s *server) enableChurn(m *churn.Mutator, seed int64) {
 }
 
 // enablePersist arranges for every swap to persist the snapshot.
-func (s *server) enablePersist(path string) { s.persistPath = path }
+func (s *server) enablePersist(path string) { s.persist = newPersister(path) }
 
-// persist writes the current snapshot to the persist path (atomic
-// rename), when enabled.
-func (s *server) persist() error {
-	if s.persistPath == "" {
+// persistCurrent persists the engine's current snapshot (no-op when
+// persistence is disabled). Callers must not hold churnMu or
+// rebuildMu: the whole point of the persister is that mutation
+// throughput is not gated on fsync latency.
+func (s *server) persistCurrent() error {
+	if s.persist == nil {
 		return nil
 	}
-	snap := s.engine.Snapshot()
-	tmp := s.persistPath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	// WriteTo issues two small writes per label; buffering keeps a
-	// per-commit persist at a handful of syscalls instead of thousands.
-	bw := bufio.NewWriterSize(f, 1<<20)
-	if _, err := snap.WriteTo(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, s.persistPath)
+	return s.persist.persist(func() io.WriterTo { return s.engine.Snapshot() })
 }
 
 // gracefulServe runs srv until ctx is canceled, then drains in-flight
@@ -130,7 +132,12 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire, so the client sees a
+		// truncated body; the log line is the only place the failure
+		// (usually a mid-response disconnect) is visible server-side.
+		log.Printf("ringsrv: encode %T response: %v", v, err)
+	}
 }
 
 type errorBody struct {
@@ -139,7 +146,9 @@ type errorBody struct {
 	// key churn-race tolerance on (matching human prose would break on
 	// any rewording): "out_of_range" (node id raced a shrink swap),
 	// "below_floor" (leave refused at MinNodes), "at_capacity" (join
-	// refused, universe full), "not_implemented" (artifact disabled).
+	// refused, universe full), "not_implemented" (artifact disabled),
+	// "cross_shard" (route endpoints in different shards), "internal"
+	// (server-side failure, 500-class).
 	Code string `json:"code,omitempty"`
 }
 
@@ -149,11 +158,15 @@ const (
 	codeBelowFloor     = "below_floor"
 	codeAtCapacity     = "at_capacity"
 	codeNotImplemented = "not_implemented"
+	codeCrossShard     = "cross_shard"
+	codeInternal       = "internal"
 )
 
-// writeError maps engine errors to HTTP statuses: disabled artifacts are
-// 501 (the server genuinely cannot answer), everything else surfaced by
-// a query is a client-input problem (400). Known error classes carry a
+// writeError maps engine errors to HTTP statuses: disabled artifacts
+// and cross-shard routes are 501 (the server genuinely cannot answer),
+// internal engine failures (a churn commit that passed validation but
+// failed to build) are 500, everything else surfaced by a query is a
+// client-input problem (400). Known error classes carry a
 // machine-readable code.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
@@ -162,12 +175,27 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, oracle.ErrNoRouter) || errors.Is(err, oracle.ErrNoOverlay):
 		status = http.StatusNotImplemented
 		body.Code = codeNotImplemented
+	case errors.Is(err, shard.ErrCrossShard):
+		status = http.StatusNotImplemented
+		body.Code = codeCrossShard
+	case errors.Is(err, churn.ErrCommit):
+		status = http.StatusInternalServerError
+		body.Code = codeInternal
 	case errors.Is(err, oracle.ErrNodeRange):
 		body.Code = codeOutOfRange
 	case errors.Is(err, churn.ErrBelowFloor):
 		body.Code = codeBelowFloor
 	}
 	writeJSON(w, status, body)
+}
+
+// writeInternalError reports a 500 with the internal code (build or
+// persistence failures — never client input).
+func writeInternalError(w http.ResponseWriter, context string, err error) {
+	writeJSON(w, http.StatusInternalServerError, errorBody{
+		Error: fmt.Sprintf("%s: %v", context, err),
+		Code:  codeInternal,
+	})
 }
 
 func intParam(r *http.Request, name string) (int, error) {
@@ -184,6 +212,9 @@ func intParam(r *http.Request, name string) (int, error) {
 
 // healthBody tells load generators everything they need to shape
 // traffic: the node-id range and which endpoints this snapshot serves.
+// Shards and Universe are only set in fleet mode: ids are then global
+// — [0, Universe) with Owner = id mod Shards — and under churn only a
+// subset of them is active at a time.
 type healthBody struct {
 	OK        bool    `json:"ok"`
 	Version   int64   `json:"version"`
@@ -192,10 +223,16 @@ type healthBody struct {
 	Scheme    string  `json:"scheme"`
 	Routing   bool    `json:"routing"`
 	Overlay   bool    `json:"overlay"`
+	Shards    int     `json:"shards,omitempty"`
+	Universe  int     `json:"universe,omitempty"`
 	UptimeSec float64 `json:"uptime_sec"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		s.handleFleetHealthz(w)
+		return
+	}
 	snap := s.engine.Snapshot()
 	writeJSON(w, http.StatusOK, healthBody{
 		OK:        true,
@@ -218,6 +255,15 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	v, err := intParam(r, "v")
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if s.fleet != nil {
+		res, err := s.fleet.Estimate(u, v)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 		return
 	}
 	res, err := s.engine.Estimate(u, v)
@@ -250,6 +296,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("batch of %d pairs exceeds the %d-pair cap", len(req.Pairs), maxBatchPairs))
 		return
 	}
+	if s.fleet != nil {
+		results, err := s.fleet.EstimateBatch(req.Pairs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleetBatchResponse{Results: results})
+		return
+	}
 	results, err := s.engine.EstimateBatch(req.Pairs)
 	if err != nil {
 		writeError(w, err)
@@ -262,6 +317,15 @@ func (s *server) handleNearest(w http.ResponseWriter, r *http.Request) {
 	target, err := intParam(r, "target")
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if s.fleet != nil {
+		res, err := s.fleet.Nearest(target)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 		return
 	}
 	res, err := s.engine.Nearest(target)
@@ -281,6 +345,15 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	dst, err := intParam(r, "dst")
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if s.fleet != nil {
+		res, err := s.fleet.Route(src, dst)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 		return
 	}
 	res, err := s.engine.Route(src, dst)
@@ -312,6 +385,15 @@ type snapshotResponse struct {
 // from the old snapshot until the swap — but rebuilds themselves are
 // serialized: a second request while one is building gets 409.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		// Per-shard rebuilds arrive with rebalancing; a fleet-wide
+		// rebuild is a restart.
+		writeJSON(w, http.StatusNotImplemented, errorBody{
+			Error: "snapshot rebuilds are not supported under -shards (restart the fleet)",
+			Code:  codeNotImplemented,
+		})
+		return
+	}
 	if s.mutator != nil {
 		// Membership lives in the churn engine; a spec rebuild would
 		// desynchronize the served snapshot from it.
@@ -340,11 +422,11 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, err := s.engine.Rebuild(cfg)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		writeInternalError(w, "rebuild", err)
 		return
 	}
-	if err := s.persist(); err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("persist: %v", err)})
+	if err := s.persistCurrent(); err != nil {
+		writeInternalError(w, "persist", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotResponse{
@@ -357,6 +439,10 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		s.handleFleetStats(w, r)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
@@ -390,32 +476,60 @@ type churnResponse struct {
 	Repair  churn.OpStats `json:"repair"`
 }
 
-// applyChurn runs one mutation batch under the churn lock, swaps the
-// delta snapshot in, and persists when enabled.
-func (s *server) applyChurn(w http.ResponseWriter, ops []churn.Op) {
+// commitChurn runs op selection (pick, under the churn lock so two
+// auto-joins cannot claim the same dormant base) and the mutation
+// commit + swap atomically, then returns the response to send. The
+// churn lock is released before the caller persists: fsync latency
+// never sits inside the mutation critical section.
+func (s *server) commitChurn(pick func() ([]churn.Op, *errorBody)) (churnResponse, *errorBody, error) {
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	ops, eb := pick()
+	if eb != nil {
+		return churnResponse{}, eb, nil
+	}
 	snap, err := s.mutator.Apply(ops...)
 	if err != nil {
-		writeError(w, err)
-		return
+		return churnResponse{}, nil, err
 	}
 	s.engine.Swap(snap)
-	if err := s.persist(); err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("persist: %v", err)})
-		return
-	}
 	bases := make([]int, len(ops))
 	for i, op := range ops {
 		bases[i] = op.Base
 	}
-	writeJSON(w, http.StatusOK, churnResponse{
+	return churnResponse{
 		Version: snap.Version,
 		N:       snap.N(),
 		Bases:   bases,
 		Repair:  s.mutator.Stats().Last,
-	})
+	}, nil, nil
+}
+
+// applyChurn commits the picked ops, persists the committed snapshot
+// outside the churn lock (latest-wins coalescing: a mutation burst
+// queues a handful of writes, not one per commit), and reports.
+func (s *server) applyChurn(w http.ResponseWriter, pick func() ([]churn.Op, *errorBody)) {
+	resp, eb, err := s.commitChurn(pick)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if eb != nil {
+		writeJSON(w, http.StatusBadRequest, *eb)
+		return
+	}
+	if err := s.persistCurrent(); err != nil {
+		writeInternalError(w, "persist", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		s.handleFleetJoin(w, r)
+		return
+	}
 	if s.mutator == nil {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: errNoChurn.Error()})
 		return
@@ -431,27 +545,29 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if count <= 0 {
 		count = 1
 	}
-	s.churnMu.Lock()
-	defer s.churnMu.Unlock()
-	var ops []churn.Op
-	if req.Base != nil && *req.Base >= 0 {
-		ops = []churn.Op{{Kind: churn.Join, Base: *req.Base}}
-	} else {
+	s.applyChurn(w, func() ([]churn.Op, *errorBody) {
+		if req.Base != nil && *req.Base >= 0 {
+			return []churn.Op{{Kind: churn.Join, Base: *req.Base}}, nil
+		}
+		var ops []churn.Op
 		for _, b := range s.mutator.DormantBases(count) {
 			ops = append(ops, churn.Op{Kind: churn.Join, Base: b})
 		}
 		if len(ops) == 0 {
-			writeJSON(w, http.StatusBadRequest, errorBody{
+			return nil, &errorBody{
 				Error: "universe at capacity: nothing to join",
 				Code:  codeAtCapacity,
-			})
-			return
+			}
 		}
-	}
-	s.applyChurn(w, ops)
+		return ops, nil
+	})
 }
 
 func (s *server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		s.handleFleetLeave(w, r)
+		return
+	}
 	if s.mutator == nil {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: errNoChurn.Error()})
 		return
@@ -467,14 +583,13 @@ func (s *server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	if count <= 0 {
 		count = 1
 	}
-	s.churnMu.Lock()
-	defer s.churnMu.Unlock()
-	var ops []churn.Op
-	if req.Base != nil && *req.Base >= 0 {
-		ops = []churn.Op{{Kind: churn.Leave, Base: *req.Base}}
-	} else {
+	s.applyChurn(w, func() ([]churn.Op, *errorBody) {
+		if req.Base != nil && *req.Base >= 0 {
+			return []churn.Op{{Kind: churn.Leave, Base: *req.Base}}, nil
+		}
 		floor := s.mutator.Config().MinNodes
 		seen := map[int]bool{}
+		var ops []churn.Op
 		for i := 0; i < count && s.mutator.N()-len(ops) > floor; i++ {
 			u := s.churnRng.Intn(s.mutator.N())
 			b := s.mutator.ActiveBase(u)
@@ -488,23 +603,34 @@ func (s *server) handleLeave(w http.ResponseWriter, r *http.Request) {
 			ops = append(ops, churn.Op{Kind: churn.Leave, Base: b})
 		}
 		if len(ops) == 0 {
-			writeJSON(w, http.StatusBadRequest, errorBody{
+			return nil, &errorBody{
 				Error: fmt.Sprintf("at the MinNodes=%d floor: nothing to retire", floor),
 				Code:  codeBelowFloor,
-			})
-			return
+			}
 		}
-	}
-	s.applyChurn(w, ops)
+		return ops, nil
+	})
 }
 
 // churnStatsBody frames the mutator's report for /churn/stats.
 type churnStatsBody struct {
 	Enabled bool         `json:"enabled"`
 	Stats   *churn.Stats `json:"stats,omitempty"`
+	// Fleet carries the per-shard reports in fleet mode (Stats is then
+	// unset; each shard owns its own mutator).
+	Fleet *shard.FleetStats `json:"fleet,omitempty"`
 }
 
 func (s *server) handleChurnStats(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		if !s.fleet.ChurnEnabled() {
+			writeJSON(w, http.StatusOK, churnStatsBody{Enabled: false})
+			return
+		}
+		st := s.fleet.Stats()
+		writeJSON(w, http.StatusOK, churnStatsBody{Enabled: true, Fleet: &st})
+		return
+	}
 	if s.mutator == nil {
 		writeJSON(w, http.StatusOK, churnStatsBody{Enabled: false})
 		return

@@ -66,6 +66,12 @@ import (
 // from a genuine failure).
 var ErrBelowFloor = errors.New("churn: leave would shrink below the MinNodes floor")
 
+// ErrCommit marks a mutation batch that passed validation but failed
+// while building or committing the delta state — an internal engine
+// failure, not bad input. Serving layers map it to a 500-class status
+// (every other Apply error is a client-input problem).
+var ErrCommit = errors.New("churn: commit failed")
+
 // OpKind selects a mutation.
 type OpKind int
 
@@ -91,6 +97,25 @@ type Op struct {
 	Base int    `json:"base"`
 }
 
+// Universe replaces the spec-generated base workload with an explicit
+// base space and an explicit ownership slice of it: the mutator serves
+// only the Owned base ids. The shard fleet (internal/shard) uses it to
+// run one mutator per shard over disjoint slices of a single global
+// workload, so every shard's distances come from literally the same
+// metric and the cross-shard beacon tier stays meaningful.
+type Universe struct {
+	// Base is the global base space; op base ids index it directly.
+	Base metric.Space
+	// Name is the instance name stamped on every committed snapshot.
+	Name string
+	// Owned are the base ids this mutator may ever serve (its capacity
+	// is len(Owned)); ops naming an unowned base are rejected.
+	Owned []int32
+	// Active are the initially active base ids, a subset of Owned,
+	// activated in slice order (internal id = slice position).
+	Active []int32
+}
+
 // Config describes a churn engine.
 type Config struct {
 	// Oracle is the build recipe: workload family/size knobs, estimator
@@ -100,32 +125,46 @@ type Config struct {
 	Oracle oracle.Config
 	// Capacity is the base-workload size (the maximum concurrent node
 	// count); 0 defaults to 2*N. For the grid family the capacity is
-	// always the full side*side lattice.
+	// always the full side*side lattice. Ignored when Universe is set
+	// (the capacity is then len(Universe.Owned)).
 	Capacity int
 	// MinNodes refuses leaves that would shrink the space below this
 	// floor (default 8; the constructions need at least 2 nodes).
 	MinNodes int
+	// Universe, when non-nil, supplies the base space and the owned
+	// base-id subset explicitly instead of generating a workload from
+	// the Oracle spec. The Oracle workload knobs then only describe the
+	// family for naming and persistence.
+	Universe *Universe
 }
 
 func (c Config) withDefaults() (Config, error) {
 	c.Oracle = c.Oracle.WithDefaults()
-	spec := workload.MetricSpec{
-		Name:      c.Oracle.Workload,
-		N:         c.Oracle.N,
-		Side:      c.Oracle.Side,
-		LogAspect: c.Oracle.LogAspect,
-		Seed:      c.Oracle.Seed,
+	if c.Universe != nil {
+		if err := c.Universe.validate(); err != nil {
+			return c, err
+		}
+		c.Oracle.N = len(c.Universe.Active)
+		c.Capacity = len(c.Universe.Owned)
+	} else {
+		spec := workload.MetricSpec{
+			Name:      c.Oracle.Workload,
+			N:         c.Oracle.N,
+			Side:      c.Oracle.Side,
+			LogAspect: c.Oracle.LogAspect,
+			Seed:      c.Oracle.Seed,
+		}
+		initial, capacity, err := workload.ChurnSizes(spec, c.Capacity)
+		if err != nil {
+			return c, err
+		}
+		c.Oracle.N = initial
+		c.Capacity = capacity
 	}
-	initial, capacity, err := workload.ChurnSizes(spec, c.Capacity)
-	if err != nil {
-		return c, err
-	}
-	c.Oracle.N = initial
-	c.Capacity = capacity
 	if c.Oracle.RefCount == 0 {
 		// Pin the construction's mass normalization to the capacity so
 		// the substrate is churn-stable (see triangulation.Params.RefN).
-		c.Oracle.RefCount = capacity
+		c.Oracle.RefCount = c.Capacity
 	}
 	if c.MinNodes == 0 {
 		c.MinNodes = 8
@@ -133,10 +172,44 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MinNodes < 2 {
 		c.MinNodes = 2
 	}
-	if initial < c.MinNodes {
-		return c, fmt.Errorf("churn: initial node count %d below MinNodes %d", initial, c.MinNodes)
+	if c.Oracle.N < c.MinNodes {
+		return c, fmt.Errorf("churn: initial node count %d below MinNodes %d", c.Oracle.N, c.MinNodes)
 	}
 	return c, nil
+}
+
+func (u *Universe) validate() error {
+	if u.Base == nil {
+		return fmt.Errorf("churn: universe needs a base space")
+	}
+	if len(u.Owned) < 2 {
+		return fmt.Errorf("churn: universe owns %d base ids, need at least 2", len(u.Owned))
+	}
+	size := u.Base.N()
+	owned := make(map[int32]bool, len(u.Owned))
+	for _, b := range u.Owned {
+		if int(b) < 0 || int(b) >= size {
+			return fmt.Errorf("churn: owned base %d outside universe [0, %d)", b, size)
+		}
+		if owned[b] {
+			return fmt.Errorf("churn: owned base %d listed twice", b)
+		}
+		owned[b] = true
+	}
+	if len(u.Active) < 2 {
+		return fmt.Errorf("churn: universe activates %d base ids, need at least 2", len(u.Active))
+	}
+	seen := make(map[int32]bool, len(u.Active))
+	for _, b := range u.Active {
+		if !owned[b] {
+			return fmt.Errorf("churn: active base %d is not owned", b)
+		}
+		if seen[b] {
+			return fmt.Errorf("churn: active base %d listed twice", b)
+		}
+		seen[b] = true
+	}
+	return nil
 }
 
 // OpStats is the per-commit repair report.

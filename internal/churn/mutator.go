@@ -51,6 +51,16 @@ type Mutator struct {
 	base   metric.Space
 	name   string
 
+	// universe is the base-space size: cfg.Capacity for spec-generated
+	// workloads, Base.N() under an explicit Universe (where the mutator
+	// owns only a slice of the ids below it).
+	universe int
+	// owned lists the base ids this mutator may serve, ascending; it is
+	// the full [0, universe) range without an explicit Universe.
+	owned []int32
+	// ownedMask, when non-nil, marks owned base ids (nil = all owned).
+	ownedMask []bool
+
 	dyn     *metric.DynamicIndex
 	intOf   []int32 // base id -> internal id, -1 when dormant
 	dormant []int32 // dormant base ids, ascending
@@ -76,32 +86,57 @@ func NewMutator(cfg Config) (*Mutator, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec := workload.MetricSpec{
-		Name:      cfg.Oracle.Workload,
-		N:         cfg.Oracle.N,
-		Side:      cfg.Oracle.Side,
-		LogAspect: cfg.Oracle.LogAspect,
-		Seed:      cfg.Oracle.Seed,
+	var (
+		base   metric.Space
+		name   string
+		active []int32
+	)
+	m := &Mutator{cfg: cfg, params: params}
+	if uni := cfg.Universe; uni != nil {
+		base = uni.Base
+		name = uni.Name
+		m.universe = base.N()
+		m.owned = append([]int32(nil), uni.Owned...)
+		sort.Slice(m.owned, func(i, j int) bool { return m.owned[i] < m.owned[j] })
+		m.ownedMask = make([]bool, m.universe)
+		for _, b := range m.owned {
+			m.ownedMask[b] = true
+		}
+		active = append([]int32(nil), uni.Active...)
+	} else {
+		spec := workload.MetricSpec{
+			Name:      cfg.Oracle.Workload,
+			N:         cfg.Oracle.N,
+			Side:      cfg.Oracle.Side,
+			LogAspect: cfg.Oracle.LogAspect,
+			Seed:      cfg.Oracle.Seed,
+		}
+		base, name, err = workload.ChurnBase(spec, cfg.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		m.universe = cfg.Capacity
+		m.owned = make([]int32, cfg.Capacity)
+		for b := range m.owned {
+			m.owned[b] = int32(b)
+		}
+		active = make([]int32, cfg.Oracle.N)
+		for i := range active {
+			active[i] = int32(i)
+		}
 	}
-	base, name, err := workload.ChurnBase(spec, cfg.Capacity)
-	if err != nil {
-		return nil, err
-	}
-	m := &Mutator{
-		cfg:    cfg,
-		params: params,
-		base:   base,
-		name:   name,
-		intOf:  make([]int32, cfg.Capacity),
-	}
-	active := make([]int32, cfg.Oracle.N)
-	for i := range active {
-		active[i] = int32(i)
-		m.intOf[i] = int32(i)
-	}
-	for b := cfg.Oracle.N; b < cfg.Capacity; b++ {
+	m.base, m.name = base, name
+	m.intOf = make([]int32, m.universe)
+	for b := range m.intOf {
 		m.intOf[b] = -1
-		m.dormant = append(m.dormant, int32(b))
+	}
+	for i, b := range active {
+		m.intOf[b] = int32(i)
+	}
+	for _, b := range m.owned {
+		if m.intOf[b] < 0 {
+			m.dormant = append(m.dormant, b)
+		}
 	}
 	m.dyn, err = metric.NewDynamicIndex(base, active, cfg.Capacity)
 	if err != nil {
@@ -147,9 +182,10 @@ func (m *Mutator) Config() Config { return m.cfg }
 // ActiveBase reports the base id serving as internal node u.
 func (m *Mutator) ActiveBase(u int) int { return m.dyn.BaseNode(u) }
 
-// InternalOf reports the internal id of a base node (-1 when dormant).
+// InternalOf reports the internal id of a base node (-1 when dormant
+// or not owned by this mutator).
 func (m *Mutator) InternalOf(base int) int {
-	if base < 0 || base >= m.cfg.Capacity {
+	if base < 0 || base >= m.universe {
 		return -1
 	}
 	return int(m.intOf[base])
@@ -245,9 +281,9 @@ func (m *Mutator) Apply(ops ...Op) (*oracle.Snapshot, error) {
 		// validate() screens everything screenable — so the O(n^2)
 		// row rebuild on this path is acceptable).
 		if rbErr := m.rollback(); rbErr != nil {
-			return nil, fmt.Errorf("churn: commit failed (%v) and rollback failed: %w", err, rbErr)
+			return nil, fmt.Errorf("%w: %v (rollback also failed: %v)", ErrCommit, err, rbErr)
 		}
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCommit, err)
 	}
 	m.st = st
 	m.stats.Commits++
@@ -279,8 +315,11 @@ func (m *Mutator) validate(ops []Op) error {
 	// Simulate membership counts and per-base state transitions.
 	pend := map[int]OpKind{}
 	for _, op := range ops {
-		if op.Base < 0 || op.Base >= m.cfg.Capacity {
-			return fmt.Errorf("churn: base id %d out of capacity [0, %d)", op.Base, m.cfg.Capacity)
+		if op.Base < 0 || op.Base >= m.universe {
+			return fmt.Errorf("churn: base id %d outside the universe [0, %d)", op.Base, m.universe)
+		}
+		if m.ownedMask != nil && !m.ownedMask[op.Base] {
+			return fmt.Errorf("churn: base id %d is not owned by this mutator", op.Base)
 		}
 		active := m.intOf[op.Base] >= 0
 		if k, seen := pend[op.Base]; seen {
@@ -322,9 +361,9 @@ func (m *Mutator) rollback() error {
 		m.intOf[b] = int32(u)
 	}
 	m.dormant = m.dormant[:0]
-	for b := 0; b < m.cfg.Capacity; b++ {
+	for _, b := range m.owned {
 		if m.intOf[b] < 0 {
-			m.dormant = append(m.dormant, int32(b))
+			m.dormant = append(m.dormant, b)
 		}
 	}
 	return nil
@@ -433,13 +472,16 @@ func (m *Mutator) buildState(prev *state, new2old, old2new []int32, ops []Op) (*
 		TotalSec:         elapsed.Seconds(),
 	}
 	art := oracle.Artifacts{
-		Idx:      frozen,
-		Tri:      st.tri,
-		Labels:   st.labels,
-		Overlay:  st.overlay,
-		Router:   router,
-		Perm:     sub.BaseNodes(),
-		Capacity: m.cfg.Capacity,
+		Idx:     frozen,
+		Tri:     st.tri,
+		Labels:  st.labels,
+		Overlay: st.overlay,
+		Router:  router,
+		Perm:    sub.BaseNodes(),
+		// The persisted capacity is the universe size, not the owned
+		// slice: Perm names global base ids, and a warm start must
+		// regenerate the base workload at the size those ids index.
+		Capacity: m.universe,
 	}
 	if st.labels != nil {
 		art.LabelMeta = oracle.LabelMeta{

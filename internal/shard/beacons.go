@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+
+	"rings/internal/metric"
+)
+
+// ulpGuard mirrors triangulation's lower-bound discount: beacon sums
+// and differences each lose up to 1 ulp, and a lower bound that
+// exceeds the true distance by rounding would break the sandwich
+// certificate, so each |d(u,b)−d(v,b)| is discounted by a relative
+// epsilon far above float64 rounding and far below any real slack.
+const ulpGuard = 1e-13
+
+// beaconTier is the shared landmark set of a fleet: a fixed list of
+// base-space points every node measures against. Vectors live with the
+// shard states (per local id); the tier itself is immutable — churn
+// never moves a landmark, because a landmark is a point of the base
+// space, not a member of the serving set.
+type beaconTier struct {
+	base metric.Space
+	ids  []int32 // landmark base ids, selection order
+}
+
+// newBeaconTier samples count distinct landmarks from the first n base
+// ids (the initially active universe prefix) with a seeded stream, so
+// a fleet rebuilt from the same config picks the same landmarks.
+func newBeaconTier(base metric.Space, n, count int, seed int64) *beaconTier {
+	if count <= 0 {
+		count = defaultBeaconCount(n)
+	}
+	if count > n {
+		count = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	ids := make([]int32, count)
+	for i := range ids {
+		ids[i] = int32(perm[i])
+	}
+	return &beaconTier{base: base, ids: ids}
+}
+
+// vector measures one base node against every landmark. This is the
+// only distance work a churn mutation spends on the cross-shard tier:
+// one row for the joining (or none for the leaving) node.
+func (t *beaconTier) vector(g int) []float64 {
+	row := make([]float64, len(t.ids))
+	for j, b := range t.ids {
+		row[j] = t.base.Dist(g, int(b))
+	}
+	return row
+}
+
+// vectors measures a whole node list (build-time bulk fill).
+func (t *beaconTier) vectors(nodes []int32) [][]float64 {
+	out := make([][]float64, len(nodes))
+	for i, g := range nodes {
+		out[i] = t.vector(int(g))
+	}
+	return out
+}
+
+// estimate folds two beacon vectors into the triangle-inequality
+// sandwich: lower = max_b (|d_ub − d_vb| − guard), upper =
+// min_b (d_ub + d_vb) + guard. Both bounds hold unconditionally; their
+// ratio is the per-pair certified factor. The upper side needs the
+// guard too: with a landmark on the geodesic the sum equals the true
+// distance mathematically, and float summation can round it one ulp
+// below — the guard keeps the sandwich valid against an exactly
+// computed distance.
+func (t *beaconTier) estimate(a, b []float64) (lower, upper float64) {
+	upper = math.Inf(1)
+	for j := range a {
+		da, db := a[j], b[j]
+		if s := da + db; s < upper {
+			upper = s
+		}
+		if g := math.Abs(da-db) - ulpGuard*math.Max(da, db); g > lower {
+			lower = g
+		}
+	}
+	if !math.IsInf(upper, 1) {
+		upper += ulpGuard * upper
+	}
+	return lower, upper
+}

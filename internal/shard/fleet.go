@@ -1,0 +1,853 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rings/internal/churn"
+	"rings/internal/metric"
+	"rings/internal/oracle"
+	"rings/internal/par"
+	"rings/internal/workload"
+)
+
+// shardState is one shard's published mapping generation: the snapshot
+// its engine serves, the local<->global id translation, and the beacon
+// vectors aligned with the local ids. It is immutable once stored;
+// mutations publish a fresh state after the engine swap, so any loaded
+// state is internally consistent (queries verify the answering
+// snapshot version against the state they mapped through).
+type shardState struct {
+	snap *oracle.Snapshot
+	// global maps local (in-shard) ids to global base ids.
+	global []int32
+	// local maps global base ids to local ids; -1 when the node is not
+	// active in this shard (dormant, or owned by another shard).
+	local []int32
+	// bvec holds one beacon vector per local id. Survivor rows are
+	// shared by pointer across generations — a churn commit computes
+	// fresh distances only for the joining node.
+	bvec [][]float64
+}
+
+// shardUnit is one shard: its engine, its (optional) churn mutator and
+// the atomically published state.
+type shardUnit struct {
+	engine *oracle.Engine
+	// mu serializes mutations (the mutator is single-writer) and state
+	// publication; queries never take it.
+	mu    sync.Mutex
+	mut   *churn.Mutator
+	state atomic.Pointer[shardState]
+}
+
+func (u *shardUnit) load() *shardState { return u.state.Load() }
+
+// Fleet is the partitioned serving layer: K shardUnits behind one
+// global-id front door, glued by the beacon tier. All query methods
+// are safe for concurrent use and lock-free on the query path.
+type Fleet struct {
+	cfg      Config
+	k        int
+	name     string
+	base     metric.Space
+	universe int
+	tier     *beaconTier
+	shards   []*shardUnit
+
+	intra  atomic.Int64
+	cross  atomic.Int64
+	joins  atomic.Int64
+	leaves atomic.Int64
+	rr     atomic.Int64 // round-robin cursor for auto-join shard choice
+
+	buildElapsed time.Duration
+}
+
+// NewFleet generates the global workload, partitions it round-robin
+// across cfg.Shards shards, and builds every shard's snapshot
+// concurrently (par.Group). Under cfg.Churn each shard additionally
+// gets a churn mutator over its base-id slice.
+func NewFleet(cfg Config) (*Fleet, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	spec := workload.MetricSpec{
+		Name:      cfg.Oracle.Workload,
+		N:         cfg.Oracle.N,
+		Side:      cfg.Oracle.Side,
+		LogAspect: cfg.Oracle.LogAspect,
+		Seed:      cfg.Oracle.Seed,
+	}
+	var (
+		base     metric.Space
+		name     string
+		initialN int
+	)
+	if cfg.Churn {
+		initial, capacity, err := workload.ChurnSizes(spec, cfg.ChurnCapacity)
+		if err != nil {
+			return nil, err
+		}
+		base, name, err = workload.ChurnBase(spec, capacity)
+		if err != nil {
+			return nil, err
+		}
+		initialN = initial
+	} else {
+		base, name, err = spec.Space()
+		if err != nil {
+			return nil, err
+		}
+		initialN = base.N()
+	}
+	universe := base.N()
+	if initialN/cfg.Shards < cfg.MinShardNodes {
+		return nil, fmt.Errorf("shard: %d initial nodes over %d shards leaves fewer than %d per shard",
+			initialN, cfg.Shards, cfg.MinShardNodes)
+	}
+
+	f := &Fleet{
+		cfg:      cfg,
+		k:        cfg.Shards,
+		name:     name,
+		base:     base,
+		universe: universe,
+		tier:     newBeaconTier(base, initialN, cfg.Beacons, cfg.BeaconSeed),
+		shards:   make([]*shardUnit, cfg.Shards),
+	}
+	owned := partition(universe, cfg.Shards)
+
+	// Shards are independent full builds over disjoint subspaces; run
+	// them concurrently — each build is itself parallel, but at serving
+	// scale the label phases leave enough scheduling slack that
+	// overlapping shards wins wall-clock on multi-core hosts.
+	builders := make([]func() error, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		s := s
+		builders[s] = func() error {
+			shardName := fmt.Sprintf("%s/shard%d-of-%d", name, s, cfg.Shards)
+			unit := &shardUnit{}
+			var snap *oracle.Snapshot
+			var global []int32
+			if cfg.Churn {
+				active := make([]int32, 0, len(owned[s]))
+				for _, g := range owned[s] {
+					if int(g) < initialN {
+						active = append(active, g)
+					}
+				}
+				shardCfg := cfg.Oracle
+				mut, err := churn.NewMutator(churn.Config{
+					Oracle:   shardCfg,
+					MinNodes: cfg.MinShardNodes,
+					Universe: &churn.Universe{
+						Base:   base,
+						Name:   shardName,
+						Owned:  owned[s],
+						Active: active,
+					},
+				})
+				if err != nil {
+					return fmt.Errorf("shard %d: %w", s, err)
+				}
+				unit.mut = mut
+				snap = mut.Snapshot()
+				global = snap.Perm
+			} else {
+				shardCfg := cfg.Oracle
+				shardCfg.N = len(owned[s])
+				built, err := oracle.BuildSnapshotOver(shardCfg, metric.NewSubspace(base, owned[s]), shardName)
+				if err != nil {
+					return fmt.Errorf("shard %d: %w", s, err)
+				}
+				snap = built
+				global = owned[s]
+			}
+			unit.engine = oracle.NewEngine(snap, cfg.Engine)
+			unit.state.Store(f.newState(snap, global, nil))
+			f.shards[s] = unit
+			return nil
+		}
+	}
+	if err := par.Group(builders...); err != nil {
+		return nil, err
+	}
+	f.buildElapsed = time.Since(start)
+	return f, nil
+}
+
+// newState assembles a shardState for the given membership, reusing
+// survivor beacon rows from prev (nil prev = bulk fill).
+func (f *Fleet) newState(snap *oracle.Snapshot, global []int32, prev *shardState) *shardState {
+	st := &shardState{
+		snap:   snap,
+		global: global,
+		local:  make([]int32, f.universe),
+		bvec:   make([][]float64, len(global)),
+	}
+	for g := range st.local {
+		st.local[g] = -1
+	}
+	for l, g := range global {
+		st.local[g] = int32(l)
+		if prev != nil && prev.local[g] >= 0 {
+			st.bvec[l] = prev.bvec[prev.local[g]]
+		} else {
+			st.bvec[l] = f.tier.vector(int(g))
+		}
+	}
+	return st
+}
+
+// K reports the shard count.
+func (f *Fleet) K() int { return f.k }
+
+// Name reports the global workload instance name.
+func (f *Fleet) Name() string { return f.name }
+
+// Universe reports the global id-space size (node ids are
+// [0, Universe); under churn only a subset is active at a time).
+func (f *Fleet) Universe() int { return f.universe }
+
+// BuildElapsed reports the fleet build wall-clock.
+func (f *Fleet) BuildElapsed() time.Duration { return f.buildElapsed }
+
+// ChurnEnabled reports whether the fleet owns churn mutators.
+func (f *Fleet) ChurnEnabled() bool { return f.cfg.Churn }
+
+// Beacons reports the landmark count of the cross-shard tier.
+func (f *Fleet) Beacons() int { return len(f.tier.ids) }
+
+// N reports the total active node count across shards.
+func (f *Fleet) N() int {
+	n := 0
+	for _, u := range f.shards {
+		n += len(u.load().global)
+	}
+	return n
+}
+
+// Owner reports the shard owning a global id (the static round-robin
+// partition; valid for any id in the universe, active or not).
+func (f *Fleet) Owner(g int) (int, error) {
+	if err := f.checkGlobal(g); err != nil {
+		return 0, err
+	}
+	return owner(g, f.k), nil
+}
+
+// ShardN reports one shard's active node count.
+func (f *Fleet) ShardN(s int) int { return len(f.shards[s].load().global) }
+
+// ShardNodes returns a copy of one shard's active global ids in local
+// order.
+func (f *Fleet) ShardNodes(s int) []int32 {
+	return append([]int32(nil), f.shards[s].load().global...)
+}
+
+// ShardSnapshot returns the snapshot one shard currently serves.
+func (f *Fleet) ShardSnapshot(s int) *oracle.Snapshot { return f.shards[s].load().snap }
+
+// ShardEngine returns one shard's engine (for stats inspection; query
+// through the Fleet so ids stay global).
+func (f *Fleet) ShardEngine(s int) *oracle.Engine { return f.shards[s].engine }
+
+func (f *Fleet) checkGlobal(g int) error {
+	if g < 0 || g >= f.universe {
+		return fmt.Errorf("shard: node %d outside the universe [0, %d): %w", g, f.universe, oracle.ErrNodeRange)
+	}
+	return nil
+}
+
+// localOf resolves a global id inside a loaded state.
+func localOf(st *shardState, g int) (int, error) {
+	l := int(st.local[g])
+	if l < 0 {
+		return 0, fmt.Errorf("shard: node %d is not active: %w", g, oracle.ErrNodeRange)
+	}
+	return l, nil
+}
+
+// queryAttempts bounds the stale-mapping retry loop: a retry only
+// fires when a churn swap lands between the state load and the engine
+// answer, so a handful of attempts far exceeds any real contention;
+// the final attempt answers directly from the loaded snapshot, which
+// is consistent by construction.
+const queryAttempts = 4
+
+// EstimateResult is one fleet distance estimate: the oracle result in
+// global ids plus shard attribution. Cross-shard answers come from the
+// beacon tier (Lower/Upper are unconditional triangle-inequality
+// bounds; their ratio is the per-pair certified factor).
+type EstimateResult struct {
+	oracle.EstimateResult
+	UShard int  `json:"ushard"`
+	VShard int  `json:"vshard"`
+	Cross  bool `json:"cross"`
+}
+
+// Estimate answers one estimate for global ids u, v: delegated to the
+// owning engine (cache and stats included) when the endpoints share a
+// shard, beacon-glued otherwise.
+func (f *Fleet) Estimate(u, v int) (EstimateResult, error) {
+	if err := f.checkGlobal(u); err != nil {
+		return EstimateResult{}, err
+	}
+	if err := f.checkGlobal(v); err != nil {
+		return EstimateResult{}, err
+	}
+	su, sv := owner(u, f.k), owner(v, f.k)
+	if su != sv {
+		res, err := f.crossEstimate(u, v, su, sv)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		f.cross.Add(1)
+		return res, nil
+	}
+	unit := f.shards[su]
+	for attempt := 0; ; attempt++ {
+		st := unit.load()
+		lu, err := localOf(st, u)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		lv, err := localOf(st, v)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		var res oracle.EstimateResult
+		if attempt < queryAttempts {
+			res, err = unit.engine.Estimate(lu, lv)
+			if err == nil && res.Version != st.snap.Version {
+				continue // swap raced the mapping; remap and retry
+			}
+		} else {
+			res, err = st.snap.Estimate(lu, lv)
+		}
+		if err != nil {
+			if attempt < queryAttempts && errors.Is(err, oracle.ErrNodeRange) {
+				continue // shrink swap raced the mapping
+			}
+			return EstimateResult{}, err
+		}
+		res.U, res.V = u, v
+		f.intra.Add(1)
+		return EstimateResult{EstimateResult: res, UShard: su, VShard: sv}, nil
+	}
+}
+
+// crossEstimate folds the two nodes' beacon vectors (each loaded from
+// its shard's current state) into the sandwich bounds.
+func (f *Fleet) crossEstimate(u, v, su, sv int) (EstimateResult, error) {
+	stU := f.shards[su].load()
+	lu, err := localOf(stU, u)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	stV := f.shards[sv].load()
+	lv, err := localOf(stV, v)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	lower, upper := f.tier.estimate(stU.bvec[lu], stV.bvec[lv])
+	return EstimateResult{
+		EstimateResult: oracle.EstimateResult{
+			U:       u,
+			V:       v,
+			Lower:   lower,
+			Upper:   upper,
+			OK:      !math.IsInf(upper, 1),
+			Version: stU.snap.Version,
+		},
+		UShard: su,
+		VShard: sv,
+		Cross:  true,
+	}, nil
+}
+
+// EstimateBatch answers many pairs. Intra-shard pairs group by owning
+// shard and run through that shard's engine in one EstimateBatch call
+// — cache, counters and latency reservoirs included, and one snapshot
+// per shard per batch by the engine's own consistency contract (the
+// mapping is version-checked against the answering snapshot, with the
+// same bounded remap-retry as single queries). Cross-shard pairs fold
+// beacon vectors from each shard's state, loaded once per batch.
+// Invalid pairs fail the whole batch.
+func (f *Fleet) EstimateBatch(pairs []oracle.Pair) ([]EstimateResult, error) {
+	states := make([]*shardState, f.k)
+	stateOf := func(s int) *shardState {
+		if states[s] == nil {
+			states[s] = f.shards[s].load()
+		}
+		return states[s]
+	}
+	out := make([]EstimateResult, len(pairs))
+	groups := make([][]int, f.k) // intra pair indices by owning shard
+	for i, p := range pairs {
+		if err := f.checkGlobal(p.U); err != nil {
+			return nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+		if err := f.checkGlobal(p.V); err != nil {
+			return nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+		su, sv := owner(p.U, f.k), owner(p.V, f.k)
+		if su == sv {
+			groups[su] = append(groups[su], i)
+			continue
+		}
+		stU := stateOf(su)
+		lu, err := localOf(stU, p.U)
+		if err != nil {
+			return nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+		stV := stateOf(sv)
+		lv, err := localOf(stV, p.V)
+		if err != nil {
+			return nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+		lower, upper := f.tier.estimate(stU.bvec[lu], stV.bvec[lv])
+		out[i] = EstimateResult{
+			EstimateResult: oracle.EstimateResult{
+				U:       p.U,
+				V:       p.V,
+				Lower:   lower,
+				Upper:   upper,
+				OK:      !math.IsInf(upper, 1),
+				Version: stU.snap.Version,
+			},
+			UShard: su,
+			VShard: sv,
+			Cross:  true,
+		}
+		f.cross.Add(1)
+	}
+	for s, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		if err := f.batchShard(s, pairs, idxs, out); err != nil {
+			return nil, err
+		}
+		f.intra.Add(int64(len(idxs)))
+	}
+	return out, nil
+}
+
+// batchShard answers one shard's intra pairs through its engine,
+// remapping and retrying if a churn swap lands between the id mapping
+// and the engine answer (final attempt answers from the mapped
+// snapshot directly, consistent by construction).
+func (f *Fleet) batchShard(s int, pairs []oracle.Pair, idxs []int, out []EstimateResult) error {
+	unit := f.shards[s]
+	local := make([]oracle.Pair, len(idxs))
+	for attempt := 0; ; attempt++ {
+		st := unit.load()
+		for j, i := range idxs {
+			lu, err := localOf(st, pairs[i].U)
+			if err != nil {
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+			lv, err := localOf(st, pairs[i].V)
+			if err != nil {
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+			local[j] = oracle.Pair{U: lu, V: lv}
+		}
+		var (
+			results []oracle.EstimateResult
+			err     error
+		)
+		if attempt < queryAttempts {
+			results, err = unit.engine.EstimateBatch(local)
+			if err == nil && len(results) > 0 && results[0].Version != st.snap.Version {
+				continue // swap raced the mapping; remap and retry
+			}
+		} else {
+			results = make([]oracle.EstimateResult, len(local))
+			for j, lp := range local {
+				if results[j], err = st.snap.Estimate(lp.U, lp.V); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			if attempt < queryAttempts && errors.Is(err, oracle.ErrNodeRange) {
+				continue
+			}
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		for j, i := range idxs {
+			res := results[j]
+			res.U, res.V = pairs[i].U, pairs[i].V
+			out[i] = EstimateResult{EstimateResult: res, UShard: s, VShard: s}
+		}
+		return nil
+	}
+}
+
+// NearestResult is one fleet nearest-member query (global ids), plus
+// the owning shard: the climb runs inside the target's shard overlay.
+type NearestResult struct {
+	oracle.NearestResult
+	Shard int `json:"shard"`
+}
+
+// Nearest answers one nearest-member query inside the target's shard.
+func (f *Fleet) Nearest(target int) (NearestResult, error) {
+	if err := f.checkGlobal(target); err != nil {
+		return NearestResult{}, err
+	}
+	s := owner(target, f.k)
+	unit := f.shards[s]
+	for attempt := 0; ; attempt++ {
+		st := unit.load()
+		lt, err := localOf(st, target)
+		if err != nil {
+			return NearestResult{}, err
+		}
+		var res oracle.NearestResult
+		if attempt < queryAttempts {
+			res, err = unit.engine.Nearest(lt)
+			if err == nil && res.Version != st.snap.Version {
+				continue
+			}
+		} else {
+			res, err = st.snap.Nearest(lt)
+		}
+		if err != nil {
+			if attempt < queryAttempts && errors.Is(err, oracle.ErrNodeRange) {
+				continue
+			}
+			return NearestResult{}, err
+		}
+		res.Target = target
+		res.Member = int(st.global[res.Member])
+		res.Path = globalPath(st, res.Path)
+		return NearestResult{NearestResult: res, Shard: s}, nil
+	}
+}
+
+// RouteResult is one fleet route simulation (global ids) plus the
+// owning shard.
+type RouteResult struct {
+	oracle.RouteResult
+	Shard int `json:"shard"`
+}
+
+// Route simulates one packet inside the shard owning both endpoints;
+// endpoints in different shards return ErrCrossShard (the beacon tier
+// certifies distances, not paths).
+func (f *Fleet) Route(src, dst int) (RouteResult, error) {
+	if err := f.checkGlobal(src); err != nil {
+		return RouteResult{}, err
+	}
+	if err := f.checkGlobal(dst); err != nil {
+		return RouteResult{}, err
+	}
+	s := owner(src, f.k)
+	if s != owner(dst, f.k) {
+		return RouteResult{}, fmt.Errorf("route %d -> %d: %w", src, dst, ErrCrossShard)
+	}
+	unit := f.shards[s]
+	for attempt := 0; ; attempt++ {
+		st := unit.load()
+		ls, err := localOf(st, src)
+		if err != nil {
+			return RouteResult{}, err
+		}
+		ld, err := localOf(st, dst)
+		if err != nil {
+			return RouteResult{}, err
+		}
+		var res oracle.RouteResult
+		if attempt < queryAttempts {
+			res, err = unit.engine.Route(ls, ld)
+			if err == nil && res.Version != st.snap.Version {
+				continue
+			}
+		} else {
+			res, err = st.snap.Route(ls, ld)
+		}
+		if err != nil {
+			if attempt < queryAttempts && errors.Is(err, oracle.ErrNodeRange) {
+				continue
+			}
+			return RouteResult{}, err
+		}
+		res.Src, res.Dst = src, dst
+		res.Path = globalPath(st, res.Path)
+		return RouteResult{RouteResult: res, Shard: s}, nil
+	}
+}
+
+func globalPath(st *shardState, path []int) []int {
+	out := make([]int, len(path))
+	for i, l := range path {
+		out[i] = int(st.global[l])
+	}
+	return out
+}
+
+// ---- churn routing ----------------------------------------------------
+
+// ErrNoChurn marks a mutation against a fleet built without Churn.
+var ErrNoChurn = errors.New("shard: fleet built without churn")
+
+// ChurnCommit reports one shard's committed mutation batch.
+type ChurnCommit struct {
+	Shard   int           `json:"shard"`
+	Version int64         `json:"version"`
+	ShardN  int           `json:"shard_n"`
+	Bases   []int         `json:"bases"`
+	Repair  churn.OpStats `json:"repair"`
+}
+
+// Apply routes a mutation batch to the owning shards (ops group by
+// owner; each group commits as one batch under that shard's lock) and
+// returns one commit report per touched shard. Shards commit
+// independently: on error the returned commits describe what already
+// landed.
+func (f *Fleet) Apply(ops []churn.Op) ([]ChurnCommit, error) {
+	if !f.cfg.Churn {
+		return nil, ErrNoChurn
+	}
+	groups := make(map[int][]churn.Op)
+	var order []int
+	for _, op := range ops {
+		if err := f.checkGlobal(op.Base); err != nil {
+			return nil, err
+		}
+		s := owner(op.Base, f.k)
+		if _, seen := groups[s]; !seen {
+			order = append(order, s)
+		}
+		groups[s] = append(groups[s], op)
+	}
+	sort.Ints(order)
+	var commits []ChurnCommit
+	for _, s := range order {
+		commit, err := f.applyShard(s, groups[s])
+		if err != nil {
+			return commits, err
+		}
+		commits = append(commits, commit)
+	}
+	return commits, nil
+}
+
+// applyShard commits one shard's batch under the shard's mutation
+// lock.
+func (f *Fleet) applyShard(s int, ops []churn.Op) (ChurnCommit, error) {
+	unit := f.shards[s]
+	unit.mu.Lock()
+	defer unit.mu.Unlock()
+	return f.commitLocked(unit, s, ops)
+}
+
+// commitLocked is the one mutation-commit/publish sequence every churn
+// path shares (explicit Apply, AutoJoin, AutoLeave): mutate, swap the
+// delta snapshot into the shard engine, publish the new mapping state
+// (fresh beacon vectors for joiners only, survivors reused by
+// pointer), account, and report. unit.mu must be held.
+func (f *Fleet) commitLocked(unit *shardUnit, s int, ops []churn.Op) (ChurnCommit, error) {
+	snap, err := unit.mut.Apply(ops...)
+	if err != nil {
+		return ChurnCommit{}, err
+	}
+	unit.engine.Swap(snap)
+	unit.state.Store(f.newState(snap, snap.Perm, unit.load()))
+	bases := make([]int, len(ops))
+	for i, op := range ops {
+		bases[i] = op.Base
+		if op.Kind == churn.Join {
+			f.joins.Add(1)
+		} else {
+			f.leaves.Add(1)
+		}
+	}
+	return ChurnCommit{
+		Shard:   s,
+		Version: snap.Version,
+		ShardN:  snap.N(),
+		Bases:   bases,
+		Repair:  unit.mut.Stats().Last,
+	}, nil
+}
+
+// AutoJoin activates up to count dormant nodes, spreading them over
+// shards round-robin. An empty commit list (nil error) means the
+// universe is at capacity.
+func (f *Fleet) AutoJoin(count int) ([]ChurnCommit, error) {
+	if !f.cfg.Churn {
+		return nil, ErrNoChurn
+	}
+	var commits []ChurnCommit
+	remaining := count
+	for probe := 0; probe < f.k && remaining > 0; probe++ {
+		s := int(f.rr.Add(1)-1) % f.k
+		unit := f.shards[s]
+		commit, joined, err := func() (ChurnCommit, int, error) {
+			unit.mu.Lock()
+			defer unit.mu.Unlock()
+			bases := unit.mut.DormantBases(remaining)
+			if len(bases) == 0 {
+				return ChurnCommit{}, 0, nil
+			}
+			ops := make([]churn.Op, len(bases))
+			for i, b := range bases {
+				ops[i] = churn.Op{Kind: churn.Join, Base: b}
+			}
+			c, err := f.commitLocked(unit, s, ops)
+			return c, len(bases), err
+		}()
+		if err != nil {
+			return commits, err
+		}
+		if joined == 0 {
+			continue
+		}
+		commits = append(commits, commit)
+		remaining -= joined
+	}
+	return commits, nil
+}
+
+// AutoLeave retires up to count random active nodes (shards chosen in
+// proportion to their size, respecting each shard's floor). An empty
+// commit list (nil error) means every shard sits at its floor.
+func (f *Fleet) AutoLeave(count int, rng *rand.Rand) ([]ChurnCommit, error) {
+	if !f.cfg.Churn {
+		return nil, ErrNoChurn
+	}
+	var commits []ChurnCommit
+	for i := 0; i < count; i++ {
+		commit, ok, err := f.autoLeaveOne(rng)
+		if err != nil {
+			return commits, err
+		}
+		if !ok {
+			break
+		}
+		commits = append(commits, commit)
+	}
+	return commits, nil
+}
+
+func (f *Fleet) autoLeaveOne(rng *rand.Rand) (ChurnCommit, bool, error) {
+	// Weight the shard choice by active count, then probe the remaining
+	// shards in order if the chosen one sits at its floor.
+	first := f.pickShardByWeight(rng)
+	for probe := 0; probe < f.k; probe++ {
+		s := (first + probe) % f.k
+		unit := f.shards[s]
+		commit, ok, err := func() (ChurnCommit, bool, error) {
+			unit.mu.Lock()
+			defer unit.mu.Unlock()
+			n := unit.mut.N()
+			if n <= f.cfg.MinShardNodes {
+				return ChurnCommit{}, false, nil
+			}
+			base := unit.mut.ActiveBase(rng.Intn(n))
+			c, err := f.commitLocked(unit, s, []churn.Op{{Kind: churn.Leave, Base: base}})
+			return c, err == nil, err
+		}()
+		if err != nil {
+			return ChurnCommit{}, false, err
+		}
+		if ok {
+			return commit, true, nil
+		}
+	}
+	return ChurnCommit{}, false, nil
+}
+
+func (f *Fleet) pickShardByWeight(rng *rand.Rand) int {
+	total := 0
+	sizes := make([]int, f.k)
+	for s, u := range f.shards {
+		sizes[s] = len(u.load().global)
+		total += sizes[s]
+	}
+	if total == 0 {
+		return 0
+	}
+	r := rng.Intn(total)
+	for s, sz := range sizes {
+		if r < sz {
+			return s
+		}
+		r -= sz
+	}
+	return f.k - 1
+}
+
+// ---- stats ------------------------------------------------------------
+
+// ShardStats is one shard's self-report.
+type ShardStats struct {
+	Shard   int                `json:"shard"`
+	N       int                `json:"n"`
+	Version int64              `json:"version"`
+	Engine  oracle.EngineStats `json:"engine"`
+	Churn   *churn.Stats       `json:"churn,omitempty"`
+}
+
+// FleetStats is the fleet-level aggregation plus every shard's report.
+type FleetStats struct {
+	Shards   int   `json:"shards"`
+	N        int   `json:"n"`
+	Universe int   `json:"universe"`
+	Beacons  int   `json:"beacons"`
+	Intra    int64 `json:"intra_estimates"`
+	Cross    int64 `json:"cross_estimates"`
+	Joins    int64 `json:"joins"`
+	Leaves   int64 `json:"leaves"`
+	// Requests/Errors aggregate every shard engine's endpoint counters
+	// (cross-shard estimates never touch an engine and are counted by
+	// Cross alone).
+	Requests int64        `json:"requests"`
+	Errors   int64        `json:"errors"`
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// Stats reports the fleet aggregation and the per-shard engine (and
+// churn) reports.
+func (f *Fleet) Stats() FleetStats {
+	out := FleetStats{
+		Shards:   f.k,
+		Universe: f.universe,
+		Beacons:  len(f.tier.ids),
+		Intra:    f.intra.Load(),
+		Cross:    f.cross.Load(),
+		Joins:    f.joins.Load(),
+		Leaves:   f.leaves.Load(),
+	}
+	for s, unit := range f.shards {
+		st := unit.load()
+		es := unit.engine.Stats()
+		ss := ShardStats{Shard: s, N: len(st.global), Version: st.snap.Version, Engine: es}
+		if unit.mut != nil {
+			unit.mu.Lock()
+			cs := unit.mut.Stats()
+			unit.mu.Unlock()
+			ss.Churn = &cs
+		}
+		for _, ep := range es.Endpoints {
+			out.Requests += ep.Count
+			out.Errors += ep.Errors
+		}
+		out.N += ss.N
+		out.PerShard = append(out.PerShard, ss)
+	}
+	return out
+}

@@ -32,6 +32,7 @@ import (
 	"rings/internal/nnsearch"
 	"rings/internal/oracle"
 	"rings/internal/routing"
+	"rings/internal/shard"
 	"rings/internal/smallworld"
 	"rings/internal/triangulation"
 )
@@ -223,4 +224,37 @@ func NewChurnMutator(cfg ChurnConfig) (*ChurnMutator, error) {
 // snapshot (hand it to OracleEngine.Swap to publish).
 func ApplyChurn(m *ChurnMutator, ops ...ChurnOp) (*OracleSnapshot, error) {
 	return m.Apply(ops...)
+}
+
+// ShardFleet is the partitioned serving layer: one global node
+// universe split round-robin across K shards, each with its own
+// OracleSnapshot/OracleEngine over its subspace, glued by a shared
+// beacon tier. Intra-shard estimate/nearest/route queries delegate to
+// the owning engine (answers byte-identical to a standalone engine
+// over that subspace); cross-shard estimates are certified
+// triangle-inequality sandwich bounds from the beacon tier; under
+// churn each join/leave repairs only the owning shard. cmd/ringsrv
+// serves a fleet over HTTP with -shards K.
+type ShardFleet = shard.Fleet
+
+// ShardFleetConfig describes a fleet: the per-shard build recipe, the
+// shard count, the beacon tier size and the churn knobs.
+type ShardFleetConfig = shard.Config
+
+// ShardFleetStats is the fleet-level aggregation plus per-shard
+// engine (and churn) reports.
+type ShardFleetStats = shard.FleetStats
+
+// ShardChurnCommit reports one shard's committed mutation batch when
+// churn routes through the fleet.
+type ShardChurnCommit = shard.ChurnCommit
+
+// ErrCrossShard marks a route whose endpoints live in different
+// shards (the beacon tier certifies distances, not paths).
+var ErrCrossShard = shard.ErrCrossShard
+
+// NewShardFleet generates the global workload, partitions it across
+// cfg.Shards shards, and builds every shard's snapshot concurrently.
+func NewShardFleet(cfg ShardFleetConfig) (*ShardFleet, error) {
+	return shard.NewFleet(cfg)
 }

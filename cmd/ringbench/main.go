@@ -33,6 +33,7 @@ var (
 	benchOut     = "BENCH_build.json"
 	churnOut     = "BENCH_churn.json"
 	shardOut     = "BENCH_shard.json"
+	serveOut     = "BENCH_serve.json"
 	baselinePath string
 	buildSizes   string
 	// benchBackend/benchWorkers mirror -backend/-workers into the build
@@ -53,7 +54,8 @@ func run() error {
 	flag.StringVar(&benchOut, "benchout", benchOut, "output path for -json build rows")
 	flag.StringVar(&churnOut, "churnout", churnOut, "output path for -json churn rows")
 	flag.StringVar(&shardOut, "shardout", shardOut, "output path for -json shard rows")
-	flag.StringVar(&baselinePath, "baseline", "", "BENCH_build.json baseline; fail if the gate-size label build regressed >25%")
+	flag.StringVar(&serveOut, "serveout", serveOut, "output path for -json serve rows")
+	flag.StringVar(&baselinePath, "baseline", "", "bench baseline (build: BENCH_build.json, serve: BENCH_serve.json); fail if the gate-size measurement regressed >25%")
 	flag.StringVar(&buildSizes, "sizes", "", "comma-separated n values for -exp build (default 128,256,512,1024; quick: 128,256)")
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func run() error {
 		"build":      expBuild,
 		"churn":      expChurn,
 		"shard":      expShard,
+		"serve":      expServe,
 		"table1":     expTable1,
 		"table2":     expTable2,
 		"table3":     expTable3,

@@ -228,6 +228,17 @@ func run() error {
 	elapsed := time.Since(start)
 
 	report := buildReport(results, h, *clients, elapsed)
+	// Duration-end server-side view: the engine's own latency reservoirs
+	// (microseconds, measured inside the serving path — no HTTP or
+	// client-loop overhead), keyed like the client-side endpoint rows so
+	// BENCH_serve.json and load runs report the same Summary shape. A
+	// stats failure degrades the report instead of failing a run whose
+	// queries all succeeded.
+	if srvLat, err := fetchServerLatencies(client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "ringload: server stats unavailable, omitting server_latency_us: %v\n", err)
+	} else {
+		report.ServerLatencyUs = srvLat
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -241,6 +252,62 @@ func run() error {
 		return fmt.Errorf("%d of %d requests failed", report.Errors, report.Requests)
 	}
 	return nil
+}
+
+// serverStats mirrors the slice of ringsrv's /stats body ringload
+// consumes (like health, kept in sync by the CI smoke run rather than a
+// compile-time dependency): per-endpoint latency reservoirs, nested one
+// engine report per shard on a fleet.
+type serverStats struct {
+	Endpoints map[string]serverEndpoint `json:"endpoints"`
+	PerShard  []struct {
+		Shard  int `json:"shard"`
+		Engine struct {
+			Endpoints map[string]serverEndpoint `json:"endpoints"`
+		} `json:"engine"`
+	} `json:"per_shard"`
+}
+
+type serverEndpoint struct {
+	Count     int64         `json:"count"`
+	LatencyUs stats.Summary `json:"latency_us"`
+}
+
+// fetchServerLatencies snapshots the server's per-endpoint latency
+// reservoirs at the end of a run. Single engines yield one Summary per
+// endpoint; fleets yield one per shard ("shard0/estimate", ...) because
+// reservoir percentiles cannot be merged across shards after the fact.
+// Endpoints the run never touched (count 0) are dropped.
+func fetchServerLatencies(client *http.Client, base string) (map[string]stats.Summary, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	var st serverStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("stats: %w", err)
+	}
+	out := map[string]stats.Summary{}
+	for name, ep := range st.Endpoints {
+		if ep.Count > 0 {
+			out[name] = ep.LatencyUs
+		}
+	}
+	for _, sh := range st.PerShard {
+		for name, ep := range sh.Engine.Endpoints {
+			if ep.Count > 0 {
+				out[fmt.Sprintf("shard%d/%s", sh.Shard, name)] = ep.LatencyUs
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stats: no endpoint latency reservoirs in response")
+	}
+	return out, nil
 }
 
 func fetchHealth(client *http.Client, base string) (health, error) {
@@ -524,6 +591,11 @@ type Report struct {
 	Stale     int                       `json:"stale,omitempty"`
 	QPS       float64                   `json:"qps"`
 	Endpoints map[string]EndpointReport `json:"endpoints"`
+	// ServerLatencyUs is the duration-end snapshot of the server's own
+	// per-endpoint latency reservoirs (/stats latency_us, microseconds,
+	// measured inside the serving path), keyed by endpoint — prefixed
+	// "shardN/" on a fleet. Omitted when /stats was unreachable.
+	ServerLatencyUs map[string]stats.Summary `json:"server_latency_us,omitempty"`
 }
 
 func buildReport(results [][]sample, h health, clients int, elapsed time.Duration) Report {

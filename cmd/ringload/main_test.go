@@ -1,0 +1,77 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func statsServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/stats" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFetchServerLatenciesSingleEngine: a single engine's /stats body
+// yields one Summary per touched endpoint; untouched endpoints (count
+// 0) are dropped.
+func TestFetchServerLatenciesSingleEngine(t *testing.T) {
+	srv := statsServer(t, `{
+		"endpoints": {
+			"estimate": {"count": 120, "latency_us": {"count": 120, "p50": 3.5, "p95": 9, "p99": 14, "max": 20}},
+			"nearest":  {"count": 0,   "latency_us": {}}
+		}
+	}`)
+	got, err := fetchServerLatencies(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("want exactly the touched endpoint, got %v", got)
+	}
+	est, ok := got["estimate"]
+	if !ok || est.P50 != 3.5 || est.P99 != 14 {
+		t.Fatalf("estimate summary: %+v (present=%v)", est, ok)
+	}
+}
+
+// TestFetchServerLatenciesFleet: a fleet's /stats nests one engine
+// report per shard; keys carry the shard prefix because reservoir
+// percentiles cannot be merged after the fact.
+func TestFetchServerLatenciesFleet(t *testing.T) {
+	srv := statsServer(t, `{
+		"shards": 2,
+		"per_shard": [
+			{"shard": 0, "engine": {"endpoints": {"estimate": {"count": 10, "latency_us": {"count": 10, "p50": 2}}}}},
+			{"shard": 1, "engine": {"endpoints": {"estimate": {"count": 12, "latency_us": {"count": 12, "p50": 4}}}}}
+		]
+	}`)
+	got, err := fetchServerLatencies(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want one entry per shard, got %v", got)
+	}
+	if got["shard0/estimate"].P50 != 2 || got["shard1/estimate"].P50 != 4 {
+		t.Fatalf("per-shard summaries: %v", got)
+	}
+}
+
+// TestFetchServerLatenciesEmpty: a body with no touched endpoints is an
+// error (the caller warns and omits the section) rather than an empty map
+// that would serialize as a lie.
+func TestFetchServerLatenciesEmpty(t *testing.T) {
+	srv := statsServer(t, `{"endpoints": {}}`)
+	if _, err := fetchServerLatencies(srv.Client(), srv.URL); err == nil {
+		t.Fatal("empty stats body accepted")
+	}
+}

@@ -143,5 +143,13 @@ func (s *server) finishFleetChurn(w http.ResponseWriter, commits []shard.ChurnCo
 		writeJSON(w, http.StatusBadRequest, empty)
 		return
 	}
+	touched := make([]int, 0, len(commits))
+	for _, c := range commits {
+		touched = append(touched, c.Shard)
+	}
+	if err := s.persistShards(touched); err != nil {
+		writeInternalError(w, "persist", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, fleetChurnResponse{N: s.fleet.N(), Commits: commits})
 }

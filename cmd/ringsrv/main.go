@@ -119,12 +119,7 @@ func run() error {
 	}
 
 	if *shardK > 1 {
-		if *snapFile != "" {
-			return fmt.Errorf("-snapshot-file is not supported with -shards (per-shard persistence arrives with rebalancing)")
-		}
-		log.Printf("building %d-shard fleet: workload=%s scheme=%s profile=%s churn=%v",
-			*shardK, *wl, *scheme, *profile, *churnOn)
-		fleet, err := shard.NewFleet(shard.Config{
+		fleetCfg := shard.Config{
 			Oracle:        cfg,
 			Shards:        *shardK,
 			Beacons:       *beacons,
@@ -135,14 +130,43 @@ func run() error {
 				CacheShards:   *shards,
 				CacheCapacity: *cacheCap,
 			},
-		})
-		if err != nil {
-			return err
 		}
-		log.Printf("fleet ready: %s n=%d shards=%d beacons=%d build=%v",
-			fleet.Name(), fleet.N(), fleet.K(), fleet.Beacons(),
-			fleet.BuildElapsed().Round(time.Millisecond))
-		srv := &http.Server{Addr: *addr, Handler: newFleetServer(fleet, *seed)}
+		var fleet *shard.Fleet
+		var err error
+		switch {
+		case *snapFile != "" && !*churnOn && shard.SnapshotFilesExist(*snapFile, *shardK):
+			log.Printf("warm-starting %d-shard fleet from %s.shard*", *shardK, *snapFile)
+			fleet, err = shard.OpenFleet(fleetCfg, *snapFile)
+			if err != nil {
+				return fmt.Errorf("fleet warm start: %w", err)
+			}
+			log.Printf("warm start ready: %s n=%d shards=%d (label builds skipped)",
+				fleet.Name(), fleet.N(), fleet.K())
+		default:
+			if *snapFile != "" && *churnOn {
+				// Mirrors the single-engine contract: the churn fleet owns
+				// membership and boots fresh, but keeps every shard's file
+				// current for a later plain warm start.
+				log.Printf("churn fleet boots fresh; %s.shard* stay current for a plain warm start", *snapFile)
+			}
+			log.Printf("building %d-shard fleet: workload=%s scheme=%s profile=%s churn=%v",
+				*shardK, *wl, *scheme, *profile, *churnOn)
+			fleet, err = shard.NewFleet(fleetCfg)
+			if err != nil {
+				return err
+			}
+			log.Printf("fleet ready: %s n=%d shards=%d beacons=%d build=%v",
+				fleet.Name(), fleet.N(), fleet.K(), fleet.Beacons(),
+				fleet.BuildElapsed().Round(time.Millisecond))
+		}
+		handler := newFleetServer(fleet, *seed)
+		if *snapFile != "" {
+			handler.enableFleetPersist(*snapFile)
+			if err := handler.persistCurrent(); err != nil {
+				return fmt.Errorf("persist %s: %w", *snapFile, err)
+			}
+		}
+		srv := &http.Server{Addr: *addr, Handler: handler}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		log.Printf("serving on http://%s", *addr)
@@ -171,17 +195,21 @@ func run() error {
 		snap = mutator.Snapshot()
 		log.Printf("churn engine ready: n=%d capacity=%d", mutator.N(), mutator.Config().Capacity)
 	case *snapFile != "":
-		f, err := os.Open(*snapFile)
+		_, err := os.Stat(*snapFile)
 		switch {
 		case err == nil:
 			log.Printf("warm-starting from %s", *snapFile)
-			loaded, rerr := oracle.ReadSnapshot(f)
-			f.Close()
+			// O(header) open: a v2 file is mmapped and served immediately
+			// (estimates only); the full restore runs in the background and
+			// swaps in routing/overlay when ready. A v1 file falls back to
+			// the full decode inside OpenSnapshotFile.
+			loaded, rerr := oracle.OpenSnapshotFile(*snapFile)
 			if rerr != nil {
 				return fmt.Errorf("warm start from %s: %w", *snapFile, rerr)
 			}
 			snap = loaded
-			log.Printf("warm start ready: %s n=%d (label build skipped)", snap.Name, snap.N())
+			log.Printf("warm start ready: %s n=%d (label build skipped, mapped=%v)",
+				snap.Name, snap.N(), snap.Flat != nil && snap.Flat.Mapped())
 		case os.IsNotExist(err):
 			// First boot: fall through to the cold build (which persists).
 		default:
@@ -216,6 +244,11 @@ func run() error {
 		handler.enablePersist(*snapFile)
 		if err := handler.persistCurrent(); err != nil {
 			return fmt.Errorf("persist %s: %w", *snapFile, err)
+		}
+		if snap.Labels == nil && snap.Tri == nil && snap.Flat != nil {
+			// Flat-only warm start: bring /nearest and /route online once
+			// the background full restore lands.
+			handler.hydrateFrom(*snapFile, snap)
 		}
 	}
 

@@ -9,8 +9,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rings/internal/oracle"
+	"rings/internal/shard"
 )
 
 func persistTestServer(t *testing.T, path string) *server {
@@ -152,6 +154,103 @@ func TestInterruptedWriteNeverVisible(t *testing.T) {
 		if e.Name() != filepath.Base(path) {
 			t.Fatalf("stray file after interrupted write: %s", e.Name())
 		}
+	}
+}
+
+// TestFleetPersistAndWarmBoot: the server's per-shard persisters write
+// one file per shard, and a fleet reopened from them answers like the
+// one that wrote them — the -snapshot-file + -shards combination end
+// to end.
+func TestFleetPersistAndWarmBoot(t *testing.T) {
+	cfg := shard.Config{
+		Oracle: oracle.Config{Workload: "cube", N: 24, Seed: 2, SkipRouting: true, SkipOverlay: true},
+		Shards: 2,
+	}
+	fleet, err := shard.NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "fleet.bin")
+	s := newFleetServer(fleet, 1)
+	s.enableFleetPersist(base)
+	if err := s.persistCurrent(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		if _, err := os.Stat(shard.SnapshotPath(base, i)); err != nil {
+			t.Fatalf("shard %d file: %v", i, err)
+		}
+	}
+	reopened, err := shard.OpenFleet(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < fleet.Universe(); u++ {
+		for v := 0; v < fleet.Universe(); v += 5 {
+			a, err1 := fleet.Estimate(u, v)
+			b, err2 := reopened.Estimate(u, v)
+			if err1 != nil || err2 != nil || a.Lower != b.Lower || a.Upper != b.Upper || a.Cross != b.Cross {
+				t.Fatalf("estimate(%d,%d): %+v/%v vs %+v/%v", u, v, a, err1, b, err2)
+			}
+		}
+	}
+}
+
+// TestHydrateFromUpgradesFlatOnlyBoot: a flat-only warm start serves
+// estimates immediately, and the background hydration swaps in the full
+// snapshot, bringing nearest/route online with byte-identical answers.
+func TestHydrateFromUpgradesFlatOnlyBoot(t *testing.T) {
+	full, err := oracle.BuildSnapshot(oracle.Config{Workload: "cube", N: 32, Seed: 3, MemberStride: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fast, err := oracle.OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Labels != nil || fast.Overlay != nil {
+		t.Fatal("fast open is not flat-only")
+	}
+	s := newServer(oracle.NewEngine(fast, oracle.EngineOptions{}))
+	if _, err := s.engine.Estimate(1, 2); err != nil {
+		t.Fatalf("flat-only estimate: %v", err)
+	}
+	if _, err := s.engine.Nearest(0); !errors.Is(err, oracle.ErrNoOverlay) {
+		t.Fatalf("nearest before hydration: %v", err)
+	}
+
+	s.hydrateFrom(path, fast)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.engine.Snapshot() == fast {
+		if time.Now().After(deadline) {
+			t.Fatal("hydration never swapped the full snapshot in")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, err := s.engine.Nearest(0)
+	if err != nil {
+		t.Fatalf("nearest after hydration: %v", err)
+	}
+	want, err := full.Nearest(0)
+	if err != nil || got.Member != want.Member || got.Dist != want.Dist {
+		t.Fatalf("hydrated nearest %+v, want %+v (%v)", got, want, err)
+	}
+	a, _ := full.Estimate(3, 4)
+	b, err := s.engine.Estimate(3, 4)
+	if err != nil || a.Lower != b.Lower || a.Upper != b.Upper {
+		t.Fatalf("hydrated estimate diverged: %+v vs %+v (%v)", a, b, err)
 	}
 }
 

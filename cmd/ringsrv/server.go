@@ -9,6 +9,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,10 @@ type server struct {
 	// serialized and coalesced by the persister, never by the mutation
 	// locks — see persist.go.
 	persist *persister
+	// fleetPersist holds one persister per shard (fleet mode): shard s
+	// persists to shard.SnapshotPath(base, s), and a commit touching one
+	// shard rewrites only that shard's file.
+	fleetPersist []*persister
 }
 
 func newServer(engine *oracle.Engine) *server {
@@ -93,15 +98,80 @@ func (s *server) enableChurn(m *churn.Mutator, seed int64) {
 // enablePersist arranges for every swap to persist the snapshot.
 func (s *server) enablePersist(path string) { s.persist = newPersister(path) }
 
-// persistCurrent persists the engine's current snapshot (no-op when
-// persistence is disabled). Callers must not hold churnMu or
-// rebuildMu: the whole point of the persister is that mutation
-// throughput is not gated on fsync latency.
+// enableFleetPersist arranges per-shard persistence: shard s writes to
+// shard.SnapshotPath(base, s) on every swap (and at boot), so a
+// restarted fleet warm-starts shard by shard via shard.OpenFleet.
+func (s *server) enableFleetPersist(base string) {
+	s.fleetPersist = make([]*persister, s.fleet.K())
+	for i := range s.fleetPersist {
+		s.fleetPersist[i] = newPersister(shard.SnapshotPath(base, i))
+	}
+}
+
+// persistCurrent persists the current snapshot — every shard's, in
+// fleet mode (no-op when persistence is disabled). Callers must not
+// hold churnMu or rebuildMu: the whole point of the persister is that
+// mutation throughput is not gated on fsync latency.
 func (s *server) persistCurrent() error {
+	if s.fleet != nil {
+		if s.fleetPersist == nil {
+			return nil
+		}
+		shards := make([]int, s.fleet.K())
+		for i := range shards {
+			shards[i] = i
+		}
+		return s.persistShards(shards)
+	}
 	if s.persist == nil {
 		return nil
 	}
 	return s.persist.persist(func() io.WriterTo { return s.engine.Snapshot() })
+}
+
+// persistShards persists the listed shards' current snapshots (fleet
+// mode; no-op when persistence is disabled). Churn commits call this
+// with only the touched shards.
+func (s *server) persistShards(shards []int) error {
+	if s.fleetPersist == nil {
+		return nil
+	}
+	for _, i := range shards {
+		i := i
+		if err := s.fleetPersist[i].persist(func() io.WriterTo { return s.fleet.ShardSnapshot(i) }); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// hydrateFrom upgrades a flat-only warm start in the background: the
+// snapshot file is fully restored (labels materialized, overlay and
+// router rebuilt) and swapped in, bringing /nearest and /route online.
+// The swap is skipped if a rebuild already replaced the fast snapshot;
+// rebuildMu makes that check-and-swap atomic against /snapshot.
+func (s *server) hydrateFrom(path string, fast *oracle.Snapshot) {
+	go func() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Printf("hydrate %s: %v (continuing to serve estimates from the mapped arenas)", path, err)
+			return
+		}
+		full, err := oracle.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Printf("hydrate %s: %v (continuing to serve estimates from the mapped arenas)", path, err)
+			return
+		}
+		s.rebuildMu.Lock()
+		defer s.rebuildMu.Unlock()
+		if s.engine.Snapshot() != fast {
+			return // a rebuild landed first; its snapshot is newer
+		}
+		old := s.engine.Swap(full)
+		old.Close() // in-flight readers hold pins; unmap happens at last unpin
+		log.Printf("hydrated %s: routing=%v overlay=%v", full.Name, full.Router != nil, full.Overlay != nil)
+	}()
 }
 
 // gracefulServe runs srv until ctx is canceled, then drains in-flight

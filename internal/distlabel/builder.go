@@ -67,7 +67,7 @@ type LabelScratch struct {
 	// mark); meta records the per-x spans. The persistent label gets one
 	// exact-size copy per level, so append-growth never memmoves label
 	// data twice.
-	entries []transEntry
+	entries []TransEntry
 	meta    []transMeta
 }
 
@@ -147,7 +147,7 @@ func FillLabel(cons *triangulation.Construction, u int, host core.Enum, level0Co
 				// ψ_v(w) = w: emit entries directly (identical to what
 				// either search branch below would produce).
 				for _, wNode := range sc.next {
-					sc.entries = append(sc.entries, transEntry{Y: int32(wNode), Z: sc.nextZ[wNode]})
+					sc.entries = append(sc.entries, TransEntry{Y: int32(wNode), Z: sc.nextZ[wNode]})
 				}
 				if len(sc.entries) > first {
 					sc.meta = append(sc.meta, transMeta{x: int32(x), start: int32(first), end: int32(len(sc.entries))})
@@ -158,7 +158,7 @@ func FillLabel(cons *triangulation.Construction, u int, host core.Enum, level0Co
 			if len(tvNodes) <= 8*len(sc.next) {
 				for psi, wNode := range tvNodes {
 					if z := sc.nextZ[wNode]; z >= 0 {
-						sc.entries = append(sc.entries, transEntry{Y: int32(psi), Z: z})
+						sc.entries = append(sc.entries, TransEntry{Y: int32(psi), Z: z})
 					}
 				}
 			} else {
@@ -168,7 +168,7 @@ func FillLabel(cons *triangulation.Construction, u int, host core.Enum, level0Co
 				for _, wNode := range sc.next {
 					psi := sort.SearchInts(tvNodes, wNode)
 					if psi < len(tvNodes) && tvNodes[psi] == wNode {
-						sc.entries = append(sc.entries, transEntry{Y: int32(psi), Z: sc.nextZ[wNode]})
+						sc.entries = append(sc.entries, TransEntry{Y: int32(psi), Z: sc.nextZ[wNode]})
 					}
 				}
 			}
@@ -179,7 +179,7 @@ func FillLabel(cons *triangulation.Construction, u int, host core.Enum, level0Co
 		for _, wNode := range sc.next {
 			sc.nextZ[wNode] = -1
 		}
-		buf := make([]transEntry, len(sc.entries))
+		buf := make([]TransEntry, len(sc.entries))
 		copy(buf, sc.entries)
 		lm := make(LevelMap, len(sc.meta))
 		for _, m := range sc.meta {

@@ -44,16 +44,18 @@ import (
 // zScaleDiv is the Z-ring net-scale divisor (paper: 64; see package doc).
 const zScaleDiv = 128
 
-// transEntry is one ζ entry: for a fixed x (host index of v in ϕ_u), the
+// TransEntry is one ζ entry: for a fixed x (host index of v in ϕ_u), the
 // pair (Y, Z) says "v's Y-th virtual neighbor has host index Z in ϕ_u".
-type transEntry struct {
+// It is exported so the serving layer's flat arena packer can re-lay the
+// maps without a copy through an intermediate representation.
+type TransEntry struct {
 	Y int32
 	Z int32
 }
 
 // LevelMap is the translation map ζ_ui for one level: for each host index
 // x, a list of entries sorted by Y.
-type LevelMap map[int32][]transEntry
+type LevelMap map[int32][]TransEntry
 
 // Label is one node's distance label. It intentionally holds no global
 // node identifiers — all references are host-enumeration indices, virtual

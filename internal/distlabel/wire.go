@@ -182,7 +182,7 @@ func (wr Wire) Decode(buf []byte, bits int) (*Label, error) {
 			if err != nil {
 				return nil, err
 			}
-			lm[int32(x)] = append(lm[int32(x)], transEntry{Y: int32(y), Z: int32(z)})
+			lm[int32(x)] = append(lm[int32(x)], TransEntry{Y: int32(y), Z: int32(z)})
 		}
 		// Restore the Y-sorted invariant lookup relies on.
 		for x := range lm {

@@ -112,6 +112,33 @@ func BenchmarkEngineEstimateParallel(b *testing.B) {
 	reportQPS(b)
 }
 
+// BenchmarkEstimateBatchFlat measures the zero-alloc batch path at
+// n = 4096: whole batches answered straight from the flat arenas into a
+// reused caller buffer, cache bypassed. Run with -benchmem — the allocs/op
+// column is the tentpole claim (0 on the warm path; the first iteration's
+// buffer warm-up is amortized away by ResetTimer).
+func BenchmarkEstimateBatchFlat(b *testing.B) {
+	snap := benchSnap(b)
+	n := snap.N()
+	e := NewEngine(snap.clone(), EngineOptions{})
+	const batchSize = 256
+	pairs := benchPairs(n, batchSize)
+	out := make([]EstimateResult, batchSize)
+	if _, err := e.EstimateBatchInto(pairs, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EstimateBatchInto(pairs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*batchSize/sec, "queries/s")
+	}
+}
+
 func reportQPS(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "queries/s")

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -59,20 +60,23 @@ type engineState struct {
 }
 
 // latencyShards spreads each endpoint's latency stream over several
-// reservoirs picked round-robin: a single reservoir's mutex would
-// re-serialize the very traffic the sharded cache keeps lock-free.
+// reservoirs (power of two for slotHint): a single reservoir's mutex
+// would re-serialize the very traffic the sharded cache keeps
+// lock-free.
 const latencyShards = 8
 
 // endpointStats tracks one endpoint's counters and latency reservoirs.
+// Shard choice comes from slotHint (a per-caller stack-address hash)
+// rather than a shared round-robin cursor — the cursor's own cache line
+// was a cross-core contention point on the warm query path.
 type endpointStats struct {
 	count   atomic.Int64
 	errors  atomic.Int64
-	next    atomic.Uint64
 	latency [latencyShards]*stats.Reservoir
 }
 
 func (s *endpointStats) record(us float64) {
-	s.latency[s.next.Add(1)%latencyShards].Add(us)
+	s.latency[slotHint(latencyShards)].Add(us)
 }
 
 func (s *endpointStats) latencySummary() stats.Summary {
@@ -175,29 +179,78 @@ func (e *Engine) observe(endpoint string, start time.Time, err error) {
 	st.record(float64(time.Since(start)) / float64(time.Microsecond))
 }
 
+// pinAttempts bounds the reload loop around arena pinning. A pin only
+// fails when the loaded snapshot's mmap arena was closed after being
+// swapped out, in which case reloading the state observes the newer
+// snapshot; a handful of retries covers any realistic swap storm.
+const pinAttempts = 8
+
+// errArenaClosed reports a query that kept losing the pin race — only
+// possible when a caller Closes the snapshot an engine still serves,
+// which violates the Close contract.
+var errArenaClosed = errors.New("oracle: snapshot arena closed while serving (Close before swap-out?)")
+
+// flatEstimate answers one pair from the snapshot's flat arenas. The
+// second return is false when the arena could not be pinned (closed
+// after swap-out) and the caller must reload the engine state.
+func flatEstimate(snap *Snapshot, u, v int) (EstimateResult, error, bool) {
+	f := snap.Flat
+	if f == nil {
+		res, err := snap.Estimate(u, v)
+		return res, err, true
+	}
+	if err := snap.checkNode("estimate", u); err != nil {
+		return EstimateResult{}, err, true
+	}
+	if err := snap.checkNode("estimate", v); err != nil {
+		return EstimateResult{}, err, true
+	}
+	if !f.pin() {
+		return EstimateResult{}, nil, false
+	}
+	res := EstimateResult{U: u, V: v, Version: snap.Version}
+	res.Lower, res.Upper, res.OK = f.estimatePair(u, v)
+	f.unpin()
+	return res, nil, true
+}
+
 // estimateOn answers one pair against a fixed state, consulting the
-// state's cache.
-func estimateOn(st *engineState, u, v int) (EstimateResult, error) {
+// state's cache; misses are answered from the flat arenas.
+func estimateOn(st *engineState, u, v int) (EstimateResult, error, bool) {
 	if res, ok := st.cache.get(u, v); ok {
 		res.Cached = true
-		return res, nil
+		return res, nil, true
 	}
-	res, err := st.snap.Estimate(u, v)
-	if err != nil {
-		return EstimateResult{}, err
+	res, err, pinned := flatEstimate(st.snap, u, v)
+	if err != nil || !pinned {
+		return EstimateResult{}, err, pinned
 	}
 	st.cache.put(u, v, res)
-	return res, nil
+	return res, nil, true
 }
 
 // Estimate answers one distance estimate from the current snapshot,
 // consulting the sharded cache. Modulo the Cached flag, the answer is
 // byte-identical to Snapshot.Estimate on the snapshot whose version it
-// reports.
+// reports (the flat arenas fold the exact same arithmetic).
 func (e *Engine) Estimate(u, v int) (EstimateResult, error) {
 	start := time.Now()
-	st := e.state.Load()
-	res, err := estimateOn(st, u, v)
+	var (
+		res EstimateResult
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		st := e.state.Load()
+		var ok bool
+		res, err, ok = estimateOn(st, u, v)
+		if ok {
+			break
+		}
+		if attempt >= pinAttempts {
+			err = errArenaClosed
+			break
+		}
+	}
 	e.observe(EndpointEstimate, start, err)
 	return res, err
 }
@@ -212,13 +265,32 @@ type Pair struct {
 // state is loaded once, so a concurrent Swap cannot split a batch across
 // two snapshots. Invalid pairs fail the whole batch.
 func (e *Engine) EstimateBatch(pairs []Pair) ([]EstimateResult, error) {
+	return e.EstimateBatchInto(pairs, make([]EstimateResult, len(pairs)))
+}
+
+// EstimateBatchInto is EstimateBatch with a caller-supplied result
+// buffer (len(out) must equal len(pairs)): the zero-allocation batch
+// path. The whole batch reads the flat arenas directly — one state
+// load, one arena pin, no cache traffic — so a warm batch performs no
+// heap allocation at all; answers remain bit-identical to the single
+// query path on the same snapshot version.
+func (e *Engine) EstimateBatchInto(pairs []Pair, out []EstimateResult) ([]EstimateResult, error) {
 	start := time.Now()
-	st := e.state.Load()
-	out := make([]EstimateResult, len(pairs))
+	if len(out) != len(pairs) {
+		err := fmt.Errorf("oracle: batch buffer holds %d results for %d pairs", len(out), len(pairs))
+		e.observe(EndpointBatch, start, err)
+		return nil, err
+	}
 	var err error
-	for i, p := range pairs {
-		if out[i], err = estimateOn(st, p.U, p.V); err != nil {
-			err = fmt.Errorf("pair %d: %w", i, err)
+	for attempt := 0; ; attempt++ {
+		st := e.state.Load()
+		var ok bool
+		err, ok = batchOn(st, pairs, out)
+		if ok {
+			break
+		}
+		if attempt >= pinAttempts {
+			err = errArenaClosed
 			break
 		}
 	}
@@ -227,6 +299,46 @@ func (e *Engine) EstimateBatch(pairs []Pair) ([]EstimateResult, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// batchOn answers a whole batch against one state. With flat arenas the
+// arena is pinned once around the loop (the S6 lifetime guard: a
+// concurrent Swap+Close cannot unmap it mid-batch); without them it
+// falls back to the cached single-pair path.
+func batchOn(st *engineState, pairs []Pair, out []EstimateResult) (error, bool) {
+	snap := st.snap
+	f := snap.Flat
+	if f == nil {
+		for i, p := range pairs {
+			var err error
+			var ok bool
+			if out[i], err, ok = estimateOn(st, p.U, p.V); err != nil || !ok {
+				if err != nil {
+					err = fmt.Errorf("pair %d: %w", i, err)
+				}
+				return err, ok
+			}
+		}
+		return nil, true
+	}
+	if !f.pin() {
+		return nil, false
+	}
+	defer f.unpin()
+	n := snap.N()
+	for i, p := range pairs {
+		if p.U < 0 || p.U >= n || p.V < 0 || p.V >= n {
+			u := p.U
+			if u >= 0 && u < n {
+				u = p.V
+			}
+			return fmt.Errorf("pair %d: oracle: estimate node %d out of range [0, %d): %w", i, u, n, ErrNodeRange), true
+		}
+		r := &out[i]
+		r.U, r.V, r.Version, r.Cached = p.U, p.V, snap.Version, false
+		r.Lower, r.Upper, r.OK = f.estimatePair(p.U, p.V)
+	}
+	return nil, true
 }
 
 // Nearest answers one nearest-member query from the current snapshot.

@@ -1,0 +1,510 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"unsafe"
+
+	"rings/internal/distlabel"
+	"rings/internal/triangulation"
+)
+
+// FlatSnap is the flat serving representation of a snapshot's estimator:
+// every label (host distances, zooming pointers, ζ-map triples) or beacon
+// vector packed into one contiguous arena with offset-index headers. The
+// hot read path walks int32/float64 views over that single allocation —
+// no pointer chasing, no map lookups, no per-query allocation — and the
+// persisted v2 snapshot format is exactly these arena bytes, so a warm
+// start is an mmap plus header validation instead of a decode.
+//
+// A FlatSnap is immutable after construction. When backed by an mmap
+// (m != nil), readers pin it around each query batch (see pin/unpin) so
+// Engine.Swap can never unmap the arena under an in-flight reader; heap
+// backed arenas skip the refcount entirely — the GC owns their lifetime.
+type FlatSnap struct {
+	n      int
+	scheme string // SchemeLabels or SchemeBeacons
+	buf    []byte // the one backing arena (heap slice or mmap window)
+	m      *mapping
+	// refs counts the creation reference plus active reader pins; only
+	// meaningful for mmap-backed arenas. The last release unmaps.
+	refs   atomic.Int64
+	closed atomic.Bool
+	// unmapped flips when the last reference actually munmaps (observed
+	// by Mapped; f.m itself stays set so a racing pin still classifies
+	// the arena as mmap-backed and fails cleanly).
+	unmapped atomic.Bool
+
+	sections []flatSection
+
+	// SchemeLabels views. Per node u: Dists is dists[distOff[u]:distOff[u+1]],
+	// ZoomPsi is psi[psiOff[u]:psiOff[u+1]], and its translation-map groups
+	// (one per level) are group indices levOff[u]..levOff[u+1]. A group g
+	// holds its sorted x keys at xkeys[xkOff[g]:xkOff[g+1]]; key slot k
+	// holds its Y-sorted (Y, Z) pairs interleaved at ents[2*entOff[k]:2*entOff[k+1]].
+	distOff []int32
+	dists   []float64
+	l0      []int32 // per-node Level0Count
+	zoom0   []int32
+	psiOff  []int32
+	psi     []int32
+	levOff  []int32
+	xkOff   []int32
+	xkeys   []int32
+	entOff  []int32
+	ents    []int32
+
+	// SchemeBeacons views: node u's beacon set is ids bIDs[bOff[u]:bOff[u+1]]
+	// (ascending) with distances bDist over the same range.
+	bOff  []int32
+	bIDs  []int32
+	bDist []float64
+}
+
+// flatSection locates one typed array inside the arena. The section
+// directory travels in the v2 persist header, so a loader rebuilds the
+// views straight over the file bytes.
+type flatSection struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // "f64" | "i32"
+	Off   int64  `json:"off"`  // byte offset into the arena
+	Count int64  `json:"count"`
+}
+
+// N reports the node count served by the flat arenas.
+func (f *FlatSnap) N() int { return f.n }
+
+// Scheme reports the estimator scheme the arenas encode.
+func (f *FlatSnap) Scheme() string { return f.scheme }
+
+// Bytes reports the arena size (what one warm replica maps or holds).
+func (f *FlatSnap) Bytes() int { return len(f.buf) }
+
+// Mapped reports whether the arena is a live mmap window (shared page
+// cache) rather than a private heap copy; false again once the last
+// reference has unmapped it.
+func (f *FlatSnap) Mapped() bool { return f.m != nil && !f.unmapped.Load() }
+
+// pin takes a reader reference on an mmap-backed arena. It fails only
+// when the creation reference is already gone (the snapshot was closed
+// after being swapped out), in which case the caller must reload the
+// engine state — a newer snapshot is necessarily installed by then.
+// Heap-backed arenas always pin successfully at zero cost.
+func (f *FlatSnap) pin() bool {
+	if f.m == nil {
+		return true
+	}
+	for {
+		r := f.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if f.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// unpin drops a reader reference; the last reference unmaps the arena.
+func (f *FlatSnap) unpin() {
+	if f.m == nil {
+		return
+	}
+	if f.refs.Add(-1) == 0 {
+		f.unmapped.Store(true)
+		f.m.close()
+	}
+}
+
+// release drops the creation reference (idempotent). In-flight readers
+// holding pins keep the mapping alive; the last unpin unmaps.
+func (f *FlatSnap) release() {
+	if f == nil || f.m == nil {
+		return
+	}
+	if f.closed.CompareAndSwap(false, true) {
+		f.unpin()
+	}
+}
+
+// Arena section names (fixed identifiers in the v2 persist header).
+const (
+	secDists   = "dists"
+	secDistOff = "dist_off"
+	secL0      = "l0"
+	secZoom0   = "zoom0"
+	secPsiOff  = "psi_off"
+	secPsi     = "psi"
+	secLevOff  = "lev_off"
+	secXkOff   = "xk_off"
+	secXkeys   = "xkeys"
+	secEntOff  = "ent_off"
+	secEnts    = "ents"
+	secBOff    = "b_off"
+	secBIDs    = "b_ids"
+	secBDist   = "b_dist"
+)
+
+// flatLayout accumulates the section directory while sizing the arena:
+// float64 sections first (keeping them 8-aligned from a 0-aligned base),
+// then the int32 sections.
+type flatLayout struct {
+	sections []flatSection
+	off      int64
+}
+
+func (l *flatLayout) add(name, kind string, count int) {
+	elem := int64(4)
+	if kind == "f64" {
+		elem = 8
+	}
+	l.sections = append(l.sections, flatSection{Name: name, Kind: kind, Off: l.off, Count: int64(count)})
+	l.off += elem * int64(count)
+}
+
+// alignedBytes allocates a zeroed byte slice whose base is 8-aligned
+// (backed by a []uint64, which the runtime aligns), so float64 views
+// over any 8-aligned section offset are legal.
+func alignedBytes(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)[:n]
+}
+
+// bind constructs the typed views over buf from the section directory.
+// It validates section identity, alignment and bounds — this is the
+// entire "decode" of a v2 snapshot payload.
+func (f *FlatSnap) bind() error {
+	i32 := func(s flatSection) ([]int32, error) {
+		if s.Off%4 != 0 || s.Off+4*s.Count > int64(len(f.buf)) {
+			return nil, fmt.Errorf("oracle: flat section %s out of bounds (off %d count %d of %d bytes)", s.Name, s.Off, s.Count, len(f.buf))
+		}
+		if s.Count == 0 {
+			return nil, nil
+		}
+		return unsafe.Slice((*int32)(unsafe.Pointer(&f.buf[s.Off])), s.Count), nil
+	}
+	f64 := func(s flatSection) ([]float64, error) {
+		if s.Off%8 != 0 || s.Off+8*s.Count > int64(len(f.buf)) {
+			return nil, fmt.Errorf("oracle: flat section %s out of bounds (off %d count %d of %d bytes)", s.Name, s.Off, s.Count, len(f.buf))
+		}
+		if s.Count == 0 {
+			return nil, nil
+		}
+		return unsafe.Slice((*float64)(unsafe.Pointer(&f.buf[s.Off])), s.Count), nil
+	}
+	var err error
+	seen := make(map[string]bool, len(f.sections))
+	for _, s := range f.sections {
+		if seen[s.Name] {
+			return fmt.Errorf("oracle: duplicate flat section %s", s.Name)
+		}
+		seen[s.Name] = true
+		switch s.Name {
+		case secDists:
+			f.dists, err = f64(s)
+		case secDistOff:
+			f.distOff, err = i32(s)
+		case secL0:
+			f.l0, err = i32(s)
+		case secZoom0:
+			f.zoom0, err = i32(s)
+		case secPsiOff:
+			f.psiOff, err = i32(s)
+		case secPsi:
+			f.psi, err = i32(s)
+		case secLevOff:
+			f.levOff, err = i32(s)
+		case secXkOff:
+			f.xkOff, err = i32(s)
+		case secXkeys:
+			f.xkeys, err = i32(s)
+		case secEntOff:
+			f.entOff, err = i32(s)
+		case secEnts:
+			f.ents, err = i32(s)
+		case secBOff:
+			f.bOff, err = i32(s)
+		case secBIDs:
+			f.bIDs, err = i32(s)
+		case secBDist:
+			f.bDist, err = f64(s)
+		default:
+			return fmt.Errorf("oracle: unknown flat section %q", s.Name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Structural validation (offset monotonicity etc.) is separate:
+	// builders bind empty arenas before the fill pass, so only loaded
+	// payloads run validate (see flatFromSections).
+	return nil
+}
+
+// validate checks the structural invariants the estimate path indexes
+// by, so a corrupt-but-checksum-passing header can never cause an
+// out-of-bounds read at query time.
+func (f *FlatSnap) validate() error {
+	checkOff := func(name string, off []int32, wantLen int, bound int) error {
+		if len(off) != wantLen {
+			return fmt.Errorf("oracle: flat section %s has %d offsets, want %d", name, len(off), wantLen)
+		}
+		prev := int32(0)
+		for i, o := range off {
+			if o < prev || int(o) > bound {
+				return fmt.Errorf("oracle: flat section %s offset %d = %d not monotone within [0, %d]", name, i, o, bound)
+			}
+			prev = o
+		}
+		if wantLen > 0 && off[0] != 0 {
+			return fmt.Errorf("oracle: flat section %s does not start at 0", name)
+		}
+		return nil
+	}
+	switch f.scheme {
+	case SchemeLabels:
+		if len(f.zoom0) != f.n || len(f.l0) != f.n {
+			return fmt.Errorf("oracle: flat label arenas sized for %d nodes, want %d", len(f.zoom0), f.n)
+		}
+		if err := checkOff(secDistOff, f.distOff, f.n+1, len(f.dists)); err != nil {
+			return err
+		}
+		if err := checkOff(secPsiOff, f.psiOff, f.n+1, len(f.psi)); err != nil {
+			return err
+		}
+		groups := 0
+		if len(f.levOff) > 0 {
+			groups = int(f.levOff[len(f.levOff)-1])
+		}
+		if err := checkOff(secLevOff, f.levOff, f.n+1, groups); err != nil {
+			return err
+		}
+		if err := checkOff(secXkOff, f.xkOff, groups+1, len(f.xkeys)); err != nil {
+			return err
+		}
+		if len(f.ents)%2 != 0 {
+			return fmt.Errorf("oracle: flat ents length %d is odd", len(f.ents))
+		}
+		if err := checkOff(secEntOff, f.entOff, len(f.xkeys)+1, len(f.ents)/2); err != nil {
+			return err
+		}
+	case SchemeBeacons:
+		if err := checkOff(secBOff, f.bOff, f.n+1, len(f.bIDs)); err != nil {
+			return err
+		}
+		if len(f.bDist) != len(f.bIDs) {
+			return fmt.Errorf("oracle: flat beacon arenas disagree: %d ids, %d distances", len(f.bIDs), len(f.bDist))
+		}
+	default:
+		return fmt.Errorf("oracle: flat snapshot has unknown scheme %q", f.scheme)
+	}
+	return nil
+}
+
+// newFlatFromLabels packs Theorem 3.4 labels into the flat arenas. The
+// ζ-map triples are laid out sorted by (x, then Y) — the per-x entry
+// lists arrive Y-sorted from the builder, so only the x keys need
+// ordering — which preserves the exact fold order distlabel.Estimate's
+// harvest/lookup walk uses and makes the flat answers bit-identical.
+func newFlatFromLabels(labels []*distlabel.Label) (*FlatSnap, error) {
+	n := len(labels)
+	// Size pass.
+	var nDists, nPsi, nGroups, nKeys, nEnts int
+	for u, lab := range labels {
+		if lab == nil {
+			return nil, fmt.Errorf("oracle: flat pack: nil label %d", u)
+		}
+		if len(lab.Trans) != len(lab.ZoomPsi) {
+			// The estimate walk indexes Trans by ZoomPsi positions; the
+			// builder and wire decoder both emit equal lengths (IMax).
+			return nil, fmt.Errorf("oracle: flat pack: label %d has %d trans levels for %d zoom pointers", u, len(lab.Trans), len(lab.ZoomPsi))
+		}
+		nDists += len(lab.Dists)
+		nPsi += len(lab.ZoomPsi)
+		nGroups += len(lab.Trans)
+		for _, lm := range lab.Trans {
+			nKeys += len(lm)
+			for _, entries := range lm {
+				nEnts += len(entries)
+			}
+		}
+	}
+	for _, c := range []int{nDists, nPsi, nGroups, nKeys, nEnts} {
+		if c > math.MaxInt32 {
+			return nil, fmt.Errorf("oracle: flat pack: arena of %d elements exceeds the int32 offset space", c)
+		}
+	}
+
+	var lay flatLayout
+	lay.add(secDists, "f64", nDists)
+	lay.add(secDistOff, "i32", n+1)
+	lay.add(secL0, "i32", n)
+	lay.add(secZoom0, "i32", n)
+	lay.add(secPsiOff, "i32", n+1)
+	lay.add(secPsi, "i32", nPsi)
+	lay.add(secLevOff, "i32", n+1)
+	lay.add(secXkOff, "i32", nGroups+1)
+	lay.add(secXkeys, "i32", nKeys)
+	lay.add(secEntOff, "i32", nKeys+1)
+	lay.add(secEnts, "i32", 2*nEnts)
+
+	f := &FlatSnap{n: n, scheme: SchemeLabels, buf: alignedBytes(int(lay.off)), sections: lay.sections}
+	f.refs.Store(1)
+	if err := f.bind(); err != nil {
+		return nil, err
+	}
+
+	// Fill pass.
+	var (
+		dPos, pPos, gPos, kPos, ePos int
+		xs                           []int32
+	)
+	for u, lab := range labels {
+		f.distOff[u] = int32(dPos)
+		dPos += copy(f.dists[dPos:], lab.Dists)
+		f.l0[u] = int32(lab.Level0Count)
+		f.zoom0[u] = int32(lab.Zoom0)
+		f.psiOff[u] = int32(pPos)
+		pPos += copy(f.psi[pPos:], lab.ZoomPsi)
+		f.levOff[u] = int32(gPos)
+		for _, lm := range lab.Trans {
+			f.xkOff[gPos] = int32(kPos)
+			gPos++
+			xs = xs[:0]
+			for x := range lm {
+				xs = append(xs, x)
+			}
+			sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+			for _, x := range xs {
+				f.xkeys[kPos] = x
+				f.entOff[kPos] = int32(ePos)
+				kPos++
+				for _, e := range lm[x] {
+					f.ents[2*ePos] = e.Y
+					f.ents[2*ePos+1] = e.Z
+					ePos++
+				}
+			}
+		}
+	}
+	f.distOff[n] = int32(dPos)
+	f.psiOff[n] = int32(pPos)
+	f.levOff[n] = int32(gPos)
+	f.xkOff[gPos] = int32(kPos)
+	f.entOff[kPos] = int32(ePos)
+	return f, nil
+}
+
+// newFlatFromTri packs Theorem 3.2 beacon sets into the flat arenas,
+// each node's beacons sorted ascending by id. Tri.Estimate folds min
+// and max over an unordered map; the sorted-intersection fold visits
+// exactly the same common-beacon set, so the extrema — and therefore
+// the answers — are bit-identical.
+func newFlatFromTri(tri *triangulation.Triangulation, n int) (*FlatSnap, error) {
+	total := 0
+	for u := 0; u < n; u++ {
+		total += len(tri.Beacons(u))
+	}
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("oracle: flat pack: %d beacon entries exceed the int32 offset space", total)
+	}
+	var lay flatLayout
+	lay.add(secBDist, "f64", total)
+	lay.add(secBOff, "i32", n+1)
+	lay.add(secBIDs, "i32", total)
+
+	f := &FlatSnap{n: n, scheme: SchemeBeacons, buf: alignedBytes(int(lay.off)), sections: lay.sections}
+	f.refs.Store(1)
+	if err := f.bind(); err != nil {
+		return nil, err
+	}
+	pos := 0
+	var ids []int
+	for u := 0; u < n; u++ {
+		f.bOff[u] = int32(pos)
+		m := tri.Beacons(u)
+		ids = ids[:0]
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			f.bIDs[pos] = int32(id)
+			f.bDist[pos] = m[id]
+			pos++
+		}
+	}
+	f.bOff[n] = int32(pos)
+	return f, nil
+}
+
+// newFlatForSnapshot builds the flat serving arenas for a snapshot's
+// estimator: labels when present, the triangulation's beacon sets
+// otherwise. Both BuildSnapshot and the churn engine's delta commits
+// run through this at assembly, so every served snapshot carries flat
+// arenas and the persisted v2 format is always available.
+func newFlatForSnapshot(s *Snapshot) (*FlatSnap, error) {
+	if s.Labels != nil {
+		return newFlatFromLabels(s.Labels)
+	}
+	if s.Tri != nil {
+		return newFlatFromTri(s.Tri, s.N())
+	}
+	return nil, fmt.Errorf("oracle: snapshot has no estimator to flatten")
+}
+
+// flatFromSections wraps loaded arena bytes (heap copy or mmap window)
+// with bound, validated views. The caller passes ownership of m (nil
+// for heap buffers); on error the mapping is closed.
+func flatFromSections(n int, scheme string, buf []byte, sections []flatSection, m *mapping) (*FlatSnap, error) {
+	f := &FlatSnap{n: n, scheme: scheme, buf: buf, m: m, sections: sections}
+	f.refs.Store(1)
+	err := f.bind()
+	if err == nil {
+		err = f.validate()
+	}
+	if err != nil {
+		if m != nil {
+			m.close()
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// materializeLabels rebuilds pointer-form labels from the label arenas
+// — the inverse of newFlatFromLabels, used when a v2 snapshot file is
+// hydrated into a full snapshot (routing and overlay rebuilds consume
+// []*distlabel.Label). Entry lists come back in the same Y-sorted order
+// they were packed in.
+func (f *FlatSnap) materializeLabels() []*distlabel.Label {
+	labels := make([]*distlabel.Label, f.n)
+	for u := 0; u < f.n; u++ {
+		lab := &distlabel.Label{
+			Level0Count: int(f.l0[u]),
+			Zoom0:       int(f.zoom0[u]),
+			Dists:       append([]float64(nil), f.dists[f.distOff[u]:f.distOff[u+1]]...),
+			ZoomPsi:     append([]int32(nil), f.psi[f.psiOff[u]:f.psiOff[u+1]]...),
+		}
+		gLo, gHi := int(f.levOff[u]), int(f.levOff[u+1])
+		lab.Trans = make([]distlabel.LevelMap, gHi-gLo)
+		for g := gLo; g < gHi; g++ {
+			lm := make(distlabel.LevelMap, f.xkOff[g+1]-f.xkOff[g])
+			for k := int(f.xkOff[g]); k < int(f.xkOff[g+1]); k++ {
+				entries := make([]distlabel.TransEntry, 0, f.entOff[k+1]-f.entOff[k])
+				for e := int(f.entOff[k]); e < int(f.entOff[k+1]); e++ {
+					entries = append(entries, distlabel.TransEntry{Y: f.ents[2*e], Z: f.ents[2*e+1]})
+				}
+				lm[f.xkeys[k]] = entries
+			}
+			lab.Trans[g-gLo] = lm
+		}
+		labels[u] = lab
+	}
+	return labels
+}

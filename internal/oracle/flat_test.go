@@ -1,0 +1,401 @@
+package oracle
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// flatConfigs are the byte-identity subjects: all four workload
+// families under labels, plus the beacons scheme.
+func flatConfigs() []Config {
+	return []Config{
+		{Workload: "grid", Side: 7, SkipRouting: true},
+		{Workload: "cube", N: 56, Seed: 11, MemberStride: 4},
+		{Workload: "expline", N: 40, LogAspect: 60, SkipRouting: true},
+		{Workload: "latency", N: 56, Seed: 13, MemberStride: 3},
+		{Workload: "cube", N: 48, Seed: 17, Scheme: SchemeBeacons, SkipRouting: true, SkipOverlay: true},
+	}
+}
+
+// TestFlatEstimateByteIdentical is the tentpole correctness property:
+// for every pair, the flat-arena walk returns bit-for-bit the same
+// bounds as the pointer-structure estimator it replaces.
+func TestFlatEstimateByteIdentical(t *testing.T) {
+	for _, cfg := range flatConfigs() {
+		snap, err := BuildSnapshot(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Workload, err)
+		}
+		if snap.Flat == nil {
+			t.Fatalf("%s: snapshot has no flat arenas", cfg.Workload)
+		}
+		n := snap.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want, err := snap.Estimate(u, v) // pointer path (Labels / Tri present)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lo, up, ok := snap.Flat.estimatePair(u, v)
+				if ok != want.OK ||
+					math.Float64bits(lo) != math.Float64bits(want.Lower) ||
+					math.Float64bits(up) != math.Float64bits(want.Upper) {
+					t.Fatalf("%s: flat estimate(%d,%d) = (%v, %v, %v), pointer path (%v, %v, %v)",
+						cfg.Workload, u, v, lo, up, ok, want.Lower, want.Upper, want.OK)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateBatchIntoZeroAlloc proves the warm batch path performs no
+// heap allocation per query: caller-supplied buffers in, flat-arena
+// reads inside.
+func TestEstimateBatchIntoZeroAlloc(t *testing.T) {
+	snap := buildTestSnapshot(t, 9)
+	e := NewEngine(snap, EngineOptions{})
+	n := snap.N()
+	pairs := make([]Pair, 256)
+	for i := range pairs {
+		pairs[i] = Pair{U: (i * 7) % n, V: (i*13 + 5) % n}
+	}
+	out := make([]EstimateResult, len(pairs))
+	if _, err := e.EstimateBatchInto(pairs, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.EstimateBatchInto(pairs, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EstimateBatchInto allocates %.1f objects per warm batch, want 0", allocs)
+	}
+}
+
+// writeSnapshotV2File persists snap to a file under dir and returns the
+// path.
+func writeSnapshotV2File(t testing.TB, dir string, snap *Snapshot) string {
+	t.Helper()
+	path := filepath.Join(dir, "snap.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenSnapshotFileFlatOnly covers the O(1) warm-start open: the
+// returned snapshot serves byte-identical estimates straight from the
+// file-backed arenas, reports the not-yet-hydrated artifacts with the
+// usual sentinels, and releases its mapping on Close.
+func TestOpenSnapshotFileFlatOnly(t *testing.T) {
+	snap := buildTestSnapshot(t, 21)
+	path := writeSnapshotV2File(t, t.TempDir(), snap)
+
+	fast, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Flat == nil || fast.Labels != nil || fast.Idx != nil || fast.Overlay != nil || fast.Router != nil {
+		t.Fatalf("flat-only open materialized derived artifacts: %+v", fast)
+	}
+	if mmapSupported && !fast.Flat.Mapped() {
+		t.Fatal("mmap supported but snapshot not file-backed")
+	}
+	if fast.N() != snap.N() || fast.Name != snap.Name {
+		t.Fatalf("identity mismatch: n=%d/%d name=%q/%q", fast.N(), snap.N(), fast.Name, snap.Name)
+	}
+	n := snap.N()
+	for u := 0; u < n; u += 3 {
+		for v := 0; v < n; v += 5 {
+			want, err := snap.Estimate(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.Estimate(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameEstimate(got, EstimateResult{U: u, V: v, Lower: want.Lower, Upper: want.Upper, OK: want.OK}) {
+				t.Fatalf("estimate(%d,%d) = %+v, want %+v", u, v, got, want)
+			}
+		}
+	}
+	if _, err := fast.Nearest(0); !errors.Is(err, ErrNoOverlay) {
+		t.Errorf("Nearest before hydration: %v", err)
+	}
+	if _, err := fast.Route(0, 1); !errors.Is(err, ErrNoRouter) {
+		t.Errorf("Route before hydration: %v", err)
+	}
+	if _, err := fast.Estimate(-1, 0); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("out-of-range estimate: %v", err)
+	}
+	fast.Close()
+	if fast.Flat.Mapped() {
+		t.Fatal("Close left the mapping alive")
+	}
+}
+
+// TestReadSnapshotV2FullRestore checks hydration: a full ReadSnapshot of
+// a v2 file rebuilds every derived artifact and answers exactly like the
+// original snapshot.
+func TestReadSnapshotV2FullRestore(t *testing.T) {
+	snap := buildTestSnapshot(t, 23)
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Labels == nil || loaded.Idx == nil || loaded.Overlay == nil || loaded.Router == nil {
+		t.Fatal("full restore missing derived artifacts")
+	}
+	n := snap.N()
+	for u := 0; u < n; u += 2 {
+		for v := 1; v < n; v += 3 {
+			a, err1 := snap.Estimate(u, v)
+			b, err2 := loaded.Estimate(u, v)
+			if err1 != nil || err2 != nil || !sameEstimate(a, b) {
+				t.Fatalf("estimate(%d,%d): %+v/%v vs %+v/%v", u, v, a, err1, b, err2)
+			}
+		}
+	}
+}
+
+// corruptCase mutates a valid v2 snapshot file image.
+type corruptCase struct {
+	name    string
+	mutate  func([]byte) []byte
+	errWant string // substring the error must contain ("" = any error)
+}
+
+// TestSnapshotV2CorruptionRejected is the S3 integrity table: framing
+// truncations, header and payload bit flips, and bogus structure all
+// fail loudly (never a silent misparse), through both the streaming
+// reader and the mmap open.
+func TestSnapshotV2CorruptionRejected(t *testing.T) {
+	snap := buildTestSnapshot(t, 25)
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	hdrLen := int(binary.LittleEndian.Uint32(img[len(persistMagicV2):]))
+	payloadOff := int(v2PayloadOffset(hdrLen))
+
+	cases := []corruptCase{
+		{"truncated-magic", func(b []byte) []byte { return b[:4] }, "magic"},
+		{"truncated-header-frame", func(b []byte) []byte { return b[:len(persistMagicV2)+6] }, "header frame"},
+		{"truncated-header", func(b []byte) []byte { return b[:len(persistMagicV2)+12+hdrLen/2] }, "header"},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-9] }, "payload"},
+		{"header-bit-flip", func(b []byte) []byte {
+			b[len(persistMagicV2)+12+hdrLen/3] ^= 0x10
+			return b
+		}, "header checksum mismatch"},
+		{"payload-bit-flip-early", func(b []byte) []byte {
+			b[payloadOff+8] ^= 0x01
+			return b
+		}, "payload checksum mismatch"},
+		{"payload-bit-flip-late", func(b []byte) []byte {
+			b[len(b)-3] ^= 0x80
+			return b
+		}, "payload checksum mismatch"},
+		{"header-length-zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[len(persistMagicV2):], 0)
+			return b
+		}, "header length"},
+		{"header-length-huge", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[len(persistMagicV2):], 1<<30)
+			return b
+		}, "header length"},
+		{"wrong-magic", func(b []byte) []byte {
+			copy(b, "RINGSNAP9\n")
+			return b
+		}, "not a snapshot file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(append([]byte(nil), img...))
+
+			if _, err := ReadSnapshot(bytes.NewReader(mutated)); err == nil {
+				t.Fatal("streaming reader accepted corrupt image")
+			} else if !strings.Contains(err.Error(), tc.errWant) {
+				t.Fatalf("streaming reader error %q does not mention %q", err, tc.errWant)
+			} else if !strings.HasPrefix(err.Error(), "oracle:") {
+				t.Fatalf("error %q lost the oracle: prefix", err)
+			}
+
+			dir := t.TempDir()
+			path := filepath.Join(dir, "corrupt.bin")
+			if err := os.WriteFile(path, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenSnapshotFile(path); err == nil {
+				t.Fatal("mmap open accepted corrupt image")
+			} else if !strings.Contains(err.Error(), tc.errWant) {
+				t.Fatalf("mmap open error %q does not mention %q", err, tc.errWant)
+			}
+		})
+	}
+}
+
+// writeSnapshotV1 emits the legacy v1 format (the pre-arena writer,
+// kept here so version-compat tests have a real v1 image to read).
+func writeSnapshotV1(t testing.TB, snap *Snapshot, w io.Writer) {
+	t.Helper()
+	if _, err := snap.WriteLegacyV1(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotV1ConvertsToV2 is the version-upgrade property: a legacy
+// v1 file still loads (labels decode through the wire codec), the
+// loaded snapshot serves, and its next persist emits v2.
+func TestSnapshotV1ConvertsToV2(t *testing.T) {
+	snap := buildTestSnapshot(t, 27)
+	var v1 bytes.Buffer
+	writeSnapshotV1(t, snap, &v1)
+
+	loaded, err := ReadSnapshot(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != snap.N() || loaded.Labels == nil || loaded.Flat == nil {
+		t.Fatalf("v1 restore incomplete: n=%d labels=%v flat=%v", loaded.N(), loaded.Labels != nil, loaded.Flat != nil)
+	}
+	// Wire semantics: codec-rounded, so compare against the decoded
+	// labels (exact) rather than the original builder's labels.
+	res, err := loaded.Estimate(1, 2)
+	if err != nil || !res.OK {
+		t.Fatalf("v1-loaded estimate: %+v, %v", res, err)
+	}
+
+	var v2 bytes.Buffer
+	if _, err := loaded.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v2.Bytes(), []byte(persistMagicV2)) {
+		t.Fatal("re-persist of a v1-loaded snapshot did not emit v2")
+	}
+	reloaded, err := ReadSnapshot(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := loaded.Estimate(3, 4)
+	b, _ := reloaded.Estimate(3, 4)
+	if !sameEstimate(a, b) {
+		t.Fatalf("v1→v2 round trip diverged: %+v vs %+v", a, b)
+	}
+
+	// The fast open falls back to the full conversion for v1 files.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.bin")
+	if err := os.WriteFile(path, v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Labels == nil {
+		t.Fatal("v1 fast-open fallback did not fully restore")
+	}
+}
+
+// TestEngineSwapUnderConcurrentBatches is the S6 lifetime guard test:
+// 16 goroutines stream EstimateBatch against mmap-backed snapshots
+// while the main goroutine swaps fresh mmaps in and Closes the old one
+// — under -race, and with every answer checked byte-identical against
+// a reference snapshot. A pinned batch must never observe an unmapped
+// arena.
+func TestEngineSwapUnderConcurrentBatches(t *testing.T) {
+	ref := buildTestSnapshot(t, 31)
+	path := writeSnapshotV2File(t, t.TempDir(), ref)
+	n := ref.N()
+
+	want := make(map[Pair]EstimateResult)
+	var pairs []Pair
+	for k := 0; k < 64; k++ {
+		p := Pair{U: (k * 5) % n, V: (k*11 + 3) % n}
+		res, err := ref.Estimate(p.U, p.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, p)
+		want[p] = res
+	}
+
+	first, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(first, EngineOptions{})
+
+	const readers = 16
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]EstimateResult, len(pairs))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.EstimateBatchInto(pairs, out); err != nil {
+					errCh <- err
+					return
+				}
+				for i, p := range pairs {
+					if !sameEstimate(out[i], EstimateResult{U: p.U, V: p.V, Lower: want[p].Lower, Upper: want[p].Upper, OK: want[p].OK}) {
+						errCh <- fmt.Errorf("batch answer for (%d,%d) diverged: %+v", p.U, p.V, out[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	swaps := 40
+	if testing.Short() {
+		swaps = 8
+	}
+	for s := 0; s < swaps; s++ {
+		next, err := OpenSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := e.Swap(next)
+		old.Close() // in-flight batches hold pins; unmap happens at last unpin
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	e.Snapshot().Close()
+}

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package oracle
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether zero-copy snapshot opens are available
+// on this platform; without it OpenSnapshotFile falls back to copying
+// reads into an aligned heap buffer.
+const mmapSupported = false
+
+// mapping is a stub on platforms without mmap; mmapFile always errors
+// and callers take the copying-read path (mapping stays nil).
+type mapping struct{}
+
+func mmapFile(f *os.File) (*mapping, error) {
+	return nil, errors.New("oracle: mmap not supported on this platform")
+}
+
+func (m *mapping) bytes() []byte { return nil }
+
+func (m *mapping) close() {}

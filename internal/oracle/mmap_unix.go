@@ -1,0 +1,47 @@
+//go:build unix
+
+package oracle
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether zero-copy snapshot opens are available
+// on this platform.
+const mmapSupported = true
+
+// mapping is one read-only mmap window over a snapshot file. FlatSnap's
+// refcount owns it: the last unpin (or the creation-reference release
+// after the last reader drains) unmaps.
+type mapping struct {
+	data []byte
+}
+
+// mmapFile maps the whole file read-only, shared — co-located replicas
+// warm-starting from the same snapshot file share one physical copy via
+// the page cache.
+func mmapFile(f *os.File) (*mapping, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) bytes() []byte { return m.data }
+
+func (m *mapping) close() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

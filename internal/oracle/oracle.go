@@ -296,6 +296,7 @@ func buildSnapshotOver(cfg Config, space metric.Space, name string, preLabels la
 		Name:   name,
 		Idx:    idx,
 		Tri:    tri,
+		n:      n,
 	}
 
 	// The remaining artifacts are independent of each other — labels read
@@ -393,5 +394,14 @@ func buildSnapshotOver(cfg Config, space metric.Space, name string, preLabels la
 		snap.Build.HostEnumsSec = lt.HostEnums.Seconds()
 		snap.Build.LabelFillSec = lt.Labels.Seconds()
 	}
+	// Pack the flat serving arenas last: a linear copy of the estimator
+	// payload, dwarfed by every phase above. The Engine's hot path reads
+	// these instead of the pointer structures, and the v2 persisted
+	// format is exactly their bytes.
+	flat, err := newFlatForSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	snap.Flat = flat
 	return snap, nil
 }

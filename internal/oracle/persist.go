@@ -5,22 +5,30 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc64"
 	"io"
+	"os"
+	"unsafe"
 
 	"rings/internal/distlabel"
 	"rings/internal/metric"
 	"rings/internal/workload"
 )
 
-// persistMagic versions the snapshot file format.
-const persistMagic = "RINGSNAP1\n"
+// Snapshot file magics. v1 framed codec-rounded wire labels behind a
+// JSON header; v2 is the flat arena bytes behind a checksummed header,
+// so a warm start is an mmap (or one bulk read) plus validation instead
+// of a per-label decode. ReadSnapshot accepts both (v1 converts through
+// the old decode path); WriteTo always emits v2.
+const (
+	persistMagicV1 = "RINGSNAP1\n"
+	persistMagicV2 = "RINGSNAP2\n"
+)
 
-// persistHeader is the JSON header of a snapshot file: everything a
-// loader needs to regenerate the workload view and decode the label
-// blocks. Derived artifacts (index, triangulation, overlay, router) are
-// deliberately not serialized — they rebuild deterministically from the
-// config, and the label build they replace is the phase that dominates
-// cold-start time.
+// crcTable is the checksum polynomial of the v2 format (CRC-64/ECMA).
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// persistHeader is the v1 JSON header, kept for reading v1 files.
 type persistHeader struct {
 	Config    Config    `json:"config"`
 	Name      string    `json:"name"`
@@ -32,16 +40,111 @@ type persistHeader struct {
 	Labels int `json:"labels"`
 }
 
-// WriteTo serializes the snapshot: a JSON header plus, under
-// SchemeLabels, one wire-encoded label block per node (the
-// distlabel.Wire codec — the same bits the byte-identity property tests
-// hash). Distances inside labels go through the codec's
-// mantissa/exponent rounding, so a loaded snapshot answers estimates in
-// wire semantics: the (1+δ) upper bound survives (slightly loosened),
-// the lower bound degrades per the codec's documented contract.
+// persistHeaderV2 is the v2 JSON header: workload identity for the
+// deterministic rebuild of derived artifacts, plus the arena section
+// directory and checksums that make the payload self-describing and
+// corruption-evident. Endian records the writer's byte order — the
+// payload is raw host-order arrays; a reader on the other byte order
+// gets a clear versioned error instead of silently misparsed data.
+type persistHeaderV2 struct {
+	Config     Config        `json:"config"`
+	Name       string        `json:"name"`
+	N          int           `json:"n"`
+	Capacity   int           `json:"capacity,omitempty"`
+	Perm       []int32       `json:"perm,omitempty"`
+	LabelMeta  LabelMeta     `json:"label_meta"`
+	Scheme     string        `json:"scheme"`
+	Endian     string        `json:"endian"`
+	Sections   []flatSection `json:"sections"`
+	PayloadLen int64         `json:"payload_len"`
+	PayloadCRC uint64        `json:"payload_crc64"`
+}
+
+// hostEndian reports this machine's byte order as a header string.
+func hostEndian() string {
+	x := uint16(1)
+	if *(*byte)(unsafe.Pointer(&x)) == 1 {
+		return "little"
+	}
+	return "big"
+}
+
+// v2HeaderPrefix is the fixed-size framing after the magic: u32 header
+// length plus u64 header CRC, little-endian (framing integers are
+// always little-endian; only the arena payload is host-order).
+const v2HeaderPrefix = 4 + 8
+
+// v2PayloadOffset computes the 8-aligned payload offset for a given
+// header length (padding bytes are zero).
+func v2PayloadOffset(hdrLen int) int64 {
+	end := int64(len(persistMagicV2)) + v2HeaderPrefix + int64(hdrLen)
+	return (end + 7) &^ 7
+}
+
+// WriteTo serializes the snapshot in the v2 format: a checksummed JSON
+// header followed by the flat arena bytes exactly as served from
+// memory. A loader validates the checksum and serves straight from the
+// bytes (mmap or one bulk read) — no per-label decode, no codec
+// rounding: a restored snapshot answers bit-identical estimates.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	if s.Flat == nil {
+		return 0, fmt.Errorf("oracle: snapshot has no flat arenas to persist")
+	}
+	hdr := persistHeaderV2{
+		Config:     s.Config,
+		Name:       s.Name,
+		N:          s.N(),
+		Capacity:   s.Capacity,
+		Perm:       s.Perm,
+		LabelMeta:  s.LabelMeta,
+		Scheme:     s.Flat.scheme,
+		Endian:     hostEndian(),
+		Sections:   s.Flat.sections,
+		PayloadLen: int64(len(s.Flat.buf)),
+		PayloadCRC: crc64.Checksum(s.Flat.buf, crcTable),
+	}
+	hdrBuf, err := json.Marshal(hdr)
+	if err != nil {
+		return 0, err
+	}
 	bw := &countingWriter{w: w}
-	if _, err := bw.Write([]byte(persistMagic)); err != nil {
+	if _, err := bw.Write([]byte(persistMagicV2)); err != nil {
+		return bw.n, err
+	}
+	var prefix [v2HeaderPrefix]byte
+	binary.LittleEndian.PutUint32(prefix[0:4], uint32(len(hdrBuf)))
+	binary.LittleEndian.PutUint64(prefix[4:12], crc64.Checksum(hdrBuf, crcTable))
+	if _, err := bw.Write(prefix[:]); err != nil {
+		return bw.n, err
+	}
+	if _, err := bw.Write(hdrBuf); err != nil {
+		return bw.n, err
+	}
+	if pad := v2PayloadOffset(len(hdrBuf)) - bw.n; pad > 0 {
+		var zeros [8]byte
+		if _, err := bw.Write(zeros[:pad]); err != nil {
+			return bw.n, err
+		}
+	}
+	if _, err := bw.Write(s.Flat.buf); err != nil {
+		return bw.n, err
+	}
+	return bw.n, nil
+}
+
+// WriteLegacyV1 serializes the snapshot in the retired v1 format
+// (uvarint-framed codec-rounded wire labels). Kept callable so the
+// format-migration tests and the serve benchmark's warm-start
+// comparison can produce real v1 files; production persistence always
+// writes v2.
+func (s *Snapshot) WriteLegacyV1(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: w}
+	writeUvarint := func(v uint64) error {
+		var tmp [binary.MaxVarintLen64]byte
+		_, err := bw.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+		return err
+	}
+	if _, err := bw.Write([]byte(persistMagicV1)); err != nil {
 		return bw.n, err
 	}
 	hdr := persistHeader{
@@ -57,7 +160,7 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return bw.n, err
 	}
-	if err := writeUvarint(bw, uint64(len(hdrBuf))); err != nil {
+	if err := writeUvarint(uint64(len(hdrBuf))); err != nil {
 		return bw.n, err
 	}
 	if _, err := bw.Write(hdrBuf); err != nil {
@@ -75,7 +178,7 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 		if err != nil {
 			return bw.n, fmt.Errorf("oracle: encode label %d: %w", u, err)
 		}
-		if err := writeUvarint(bw, uint64(bits)); err != nil {
+		if err := writeUvarint(uint64(bits)); err != nil {
 			return bw.n, err
 		}
 		if _, err := bw.Write(buf); err != nil {
@@ -85,20 +188,309 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	return bw.n, nil
 }
 
-// ReadSnapshot restores a snapshot from WriteTo's format: the workload
-// view is regenerated from the header (including a churned node subset
-// via Perm), every derived artifact is rebuilt deterministically, and
-// the labels are decoded from their wire blocks instead of being
-// rebuilt — the warm start skips the dominant build phase.
+// ReadSnapshot restores a full snapshot from WriteTo's format (v2) or
+// the legacy v1 format: the workload view is regenerated from the
+// header, derived artifacts (index, triangulation, overlay, router)
+// are rebuilt deterministically, and the estimator payload is taken
+// from the file — arena bytes under v2, codec-rounded wire labels
+// under v1 (the conversion path). For the O(1) serve-immediately open,
+// see OpenSnapshotFile.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(persistMagic))
+	magic := make([]byte, len(persistMagicV1))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("oracle: snapshot magic: %w", err)
 	}
-	if string(magic) != persistMagic {
+	switch string(magic) {
+	case persistMagicV1:
+		return readSnapshotV1(br)
+	case persistMagicV2:
+		return readSnapshotV2(br)
+	default:
 		return nil, fmt.Errorf("oracle: not a snapshot file (magic %q)", magic)
 	}
+}
+
+// readV2Envelope reads and validates everything after the v2 magic:
+// header, padding, checksummed payload (into an 8-aligned heap buffer).
+func readV2Envelope(br io.Reader) (persistHeaderV2, []byte, error) {
+	var hdr persistHeaderV2
+	var prefix [v2HeaderPrefix]byte
+	if _, err := io.ReadFull(br, prefix[:]); err != nil {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header frame: %w", err)
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(prefix[0:4]))
+	hdrCRC := binary.LittleEndian.Uint64(prefix[4:12])
+	if hdrLen <= 0 || hdrLen > 1<<26 {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header length %d out of range", hdrLen)
+	}
+	hdrBuf := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrBuf); err != nil {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header: %w", err)
+	}
+	if got := crc64.Checksum(hdrBuf, crcTable); got != hdrCRC {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header checksum mismatch (got %016x, want %016x)", got, hdrCRC)
+	}
+	if err := json.Unmarshal(hdrBuf, &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header: %w", err)
+	}
+	if hdr.Endian != hostEndian() {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 written on a %s-endian host, this host is %s-endian (re-export the snapshot on a matching host)", hdr.Endian, hostEndian())
+	}
+	if hdr.PayloadLen < 0 {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 payload length %d out of range", hdr.PayloadLen)
+	}
+	pad := v2PayloadOffset(hdrLen) - int64(len(persistMagicV2)) - v2HeaderPrefix - int64(hdrLen)
+	if pad > 0 {
+		var zeros [8]byte
+		if _, err := io.ReadFull(br, zeros[:pad]); err != nil {
+			return hdr, nil, fmt.Errorf("oracle: snapshot v2 padding: %w", err)
+		}
+	}
+	payload := alignedBytes(int(hdr.PayloadLen))
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 payload: %w", err)
+	}
+	if got := crc64.Checksum(payload, crcTable); got != hdr.PayloadCRC {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 payload checksum mismatch (got %016x, want %016x)", got, hdr.PayloadCRC)
+	}
+	return hdr, payload, nil
+}
+
+// restoreSpace regenerates the workload view a header describes (the
+// full base space, or a churned subset through Perm).
+func restoreSpace(cfg Config, hdrName string, perm []int32, capacity, n int) (metric.Space, string, error) {
+	var space metric.Space
+	name := hdrName
+	if perm != nil {
+		spec := cfg.spec()
+		base, _, err := workload.ChurnBase(spec, capacity)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, b := range perm {
+			if int(b) < 0 || int(b) >= base.N() {
+				return nil, "", fmt.Errorf("oracle: perm references base node %d of %d", b, base.N())
+			}
+		}
+		space = metric.NewSubspace(base, perm)
+	} else {
+		var err error
+		space, name, err = cfg.spec().Space()
+		if err != nil {
+			return nil, "", err
+		}
+		if hdrName != "" {
+			name = hdrName
+		}
+	}
+	if space.N() != n {
+		return nil, "", fmt.Errorf("oracle: restored space has %d nodes, header says %d", space.N(), n)
+	}
+	return space, name, nil
+}
+
+// readSnapshotV2 is the full-restore read of a v2 stream (after the
+// magic): validate the envelope, bind the arenas, materialize pointer
+// labels from them, and rebuild every derived artifact. The restored
+// snapshot keeps the file's exact arena bytes as its flat form, so a
+// re-write reproduces the file bit for bit.
+func readSnapshotV2(br io.Reader) (*Snapshot, error) {
+	hdr, payload, err := readV2Envelope(br)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := flatFromSections(hdr.N, hdr.Scheme, payload, hdr.Sections, nil)
+	if err != nil {
+		return nil, err
+	}
+	cfg := hdr.Config.withDefaults()
+	space, name, err := restoreSpace(cfg, hdr.Name, hdr.Perm, hdr.Capacity, hdr.N)
+	if err != nil {
+		return nil, err
+	}
+	var preLabels labelSource
+	if hdr.Scheme == SchemeLabels {
+		preLabels = func(idx metric.BallIndex) ([]*distlabel.Label, LabelMeta, error) {
+			return flat.materializeLabels(), hdr.LabelMeta, nil
+		}
+	}
+	snap, err := buildSnapshotOver(cfg, space, name, preLabels)
+	if err != nil {
+		return nil, err
+	}
+	snap.Perm = hdr.Perm
+	snap.Capacity = hdr.Capacity
+	// Serve (and re-persist) the file's own arena bytes rather than the
+	// repack of the materialized labels; the two are identical by the
+	// canonical layout, but keeping the originals makes the write →
+	// read → write byte-identity structural instead of incidental.
+	snap.Flat = flat
+	return snap, nil
+}
+
+// ReadSnapshotOver restores a full snapshot from a v2 stream over a
+// caller-supplied space — the warm-boot path for snapshots whose space
+// is not regenerable from their own Config, i.e. fleet shards built
+// over subspaces of a shared global workload (the shard's header knows
+// its node count and labels but not the partition; the fleet
+// regenerates base space and partition deterministically and hands
+// each shard its subspace here). Only v2 files are accepted: per-shard
+// persistence postdates the v1 format.
+func ReadSnapshotOver(r io.Reader, space metric.Space, name string) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagicV2))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("oracle: snapshot magic: %w", err)
+	}
+	if string(magic) != persistMagicV2 {
+		return nil, fmt.Errorf("oracle: not a v2 snapshot file (magic %q; per-shard snapshots require the v2 format)", magic)
+	}
+	hdr, payload, err := readV2Envelope(br)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.N != space.N() {
+		return nil, fmt.Errorf("oracle: snapshot holds %d nodes, supplied space has %d", hdr.N, space.N())
+	}
+	flat, err := flatFromSections(hdr.N, hdr.Scheme, payload, hdr.Sections, nil)
+	if err != nil {
+		return nil, err
+	}
+	cfg := hdr.Config.withDefaults()
+	var preLabels labelSource
+	if hdr.Scheme == SchemeLabels {
+		preLabels = func(idx metric.BallIndex) ([]*distlabel.Label, LabelMeta, error) {
+			return flat.materializeLabels(), hdr.LabelMeta, nil
+		}
+	}
+	if name == "" {
+		name = hdr.Name
+	}
+	snap, err := buildSnapshotOver(cfg, space, name, preLabels)
+	if err != nil {
+		return nil, err
+	}
+	snap.Perm = hdr.Perm
+	snap.Capacity = hdr.Capacity
+	snap.Flat = flat
+	return snap, nil
+}
+
+// OpenSnapshotFile opens a snapshot file for serving in O(header): a v2
+// file is mmapped (falling back to one bulk read where mmap is
+// unavailable), its checksums validated, and the returned snapshot
+// serves estimates directly from the file-backed arenas — no label
+// decode, no derived-artifact rebuild. The result is flat-only: Idx,
+// Labels, Overlay and Router are nil until the caller hydrates a full
+// snapshot (ReadSnapshot) and swaps it in; Nearest/Route return their
+// usual sentinel errors meanwhile. A v1 file falls back to the full
+// ReadSnapshot conversion. Callers must Close the returned snapshot
+// once it has been swapped out of every engine.
+func OpenSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(persistMagicV2))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, fmt.Errorf("oracle: snapshot magic: %w", err)
+	}
+	switch string(magic) {
+	case persistMagicV1:
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return ReadSnapshot(f)
+	case persistMagicV2:
+	default:
+		return nil, fmt.Errorf("oracle: not a snapshot file (magic %q)", magic)
+	}
+
+	var (
+		hdr     persistHeaderV2
+		payload []byte
+		m       *mapping
+	)
+	if mmapSupported {
+		if mapped, merr := mmapFile(f); merr == nil {
+			data := mapped.bytes()
+			hdr, payload, err = sliceV2Envelope(data)
+			if err != nil {
+				mapped.close()
+				return nil, err
+			}
+			m = mapped
+		}
+	}
+	if m == nil {
+		// Copying fallback: same validation, arena bytes in one aligned
+		// heap buffer.
+		if _, err := f.Seek(int64(len(persistMagicV2)), io.SeekStart); err != nil {
+			return nil, err
+		}
+		hdr, payload, err = readV2Envelope(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			return nil, err
+		}
+	}
+	flat, err := flatFromSections(hdr.N, hdr.Scheme, payload, hdr.Sections, m)
+	if err != nil {
+		return nil, err
+	}
+	cfg := hdr.Config.withDefaults()
+	return &Snapshot{
+		Config:    cfg,
+		Name:      hdr.Name,
+		LabelMeta: hdr.LabelMeta,
+		Perm:      hdr.Perm,
+		Capacity:  hdr.Capacity,
+		Flat:      flat,
+		n:         hdr.N,
+	}, nil
+}
+
+// sliceV2Envelope validates a v2 file presented as one byte slice (the
+// mmap window) and returns the header plus the payload subslice —
+// zero-copy: the arenas are views straight into the mapping.
+func sliceV2Envelope(data []byte) (persistHeaderV2, []byte, error) {
+	var hdr persistHeaderV2
+	base := int64(len(persistMagicV2))
+	if int64(len(data)) < base+v2HeaderPrefix {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header frame: %w", io.ErrUnexpectedEOF)
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(data[base : base+4]))
+	hdrCRC := binary.LittleEndian.Uint64(data[base+4 : base+12])
+	if hdrLen <= 0 || hdrLen > 1<<26 || base+v2HeaderPrefix+int64(hdrLen) > int64(len(data)) {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header length %d out of range", hdrLen)
+	}
+	hdrBuf := data[base+v2HeaderPrefix : base+v2HeaderPrefix+int64(hdrLen)]
+	if got := crc64.Checksum(hdrBuf, crcTable); got != hdrCRC {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header checksum mismatch (got %016x, want %016x)", got, hdrCRC)
+	}
+	if err := json.Unmarshal(hdrBuf, &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 header: %w", err)
+	}
+	if hdr.Endian != hostEndian() {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 written on a %s-endian host, this host is %s-endian (re-export the snapshot on a matching host)", hdr.Endian, hostEndian())
+	}
+	off := v2PayloadOffset(hdrLen)
+	if hdr.PayloadLen < 0 || off+hdr.PayloadLen > int64(len(data)) {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 payload: %w", io.ErrUnexpectedEOF)
+	}
+	payload := data[off : off+hdr.PayloadLen : off+hdr.PayloadLen]
+	if got := crc64.Checksum(payload, crcTable); got != hdr.PayloadCRC {
+		return hdr, nil, fmt.Errorf("oracle: snapshot v2 payload checksum mismatch (got %016x, want %016x)", got, hdr.PayloadCRC)
+	}
+	return hdr, payload, nil
+}
+
+// readSnapshotV1 restores a legacy v1 stream (after the magic): decode
+// the codec-rounded wire labels and rebuild everything else. Kept so
+// pre-v2 snapshot files keep warm-starting (they convert: the next
+// persist writes v2).
+func readSnapshotV1(br *bufio.Reader) (*Snapshot, error) {
 	hdrLen, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
@@ -113,32 +505,9 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 
 	cfg := hdr.Config.withDefaults()
-	var space metric.Space
-	name := hdr.Name
-	if hdr.Perm != nil {
-		spec := cfg.spec()
-		base, _, err := workload.ChurnBase(spec, hdr.Capacity)
-		if err != nil {
-			return nil, err
-		}
-		for _, b := range hdr.Perm {
-			if int(b) < 0 || int(b) >= base.N() {
-				return nil, fmt.Errorf("oracle: perm references base node %d of %d", b, base.N())
-			}
-		}
-		space = metric.NewSubspace(base, hdr.Perm)
-	} else {
-		var err error
-		space, name, err = cfg.spec().Space()
-		if err != nil {
-			return nil, err
-		}
-		if hdr.Name != "" {
-			name = hdr.Name
-		}
-	}
-	if space.N() != hdr.N {
-		return nil, fmt.Errorf("oracle: restored space has %d nodes, header says %d", space.N(), hdr.N)
+	space, name, err := restoreSpace(cfg, hdr.Name, hdr.Perm, hdr.Capacity, hdr.N)
+	if err != nil {
+		return nil, err
 	}
 
 	var preLabels labelSource
@@ -199,11 +568,4 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
 	return n, err
-}
-
-func writeUvarint(w io.Writer, v uint64) error {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	_, err := w.Write(buf[:n])
-	return err
 }

@@ -104,7 +104,10 @@ func TestSnapshotPersistRejectsGarbage(t *testing.T) {
 	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if _, err := ReadSnapshot(bytes.NewReader([]byte(persistMagic + "\xff\xff\xff"))); err == nil {
-		t.Fatal("truncated header accepted")
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(persistMagicV1 + "\xff\xff\xff"))); err == nil {
+		t.Fatal("truncated v1 header accepted")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(persistMagicV2 + "\xff\xff\xff"))); err == nil {
+		t.Fatal("truncated v2 header accepted")
 	}
 }

@@ -1,0 +1,18 @@
+package oracle
+
+import "unsafe"
+
+// slotHint spreads concurrent callers over n slots (n must be a power
+// of two) without a shared atomic cursor. The previous round-robin
+// cursor was itself a cross-core contention point: every query on every
+// core bounced one cache line through Add(1). Hashing the address of a
+// caller stack variable instead gives a goroutine-stable, well-spread
+// slot choice for free — goroutine stacks are distinct allocations, and
+// splitmix64 turns their addresses into uniform slot picks — so two
+// goroutines on different cores almost always record into different
+// slots with zero coordination.
+func slotHint(n int) int {
+	var p byte
+	h := splitmix64(uint64(uintptr(unsafe.Pointer(&p))))
+	return int(h & uint64(n-1))
+}

@@ -78,9 +78,32 @@ type Snapshot struct {
 	// still derive a Wire codec.
 	LabelMeta LabelMeta
 
+	// Flat is the arena-packed serving form of the estimator (labels or
+	// beacon sets). Every assembled snapshot carries it; the Engine's
+	// hot path reads it instead of the pointer structures, and the v2
+	// persisted format is exactly its bytes. A snapshot opened via
+	// OpenSnapshotFile may carry ONLY Flat (plus config/meta): estimates
+	// work immediately, Nearest/Route/Idx-dependent calls need hydration.
+	Flat *FlatSnap
+
+	// n caches the node count so flat-only snapshots (Idx == nil) can
+	// bounds-check queries.
+	n int
+
 	entry     int // overlay entry member (smallest member id)
 	nearHops  int
 	routeHops int
+}
+
+// Close releases the snapshot's hold on an mmap-backed flat arena (a
+// no-op for heap-backed snapshots, which the GC owns). Call it only
+// after the snapshot has been swapped out of every engine: in-flight
+// readers that pinned the arena keep it mapped until they drain, and
+// new readers reload the engine state instead of touching it.
+func (s *Snapshot) Close() {
+	if s != nil && s.Flat != nil {
+		s.Flat.release()
+	}
 }
 
 // LabelMeta are the scheme-wide constants a distlabel.Wire needs.
@@ -144,10 +167,11 @@ type Artifacts struct {
 
 // AssembleSnapshot wraps externally built artifacts into a Snapshot,
 // deriving the same query parameters (overlay entry, hop budgets)
-// BuildSnapshot would. It is the commit path of the churn engine —
-// which repairs artifacts incrementally and must still publish an
-// ordinary, immutable Snapshot — and of the persistence warm start,
-// which decodes labels and rebuilds the rest.
+// BuildSnapshot would, and packing the flat serving arenas. It is the
+// commit path of the churn engine — which repairs artifacts
+// incrementally and must still publish an ordinary, immutable Snapshot
+// — and of the persistence warm start, which decodes labels and
+// rebuilds the rest.
 func AssembleSnapshot(cfg Config, name string, a Artifacts, elapsed time.Duration, build BuildStats) *Snapshot {
 	cfg = cfg.withDefaults()
 	snap := &Snapshot{
@@ -163,11 +187,22 @@ func AssembleSnapshot(cfg Config, name string, a Artifacts, elapsed time.Duratio
 		BuildElapsed: elapsed,
 		Build:        build,
 	}
+	if a.Idx != nil {
+		snap.n = a.Idx.N()
+	}
 	if a.Overlay != nil {
 		snap.setOverlay(a.Overlay)
 	}
 	if a.Router != nil {
 		snap.setRouter(a.Router, cfg.RouteHops)
+	}
+	// The pack is a linear copy of the label/beacon payload — cheap next
+	// to any build or repair that produced the artifacts. Packing at
+	// every assembly (including churn delta commits) keeps the invariant
+	// that a served snapshot always has its flat form and its v2
+	// persisted form available.
+	if flat, err := newFlatForSnapshot(snap); err == nil {
+		snap.Flat = flat
 	}
 	return snap
 }
@@ -205,8 +240,14 @@ type BuildStats struct {
 	TotalSec   float64 `json:"total_sec"`
 }
 
-// N reports the node count of the snapshot's space.
-func (s *Snapshot) N() int { return s.Idx.N() }
+// N reports the node count of the snapshot's space (available even on
+// flat-only snapshots, which carry no ball index).
+func (s *Snapshot) N() int {
+	if s.Idx != nil {
+		return s.Idx.N()
+	}
+	return s.n
+}
 
 // EstimateResult is one distance estimate. Lower and Upper sandwich the
 // true distance; Upper is the (1+δ)-approximate estimate.
@@ -245,8 +286,8 @@ type RouteResult struct {
 }
 
 func (s *Snapshot) checkNode(kind string, u int) error {
-	if u < 0 || u >= s.Idx.N() {
-		return fmt.Errorf("oracle: %s node %d out of range [0, %d): %w", kind, u, s.Idx.N(), ErrNodeRange)
+	if u < 0 || u >= s.N() {
+		return fmt.Errorf("oracle: %s node %d out of range [0, %d): %w", kind, u, s.N(), ErrNodeRange)
 	}
 	return nil
 }
@@ -254,7 +295,8 @@ func (s *Snapshot) checkNode(kind string, u int) error {
 // Estimate answers one distance estimate directly from the snapshot's
 // estimator, bypassing any cache: under SchemeLabels it is exactly
 // distlabel.Estimate(Labels[u], Labels[v]); under SchemeBeacons exactly
-// Tri.Estimate(u, v).
+// Tri.Estimate(u, v). Flat-only snapshots (OpenSnapshotFile) answer
+// from the arenas — bit-identical to the pointer path by construction.
 func (s *Snapshot) Estimate(u, v int) (EstimateResult, error) {
 	if err := s.checkNode("estimate", u); err != nil {
 		return EstimateResult{}, err
@@ -263,10 +305,13 @@ func (s *Snapshot) Estimate(u, v int) (EstimateResult, error) {
 		return EstimateResult{}, err
 	}
 	res := EstimateResult{U: u, V: v, Version: s.Version}
-	if s.Labels != nil {
+	switch {
+	case s.Labels != nil:
 		res.Lower, res.Upper, res.OK = distlabel.Estimate(s.Labels[u], s.Labels[v])
-	} else {
+	case s.Tri != nil:
 		res.Lower, res.Upper, res.OK = s.Tri.Estimate(u, v)
+	default:
+		res.Lower, res.Upper, res.OK = s.Flat.estimatePair(u, v)
 	}
 	return res, nil
 }

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rings/internal/metric"
+	"rings/internal/oracle"
+	"rings/internal/par"
+	"rings/internal/workload"
+)
+
+// SnapshotPath names shard s's snapshot file under a base path: one
+// file per shard (base.shard0, base.shard1, ...), so a fleet persists
+// and warm-starts exactly like the single engine does with one file.
+func SnapshotPath(base string, s int) string {
+	return fmt.Sprintf("%s.shard%d", base, s)
+}
+
+// OpenFleet warm-starts a fleet from per-shard snapshot files (written
+// by cmd/ringsrv on every swap, named by SnapshotPath). The global
+// workload, partition and beacon tier regenerate deterministically from
+// cfg — only the per-shard label payloads come from disk, which skips
+// the dominant build phase for every shard. All K files must exist and
+// match the partition (node counts are validated by the v2 restore);
+// callers fall back to NewFleet when any is missing.
+//
+// Churn fleets are refused: membership lives in the per-shard mutators,
+// whose repair state is not reconstructible from the persisted labels
+// (the same contract as the single-engine churn boot).
+func OpenFleet(cfg Config, snapBase string) (*Fleet, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Churn {
+		return nil, fmt.Errorf("shard: churn fleets boot fresh (mutator state is not persisted); snapshot files remain valid for a plain warm start")
+	}
+	start := time.Now()
+	spec := workload.MetricSpec{
+		Name:      cfg.Oracle.Workload,
+		N:         cfg.Oracle.N,
+		Side:      cfg.Oracle.Side,
+		LogAspect: cfg.Oracle.LogAspect,
+		Seed:      cfg.Oracle.Seed,
+	}
+	base, name, err := spec.Space()
+	if err != nil {
+		return nil, err
+	}
+	universe := base.N()
+
+	f := &Fleet{
+		cfg:      cfg,
+		k:        cfg.Shards,
+		name:     name,
+		base:     base,
+		universe: universe,
+		tier:     newBeaconTier(base, universe, cfg.Beacons, cfg.BeaconSeed),
+		shards:   make([]*shardUnit, cfg.Shards),
+	}
+	owned := partition(universe, cfg.Shards)
+
+	loaders := make([]func() error, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		s := s
+		loaders[s] = func() error {
+			path := SnapshotPath(snapBase, s)
+			file, err := os.Open(path)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", s, err)
+			}
+			defer file.Close()
+			shardName := fmt.Sprintf("%s/shard%d-of-%d", name, s, cfg.Shards)
+			snap, err := oracle.ReadSnapshotOver(file, metric.NewSubspace(base, owned[s]), shardName)
+			if err != nil {
+				return fmt.Errorf("shard %d (%s): %w", s, path, err)
+			}
+			if snap.Config.Scheme != cfg.Oracle.Scheme {
+				return fmt.Errorf("shard %d (%s): snapshot scheme %q, fleet wants %q", s, path, snap.Config.Scheme, cfg.Oracle.Scheme)
+			}
+			unit := &shardUnit{engine: oracle.NewEngine(snap, cfg.Engine)}
+			unit.state.Store(f.newState(snap, owned[s], nil))
+			f.shards[s] = unit
+			return nil
+		}
+	}
+	if err := par.Group(loaders...); err != nil {
+		return nil, err
+	}
+	f.buildElapsed = time.Since(start)
+	return f, nil
+}
+
+// SnapshotFilesExist reports whether every per-shard snapshot file is
+// present (the warm-start eligibility probe: a partial set means a
+// previous persist never completed, and the caller should cold-build).
+func SnapshotFilesExist(snapBase string, k int) bool {
+	for s := 0; s < k; s++ {
+		if _, err := os.Stat(SnapshotPath(snapBase, s)); err != nil {
+			return false
+		}
+	}
+	return true
+}

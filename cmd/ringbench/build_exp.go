@@ -11,6 +11,7 @@ import (
 
 	"rings/internal/oracle"
 	"rings/internal/stats"
+	"rings/internal/version"
 )
 
 // buildBenchFile is the BENCH_build.json schema: one row per instance
@@ -18,9 +19,12 @@ import (
 // file as an artifact and gates merges on the n=1024 label-build row
 // (see -baseline).
 type buildBenchFile struct {
-	Schema string              `json:"schema"`
-	Seed   int64               `json:"seed"`
-	Rows   []oracle.BuildStats `json:"rows"`
+	Schema string `json:"schema"`
+	// BuildVersion identifies the binary that produced the rows, so
+	// archived artifacts correlate numbers with code.
+	BuildVersion string              `json:"build_version"`
+	Seed         int64               `json:"seed"`
+	Rows         []oracle.BuildStats `json:"rows"`
 }
 
 const buildBenchSchema = "rings/bench-build/v1"
@@ -75,7 +79,7 @@ func expBuild(seed int64, quick bool) error {
 	fmt.Println("can undercut the phase sum on multi-core runs (GOMAXPROCS here:", maxprocs(), "workers).")
 
 	if jsonOut {
-		if err := writeBuildBench(benchOut, buildBenchFile{Schema: buildBenchSchema, Seed: seed, Rows: rows}); err != nil {
+		if err := writeBuildBench(benchOut, buildBenchFile{Schema: buildBenchSchema, BuildVersion: version.String(), Seed: seed, Rows: rows}); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %s (%d rows)\n", benchOut, len(rows))

@@ -10,6 +10,7 @@ import (
 	"rings/internal/churn"
 	"rings/internal/oracle"
 	"rings/internal/stats"
+	"rings/internal/version"
 	"rings/internal/workload"
 )
 
@@ -17,9 +18,10 @@ import (
 // size comparing localized repair against the full rebuild on the same
 // surviving node set.
 type churnBenchFile struct {
-	Schema string          `json:"schema"`
-	Seed   int64           `json:"seed"`
-	Rows   []churnBenchRow `json:"rows"`
+	Schema       string          `json:"schema"`
+	BuildVersion string          `json:"build_version"`
+	Seed         int64           `json:"seed"`
+	Rows         []churnBenchRow `json:"rows"`
 }
 
 const churnBenchSchema = "rings/bench-churn/v1"
@@ -165,7 +167,7 @@ func expChurn(seed int64, quick bool) error {
 	fmt.Println("disabled on both sides: Theorem 2.1 tables have no localized form (DESIGN.md §8).")
 
 	if jsonOut {
-		file := churnBenchFile{Schema: churnBenchSchema, Seed: seed, Rows: rows}
+		file := churnBenchFile{Schema: churnBenchSchema, BuildVersion: version.String(), Seed: seed, Rows: rows}
 		buf, err := json.MarshalIndent(file, "", "  ")
 		if err != nil {
 			return err

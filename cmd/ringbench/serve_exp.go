@@ -14,6 +14,7 @@ import (
 	"rings/internal/oracle"
 	"rings/internal/shard"
 	"rings/internal/stats"
+	"rings/internal/version"
 )
 
 // serveBenchFile is the BENCH_serve.json schema: one row per instance
@@ -24,10 +25,11 @@ import (
 // artifact and gates merges on the largest size both runs measured
 // (see -baseline).
 type serveBenchFile struct {
-	Schema     string          `json:"schema"`
-	Seed       int64           `json:"seed"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Rows       []serveBenchRow `json:"rows"`
+	Schema       string          `json:"schema"`
+	BuildVersion string          `json:"build_version"`
+	Seed         int64           `json:"seed"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	Rows         []serveBenchRow `json:"rows"`
 }
 
 const serveBenchSchema = "rings/bench-serve/v1"
@@ -220,10 +222,11 @@ func expServe(seed int64, quick bool) error {
 
 	if jsonOut {
 		file := serveBenchFile{
-			Schema:     serveBenchSchema,
-			Seed:       seed,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Rows:       rows,
+			Schema:       serveBenchSchema,
+			BuildVersion: version.String(),
+			Seed:         seed,
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			Rows:         rows,
 		}
 		buf, err := json.MarshalIndent(file, "", "  ")
 		if err != nil {

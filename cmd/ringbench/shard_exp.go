@@ -13,6 +13,7 @@ import (
 	"rings/internal/oracle"
 	"rings/internal/shard"
 	"rings/internal/stats"
+	"rings/internal/version"
 	"rings/internal/workload"
 )
 
@@ -20,10 +21,11 @@ import (
 // family comparing the K-shard fleet against a single engine over the
 // same global instance.
 type shardBenchFile struct {
-	Schema     string          `json:"schema"`
-	Seed       int64           `json:"seed"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Rows       []shardBenchRow `json:"rows"`
+	Schema       string          `json:"schema"`
+	BuildVersion string          `json:"build_version"`
+	Seed         int64           `json:"seed"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	Rows         []shardBenchRow `json:"rows"`
 }
 
 const shardBenchSchema = "rings/bench-shard/v1"
@@ -256,10 +258,11 @@ func expShard(seed int64, quick bool) error {
 
 	if jsonOut {
 		file := shardBenchFile{
-			Schema:     shardBenchSchema,
-			Seed:       seed,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Rows:       rows,
+			Schema:       shardBenchSchema,
+			BuildVersion: version.String(),
+			Seed:         seed,
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			Rows:         rows,
 		}
 		buf, err := json.MarshalIndent(file, "", "  ")
 		if err != nil {

@@ -35,6 +35,12 @@
 // machine-readable code "out_of_range" (and mutations can bounce off
 // "at_capacity"/"below_floor"); those are counted as tolerated churn
 // races, not errors (every other non-200 still fails the run).
+//
+// After the run the report is augmented with the server's own view:
+// /stats latency reservoirs (a scrape failure is recorded as
+// "server_stats_error" in -json output and warned on stderr), and with
+// -trace K the K slowest sampled queries from the server's
+// /debug/trace ring (needs ringsrv -trace-sample).
 package main
 
 import (
@@ -140,6 +146,7 @@ func run() error {
 		churnRate = flag.Float64("churn", 0, "mutations per second against /join and /leave (0 disables; needs ringsrv -churn)")
 		joinBias  = flag.Float64("churn-bias", 0.5, "probability a mutation is a join")
 		crossFrac = flag.Float64("cross", 0.5, "fraction of estimate/batch pairs spanning shards (sharded servers only)")
+		traceTop  = flag.Int("trace", 0, "after the run, report the K slowest sampled queries from /debug/trace (needs ringsrv -trace-sample)")
 	)
 	flag.Parse()
 
@@ -236,8 +243,16 @@ func run() error {
 	// queries all succeeded.
 	if srvLat, err := fetchServerLatencies(client, base); err != nil {
 		fmt.Fprintf(os.Stderr, "ringload: server stats unavailable, omitting server_latency_us: %v\n", err)
+		report.ServerStatsError = err.Error()
 	} else {
 		report.ServerLatencyUs = srvLat
+	}
+	if *traceTop > 0 {
+		if slow, err := fetchSlowQueries(client, base, *traceTop); err != nil {
+			fmt.Fprintf(os.Stderr, "ringload: trace unavailable, omitting slow_queries: %v\n", err)
+		} else {
+			report.SlowQueries = slow
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -308,6 +323,54 @@ func fetchServerLatencies(client *http.Client, base string) (map[string]stats.Su
 		return nil, fmt.Errorf("stats: no endpoint latency reservoirs in response")
 	}
 	return out, nil
+}
+
+// traceSample mirrors the slice of ringsrv's /debug/trace records
+// ringload consumes (no compile-time dependency, like health and
+// serverStats).
+type traceSample struct {
+	Endpoint  string  `json:"endpoint"`
+	U         int     `json:"u"`
+	V         int     `json:"v"`
+	Cached    bool    `json:"cached,omitempty"`
+	Cross     bool    `json:"cross,omitempty"`
+	Err       string  `json:"err,omitempty"`
+	LatencyUs float64 `json:"latency_us"`
+}
+
+// fetchSlowQueries drains the server's sampled trace ring and keeps the
+// k slowest records, slowest first — the post-run slow-query report.
+// Requires the server to run with -trace-sample; an empty ring is an
+// error so the caller warns instead of silently reporting nothing.
+func fetchSlowQueries(client *http.Client, base string, k int) ([]traceSample, error) {
+	resp, err := client.Get(base + "/debug/trace")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace: status %d", resp.StatusCode)
+	}
+	var body struct {
+		SampleRate int           `json:"sample_rate"`
+		Records    []traceSample `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(body.Records) == 0 {
+		if body.SampleRate == 0 {
+			return nil, fmt.Errorf("trace: sampling disabled on the server (start ringsrv with -trace-sample)")
+		}
+		return nil, fmt.Errorf("trace: ring is empty")
+	}
+	sort.Slice(body.Records, func(i, j int) bool {
+		return body.Records[i].LatencyUs > body.Records[j].LatencyUs
+	})
+	if k < len(body.Records) {
+		body.Records = body.Records[:k]
+	}
+	return body.Records, nil
 }
 
 func fetchHealth(client *http.Client, base string) (health, error) {
@@ -596,6 +659,14 @@ type Report struct {
 	// measured inside the serving path), keyed by endpoint — prefixed
 	// "shardN/" on a fleet. Omitted when /stats was unreachable.
 	ServerLatencyUs map[string]stats.Summary `json:"server_latency_us,omitempty"`
+	// ServerStatsError records why ServerLatencyUs is absent (the /stats
+	// scrape failed), so a -json consumer can distinguish "server-side
+	// view unavailable" from "endpoint never touched".
+	ServerStatsError string `json:"server_stats_error,omitempty"`
+	// SlowQueries is the -trace K dump: the K slowest sampled queries
+	// from the server's /debug/trace ring, slowest first. Omitted when
+	// tracing was off or the scrape failed.
+	SlowQueries []traceSample `json:"slow_queries,omitempty"`
 }
 
 func buildReport(results [][]sample, h health, clients int, elapsed time.Duration) Report {
@@ -656,7 +727,23 @@ func printReport(rep Report) {
 	if rep.Stale > 0 {
 		fmt.Printf("total: %d requests, %d errors, %d stale churn races, %.0f qps\n",
 			rep.Requests, rep.Errors, rep.Stale, rep.QPS)
-		return
+	} else {
+		fmt.Printf("total: %d requests, %d errors, %.0f qps\n", rep.Requests, rep.Errors, rep.QPS)
 	}
-	fmt.Printf("total: %d requests, %d errors, %.0f qps\n", rep.Requests, rep.Errors, rep.QPS)
+	if len(rep.SlowQueries) > 0 {
+		fmt.Printf("slowest sampled queries (server-side, from /debug/trace):\n")
+		for _, s := range rep.SlowQueries {
+			line := fmt.Sprintf("  %8.1f us  %s u=%d v=%d", s.LatencyUs, s.Endpoint, s.U, s.V)
+			if s.Cross {
+				line += " cross"
+			}
+			if s.Cached {
+				line += " cached"
+			}
+			if s.Err != "" {
+				line += " err=" + s.Err
+			}
+			fmt.Println(line)
+		}
+	}
 }

@@ -75,3 +75,49 @@ func TestFetchServerLatenciesEmpty(t *testing.T) {
 		t.Fatal("empty stats body accepted")
 	}
 }
+
+func traceServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/trace" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFetchSlowQueries: the trace dump keeps the k slowest records,
+// slowest first.
+func TestFetchSlowQueries(t *testing.T) {
+	srv := traceServer(t, `{
+		"sample_rate": 4,
+		"records": [
+			{"endpoint": "estimate", "u": 1, "v": 2, "latency_us": 5},
+			{"endpoint": "estimate", "u": 3, "v": 4, "latency_us": 90, "cross": true},
+			{"endpoint": "estimate", "u": 5, "v": 6, "latency_us": 40}
+		]
+	}`)
+	got, err := fetchSlowQueries(srv.Client(), srv.URL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 records, got %v", got)
+	}
+	if got[0].LatencyUs != 90 || !got[0].Cross || got[1].LatencyUs != 40 {
+		t.Fatalf("slowest-first order broken: %+v", got)
+	}
+}
+
+// TestFetchSlowQueriesDisabled: a server with tracing off reports an
+// actionable error instead of an empty dump.
+func TestFetchSlowQueriesDisabled(t *testing.T) {
+	srv := traceServer(t, `{"sample_rate": 0, "records": []}`)
+	if _, err := fetchSlowQueries(srv.Client(), srv.URL, 3); err == nil {
+		t.Fatal("disabled tracing accepted")
+	}
+}

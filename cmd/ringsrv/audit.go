@@ -1,0 +1,133 @@
+package main
+
+import (
+	"math"
+
+	"rings/internal/telemetry"
+)
+
+// auditRecord is one served estimate queued for re-audit: the certified
+// sandwich exactly as the client saw it.
+type auditRecord struct {
+	u, v    int
+	lower   float64
+	upper   float64
+	version int64
+	cross   bool
+}
+
+// auditor is the online stretch auditor: it samples a configurable
+// fraction of served estimates and re-audits each against the exact
+// distance, exporting realized-stretch and certificate-width
+// histograms plus a violation counter. The serving path pays one
+// sampler decision and (when sampled) one non-blocking channel send;
+// the exact-distance computation runs in a background goroutine, and a
+// full queue drops the sample rather than slow a query.
+type auditor struct {
+	reg     *telemetry.Registry
+	sampler *telemetry.Sampler
+	ch      chan auditRecord
+	done    chan struct{}
+
+	// trueDist resolves the exact distance for a record, or false when
+	// the record is no longer auditable (snapshot swapped and ids
+	// remapped, or the ground-truth index is unavailable).
+	trueDist func(auditRecord) (float64, bool)
+
+	sampled    *telemetry.Counter
+	audited    *telemetry.Counter
+	skipped    *telemetry.Counter
+	dropped    *telemetry.Counter
+	violations *telemetry.Counter
+	stretch    *telemetry.Histogram
+	width      *telemetry.Histogram
+}
+
+// newAuditor starts an auditor sampling roughly the given fraction of
+// offers (fraction <= 0 disables sampling; the auditor still exists so
+// /metrics exposes zeroed series).
+func newAuditor(fraction float64, trueDist func(auditRecord) (float64, bool)) *auditor {
+	n := 0
+	if fraction > 0 {
+		if fraction >= 1 {
+			n = 1
+		} else {
+			n = int(math.Round(1 / fraction))
+		}
+	}
+	reg := telemetry.NewRegistry()
+	a := &auditor{
+		reg:      reg,
+		sampler:  telemetry.NewSampler(n),
+		ch:       make(chan auditRecord, 1024),
+		done:     make(chan struct{}),
+		trueDist: trueDist,
+		sampled: reg.Counter("rings_audit_sampled_total",
+			"Served estimates sampled for audit."),
+		audited: reg.Counter("rings_audit_audited_total",
+			"Sampled estimates audited against the exact distance."),
+		skipped: reg.Counter("rings_audit_skipped_total",
+			"Sampled estimates skipped (snapshot swapped before the audit ran, or no ground-truth index)."),
+		dropped: reg.Counter("rings_audit_dropped_total",
+			"Sampled estimates dropped because the audit queue was full."),
+		violations: reg.Counter("rings_audit_violations_total",
+			"Audits where the exact distance fell outside the certified [lower, upper] sandwich."),
+		stretch: reg.Histogram("rings_audit_realized_stretch",
+			"Realized stretch (upper bound / exact distance) of audited estimates.", 0, 8),
+		width: reg.Histogram("rings_audit_certificate_width",
+			"Certificate width (upper/lower) of audited estimates.", 0, 8),
+	}
+	go a.run()
+	return a
+}
+
+// offer submits one served estimate; it never blocks the caller.
+func (a *auditor) offer(rec auditRecord) {
+	if !a.sampler.Sample() {
+		return
+	}
+	a.sampled.Inc()
+	select {
+	case a.ch <- rec:
+	default:
+		a.dropped.Inc()
+	}
+}
+
+// close stops the background loop after draining queued records.
+func (a *auditor) close() {
+	close(a.ch)
+	<-a.done
+}
+
+func (a *auditor) run() {
+	defer close(a.done)
+	for rec := range a.ch {
+		a.audit(rec)
+	}
+}
+
+func (a *auditor) audit(rec auditRecord) {
+	d, ok := a.trueDist(rec)
+	if !ok {
+		a.skipped.Inc()
+		return
+	}
+	a.audited.Inc()
+	// Float tolerance: the sandwich is computed from the same float64
+	// arithmetic, so violations here mean real certificate bugs, not
+	// rounding.
+	tol := 1e-9 * math.Max(1, math.Max(d, rec.upper))
+	if rec.lower > d+tol || d > rec.upper+tol {
+		a.violations.Inc()
+	}
+	if rec.lower > 0 && !math.IsInf(rec.upper, 1) {
+		a.width.Observe(rec.upper / rec.lower)
+	}
+	switch {
+	case d > 0 && !math.IsInf(rec.upper, 1):
+		a.stretch.Observe(rec.upper / d)
+	case d == 0 && rec.upper == 0:
+		a.stretch.Observe(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rings/internal/shard"
+	ver "rings/internal/version"
 )
 
 // Fleet-mode handlers: the same HTTP surface over a shard.Fleet. Node
@@ -34,16 +35,17 @@ func (s *server) handleFleetHealthz(w http.ResponseWriter) {
 		}
 	}
 	writeJSON(w, http.StatusOK, healthBody{
-		OK:        true,
-		Version:   version,
-		N:         s.fleet.N(),
-		Workload:  s.fleet.Name(),
-		Scheme:    snap.Config.Scheme,
-		Routing:   snap.Router != nil,
-		Overlay:   snap.Overlay != nil,
-		Shards:    s.fleet.K(),
-		Universe:  s.fleet.Universe(),
-		UptimeSec: time.Since(s.start).Seconds(),
+		OK:           true,
+		Version:      version,
+		N:            s.fleet.N(),
+		Workload:     s.fleet.Name(),
+		Scheme:       snap.Config.Scheme,
+		Routing:      snap.Router != nil,
+		Overlay:      snap.Overlay != nil,
+		Shards:       s.fleet.K(),
+		Universe:     s.fleet.Universe(),
+		UptimeSec:    time.Since(s.start).Seconds(),
+		BuildVersion: ver.String(),
 	})
 }
 

@@ -19,6 +19,9 @@
 //	POST /join                     -churn: activate dormant nodes (localized repair + swap)
 //	POST /leave                    -churn: retire active nodes (localized repair + swap)
 //	GET  /churn/stats              -churn: cumulative repair report
+//	GET  /metrics                  Prometheus text exposition (fleet mode: shardN_ prefixes)
+//	GET  /debug/trace              sampled per-query trace ring (-trace-sample)
+//	/debug/pprof/*                 runtime profiles (-pprof)
 //
 // With -shards K the server builds a partitioned fleet (internal/shard)
 // instead of one engine: the node universe splits round-robin across K
@@ -42,6 +45,15 @@
 // included) but itself always boots fresh: its repair state cannot be
 // reconstructed from codec-rounded wire labels without breaking the
 // byte-identity contract.
+//
+// Observability: /metrics exposes every layer's counters and
+// histograms in Prometheus text format (one page per process; fleet
+// mode prefixes each shard's engine series with "shardN_").
+// -trace-sample N records every N-th query into a lock-free ring
+// served at /debug/trace; -audit F re-audits a fraction F of served
+// estimates against the exact distance in the background, exporting
+// realized-stretch and certificate-width histograms plus a violation
+// counter. -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // cmd/ringload is the matching closed-loop load generator (-churn
 // drives the admin endpoints under query load).
@@ -97,6 +109,9 @@ func run() error {
 		beacons    = flag.Int("beacons", 0, "cross-shard beacon count (0 = 2*ceil(log2 n)+4)")
 		snapFile   = flag.String("snapshot-file", "", "persist the snapshot here on every swap; warm-start from it on boot (without -churn: under -churn the engine owns membership and always boots fresh, but keeps the file current for a later plain warm start)")
 		drain      = flag.Duration("drain-timeout", 5*time.Second, "in-flight request drain budget on shutdown")
+		traceN     = flag.Int("trace-sample", 0, "record every N-th query into the /debug/trace ring (0 disables)")
+		auditFrac  = flag.Float64("audit", 0, "re-audit this fraction of served estimates against the exact distance (0 disables)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -160,6 +175,10 @@ func run() error {
 				fleet.BuildElapsed().Round(time.Millisecond))
 		}
 		handler := newFleetServer(fleet, *seed)
+		handler.enableTelemetry(*traceN, *auditFrac)
+		if *pprofOn {
+			handler.enablePprof()
+		}
 		if *snapFile != "" {
 			handler.enableFleetPersist(*snapFile)
 			if err := handler.persistCurrent(); err != nil {
@@ -237,6 +256,10 @@ func run() error {
 		CacheCapacity: *cacheCap,
 	})
 	handler := newServer(engine)
+	handler.enableTelemetry(*traceN, *auditFrac)
+	if *pprofOn {
+		handler.enablePprof()
+	}
 	if mutator != nil {
 		handler.enableChurn(mutator, *seed)
 	}

@@ -18,6 +18,8 @@ import (
 	"rings/internal/churn"
 	"rings/internal/oracle"
 	"rings/internal/shard"
+	"rings/internal/telemetry"
+	"rings/internal/version"
 )
 
 // maxBatchPairs bounds one /batch request so a single client cannot
@@ -57,10 +59,19 @@ type server struct {
 	// persists to shard.SnapshotPath(base, s), and a commit touching one
 	// shard rewrites only that shard's file.
 	fleetPersist []*persister
+	// Telemetry surface (see telemetry.go): the sampled-query trace ring
+	// behind /debug/trace and the online stretch auditor feeding
+	// /metrics. Always initialized by the constructors (sampling
+	// disabled); main re-enables with the flag-configured rates.
+	traceRing       *telemetry.TraceRing
+	traceSampler    *telemetry.Sampler
+	traceSampleRate int
+	auditor         *auditor
 }
 
 func newServer(engine *oracle.Engine) *server {
 	s := &server{engine: engine, mux: http.NewServeMux(), start: time.Now()}
+	s.enableTelemetry(0, 0)
 	s.routes()
 	return s
 }
@@ -71,6 +82,7 @@ func newServer(engine *oracle.Engine) *server {
 func newFleetServer(fleet *shard.Fleet, seed int64) *server {
 	s := &server{fleet: fleet, mux: http.NewServeMux(), start: time.Now()}
 	s.leaveSeed.Store(seed)
+	s.enableTelemetry(0, 0)
 	s.routes()
 	return s
 }
@@ -86,6 +98,8 @@ func (s *server) routes() {
 	s.mux.HandleFunc("POST /join", s.handleJoin)
 	s.mux.HandleFunc("POST /leave", s.handleLeave)
 	s.mux.HandleFunc("GET /churn/stats", s.handleChurnStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 }
 
 // enableChurn attaches a churn mutator (its current snapshot must be
@@ -296,6 +310,9 @@ type healthBody struct {
 	Shards    int     `json:"shards,omitempty"`
 	Universe  int     `json:"universe,omitempty"`
 	UptimeSec float64 `json:"uptime_sec"`
+	// BuildVersion identifies the serving binary (ldflags stamp or VCS
+	// revision), so scraped fleets correlate behavior with code.
+	BuildVersion string `json:"build_version"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -305,14 +322,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.engine.Snapshot()
 	writeJSON(w, http.StatusOK, healthBody{
-		OK:        true,
-		Version:   snap.Version,
-		N:         snap.N(),
-		Workload:  snap.Name,
-		Scheme:    snap.Config.Scheme,
-		Routing:   snap.Router != nil,
-		Overlay:   snap.Overlay != nil,
-		UptimeSec: time.Since(s.start).Seconds(),
+		OK:           true,
+		Version:      snap.Version,
+		N:            snap.N(),
+		Workload:     snap.Name,
+		Scheme:       snap.Config.Scheme,
+		Routing:      snap.Router != nil,
+		Overlay:      snap.Overlay != nil,
+		UptimeSec:    time.Since(s.start).Seconds(),
+		BuildVersion: version.String(),
 	})
 }
 
@@ -327,8 +345,10 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	start := time.Now()
 	if s.fleet != nil {
 		res, err := s.fleet.Estimate(u, v)
+		s.observeFleetEstimate("estimate", res, err, start)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -337,6 +357,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.engine.Estimate(u, v)
+	s.observeEngineEstimate("estimate", res, err, start)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -372,6 +393,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
+		for i := range results {
+			s.auditor.offer(auditRecord{
+				u: results[i].U, v: results[i].V,
+				lower: results[i].Lower, upper: results[i].Upper,
+				version: results[i].Version,
+				cross:   results[i].Cross,
+			})
+		}
 		writeJSON(w, http.StatusOK, fleetBatchResponse{Results: results})
 		return
 	}
@@ -379,6 +408,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	for i := range results {
+		s.auditor.offer(auditRecord{
+			u: results[i].U, v: results[i].V,
+			lower: results[i].Lower, upper: results[i].Upper,
+			version: results[i].Version,
+		})
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Results: results})
 }

@@ -1,0 +1,55 @@
+package churn
+
+import (
+	"rings/internal/telemetry"
+)
+
+// mutatorMetrics holds one mutator's telemetry handles. Each mutator
+// owns a private registry (a sharded fleet runs one mutator per shard;
+// the server exposes them under per-shard name prefixes).
+type mutatorMetrics struct {
+	reg *telemetry.Registry
+
+	commits       *telemetry.Counter
+	joins         *telemetry.Counter
+	leaves        *telemetry.Counter
+	fullFallbacks *telemetry.Counter
+	commitErrors  *telemetry.Counter
+	// commitUs spans 2^0 .. 2^26 us (~67 s): repairs are ms-scale, a
+	// full-build fallback on a large shard can run tens of seconds.
+	commitUs *telemetry.Histogram
+	// repairLabels is the repair set size per commit — the localized-
+	// repair claim as a live distribution (buckets 1 .. 2^16 labels).
+	repairLabels *telemetry.Histogram
+	nodes        *telemetry.Gauge
+	dormant      *telemetry.Gauge
+}
+
+func newMutatorMetrics() *mutatorMetrics {
+	reg := telemetry.NewRegistry()
+	m := &mutatorMetrics{reg: reg}
+	m.commits = reg.Counter("rings_churn_commits_total",
+		"Mutation batches committed.")
+	ops := reg.CounterFamily("rings_churn_ops_total",
+		"Committed membership operations, by kind.", "op", "join", "leave")
+	m.joins = ops.With("join")
+	m.leaves = ops.With("leave")
+	m.fullFallbacks = reg.Counter("rings_churn_full_fallbacks_total",
+		"Commits that fell back to a full rebuild instead of localized repair.")
+	m.commitErrors = reg.Counter("rings_churn_commit_errors_total",
+		"Mutation batches that failed (validation or build error; state rolled back).")
+	m.commitUs = reg.Histogram("rings_churn_commit_us",
+		"Commit latency in microseconds (mutate + repair + assemble, pre-swap).", 0, 26)
+	m.repairLabels = reg.Histogram("rings_churn_repair_labels",
+		"Labels repaired per commit (repair set size).", 0, 16)
+	m.nodes = reg.Gauge("rings_churn_nodes",
+		"Active nodes in this mutator's slice.")
+	m.dormant = reg.Gauge("rings_churn_dormant",
+		"Dormant nodes available to join.")
+	return m
+}
+
+// Metrics returns the mutator's telemetry registry for exposition.
+// Unlike the Mutator itself, the registry is safe to read concurrently
+// with commits.
+func (m *Mutator) Metrics() *telemetry.Registry { return m.metrics.reg }

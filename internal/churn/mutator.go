@@ -65,8 +65,9 @@ type Mutator struct {
 	intOf   []int32 // base id -> internal id, -1 when dormant
 	dormant []int32 // dormant base ids, ascending
 
-	st    *state
-	stats Stats
+	st      *state
+	stats   Stats
+	metrics *mutatorMetrics
 }
 
 // NewMutator generates the capacity-sized base workload, activates its
@@ -91,7 +92,7 @@ func NewMutator(cfg Config) (*Mutator, error) {
 		name   string
 		active []int32
 	)
-	m := &Mutator{cfg: cfg, params: params}
+	m := &Mutator{cfg: cfg, params: params, metrics: newMutatorMetrics()}
 	if uni := cfg.Universe; uni != nil {
 		base = uni.Base
 		name = uni.Name
@@ -152,6 +153,8 @@ func NewMutator(cfg Config) (*Mutator, error) {
 	m.stats.Capacity = cfg.Capacity
 	m.stats.Dormant = len(m.dormant)
 	m.stats.Last = OpStats{N: st.n, RepairedLabels: labelCount(st), ElapsedSec: time.Since(start).Seconds(), FullFallback: true}
+	m.metrics.nodes.Set(float64(st.n))
+	m.metrics.dormant.Set(float64(len(m.dormant)))
 	return m, nil
 }
 
@@ -228,6 +231,7 @@ func (m *Mutator) Apply(ops ...Op) (*oracle.Snapshot, error) {
 		return m.st.snap, nil
 	}
 	if err := m.validate(ops); err != nil {
+		m.metrics.commitErrors.Inc()
 		return nil, err
 	}
 	start := time.Now()
@@ -280,6 +284,7 @@ func (m *Mutator) Apply(ops ...Op) (*oracle.Snapshot, error) {
 		// changes nothing" contract (build failures here are rare —
 		// validate() screens everything screenable — so the O(n^2)
 		// row rebuild on this path is acceptable).
+		m.metrics.commitErrors.Inc()
 		if rbErr := m.rollback(); rbErr != nil {
 			return nil, fmt.Errorf("%w: %v (rollback also failed: %v)", ErrCommit, err, rbErr)
 		}
@@ -287,11 +292,14 @@ func (m *Mutator) Apply(ops ...Op) (*oracle.Snapshot, error) {
 	}
 	m.st = st
 	m.stats.Commits++
+	m.metrics.commits.Inc()
 	for _, op := range ops {
 		if op.Kind == Join {
 			m.stats.Joins++
+			m.metrics.joins.Inc()
 		} else {
 			m.stats.Leaves++
+			m.metrics.leaves.Inc()
 		}
 	}
 	ops2.ElapsedSec = time.Since(start).Seconds()
@@ -303,10 +311,15 @@ func (m *Mutator) Apply(ops ...Op) (*oracle.Snapshot, error) {
 	}
 	if ops2.FullFallback {
 		m.stats.FullFallbacks++
+		m.metrics.fullFallbacks.Inc()
 	}
 	m.stats.RepairedTotal += int64(ops2.RepairedLabels)
 	m.stats.RepairSec += ops2.ElapsedSec
 	m.stats.Last = *ops2
+	m.metrics.commitUs.Observe(ops2.ElapsedSec * 1e6)
+	m.metrics.repairLabels.Observe(float64(ops2.RepairedLabels))
+	m.metrics.nodes.Set(float64(st.n))
+	m.metrics.dormant.Set(float64(len(m.dormant)))
 	return st.snap, nil
 }
 

@@ -16,6 +16,10 @@ type shardedCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	// metrics mirrors events into the owning engine's cumulative
+	// counters (the per-era atomics above reset with each Swap; the
+	// exposition counters must stay monotone). Nil outside an engine.
+	metrics *engineMetrics
 }
 
 type cacheShard struct {
@@ -25,7 +29,7 @@ type cacheShard struct {
 
 // newCache creates a cache with the given shard count (rounded up to a
 // power of two) and per-shard capacity.
-func newCache(shards, capacity int) *shardedCache {
+func newCache(shards, capacity int, metrics *engineMetrics) *shardedCache {
 	if shards < 1 {
 		shards = 1
 	}
@@ -33,7 +37,7 @@ func newCache(shards, capacity int) *shardedCache {
 	for pow < shards {
 		pow <<= 1
 	}
-	c := &shardedCache{shards: make([]cacheShard, pow), capacity: capacity}
+	c := &shardedCache{shards: make([]cacheShard, pow), capacity: capacity, metrics: metrics}
 	if capacity > 0 {
 		for i := range c.shards {
 			c.shards[i].m = make(map[uint64]EstimateResult)
@@ -63,7 +67,7 @@ func (c *shardedCache) shard(key uint64) *cacheShard {
 // get returns the cached result for (u, v), counting the hit or miss.
 func (c *shardedCache) get(u, v int) (EstimateResult, bool) {
 	if c.capacity <= 0 {
-		c.misses.Add(1)
+		c.miss()
 		return EstimateResult{}, false
 	}
 	key := pairKey(u, v)
@@ -73,10 +77,20 @@ func (c *shardedCache) get(u, v int) (EstimateResult, bool) {
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		if c.metrics != nil {
+			c.metrics.cacheHits.Inc()
+		}
 	} else {
-		c.misses.Add(1)
+		c.miss()
 	}
 	return res, ok
+}
+
+func (c *shardedCache) miss() {
+	c.misses.Add(1)
+	if c.metrics != nil {
+		c.metrics.cacheMisses.Inc()
+	}
 }
 
 // put stores a result, evicting an arbitrary entry when the shard is at
@@ -92,6 +106,9 @@ func (c *shardedCache) put(u, v int, res EstimateResult) {
 		for k := range s.m {
 			delete(s.m, k)
 			c.evictions.Add(1)
+			if c.metrics != nil {
+				c.metrics.cacheEvicts.Inc()
+			}
 			break
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rings/internal/stats"
+	"rings/internal/telemetry"
 )
 
 // EngineOptions tunes the serving layer (not the artifacts — those are
@@ -73,6 +74,12 @@ type endpointStats struct {
 	count   atomic.Int64
 	errors  atomic.Int64
 	latency [latencyShards]*stats.Reservoir
+
+	// Preallocated telemetry handles for the same endpoint — captured at
+	// construction so observe stays free of map lookups.
+	mRequests  *telemetry.Counter
+	mErrors    *telemetry.Counter
+	mLatencyUs *telemetry.Histogram
 }
 
 func (s *endpointStats) record(us float64) {
@@ -99,6 +106,7 @@ type Engine struct {
 	swaps     atomic.Int64
 	started   time.Time
 	endpoints map[string]*endpointStats
+	metrics   *engineMetrics
 }
 
 // NewEngine creates an engine serving the given snapshot (installed as
@@ -108,13 +116,18 @@ func NewEngine(snap *Snapshot, opts EngineOptions) *Engine {
 		opts:      opts.withDefaults(),
 		started:   time.Now(),
 		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+		metrics:   newEngineMetrics(),
 	}
 	perShard := e.opts.LatencySampleSize / latencyShards
 	if perShard < 1 {
 		perShard = 1
 	}
 	for i, name := range endpointNames {
-		ep := &endpointStats{}
+		ep := &endpointStats{
+			mRequests:  e.metrics.requests[name],
+			mErrors:    e.metrics.errors[name],
+			mLatencyUs: e.metrics.latencyUs[name],
+		}
 		for j := range ep.latency {
 			ep.latency[j] = stats.NewReservoir(perShard, int64(i*latencyShards+j+1))
 		}
@@ -143,9 +156,12 @@ func (e *Engine) Swap(snap *Snapshot) *Snapshot {
 	snap.Version = e.versions.Add(1)
 	old := e.state.Swap(&engineState{
 		snap:  snap,
-		cache: newCache(e.opts.CacheShards, e.opts.CacheCapacity),
+		cache: newCache(e.opts.CacheShards, e.opts.CacheCapacity, e.metrics),
 	})
 	e.swaps.Add(1)
+	e.metrics.swaps.Inc()
+	e.metrics.version.Set(float64(snap.Version))
+	e.metrics.swapUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
 	e.observe(EndpointSwap, start, nil)
 	if old == nil {
 		return nil
@@ -173,10 +189,14 @@ func (e *Engine) Snapshot() *Snapshot { return e.state.Load().snap }
 func (e *Engine) observe(endpoint string, start time.Time, err error) {
 	st := e.endpoints[endpoint]
 	st.count.Add(1)
+	st.mRequests.Inc()
 	if err != nil {
 		st.errors.Add(1)
+		st.mErrors.Inc()
 	}
-	st.record(float64(time.Since(start)) / float64(time.Microsecond))
+	us := float64(time.Since(start)) / float64(time.Microsecond)
+	st.record(us)
+	st.mLatencyUs.Observe(us)
 }
 
 // pinAttempts bounds the reload loop around arena pinning. A pin only
@@ -246,6 +266,7 @@ func (e *Engine) Estimate(u, v int) (EstimateResult, error) {
 		if ok {
 			break
 		}
+		e.metrics.pinRetries.Inc()
 		if attempt >= pinAttempts {
 			err = errArenaClosed
 			break
@@ -289,6 +310,7 @@ func (e *Engine) EstimateBatchInto(pairs []Pair, out []EstimateResult) ([]Estima
 		if ok {
 			break
 		}
+		e.metrics.pinRetries.Inc()
 		if attempt >= pinAttempts {
 			err = errArenaClosed
 			break
@@ -298,6 +320,7 @@ func (e *Engine) EstimateBatchInto(pairs []Pair, out []EstimateResult) ([]Estima
 	if err != nil {
 		return nil, err
 	}
+	e.metrics.batchPairs.Add(int64(len(pairs)))
 	return out, nil
 }
 

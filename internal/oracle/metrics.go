@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"rings/internal/telemetry"
+)
+
+// Cache event names for the rings_engine_cache_events_total family.
+const (
+	cacheEventHit   = "hit"
+	cacheEventMiss  = "miss"
+	cacheEventEvict = "evict"
+)
+
+// engineMetrics holds the engine's preallocated telemetry handles.
+// Every handle is captured at construction so the hot path performs no
+// registry or map lookups — an increment is exactly one atomic add.
+// Counters here are cumulative for the life of the engine: the cache
+// event counters keep counting across snapshot eras (Prometheus
+// counters must be monotone), while per-era cache numbers remain
+// available from Engine.Stats.
+type engineMetrics struct {
+	reg *telemetry.Registry
+
+	requests  map[string]*telemetry.Counter
+	errors    map[string]*telemetry.Counter
+	latencyUs map[string]*telemetry.Histogram
+
+	batchPairs *telemetry.Counter
+
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	cacheEvicts *telemetry.Counter
+
+	version    *telemetry.Gauge
+	swaps      *telemetry.Counter
+	swapUs     *telemetry.Histogram
+	pinRetries *telemetry.Counter
+}
+
+// latency histograms span 2^0 .. 2^23 microseconds (~8.4 s) — wide
+// enough for a cold rebuild swap, fine enough near 1 us for warm hits.
+const (
+	latMinExp = 0
+	latMaxExp = 23
+)
+
+func newEngineMetrics() *engineMetrics {
+	reg := telemetry.NewRegistry()
+	m := &engineMetrics{
+		reg:       reg,
+		requests:  make(map[string]*telemetry.Counter, len(endpointNames)),
+		errors:    make(map[string]*telemetry.Counter, len(endpointNames)),
+		latencyUs: make(map[string]*telemetry.Histogram, len(endpointNames)),
+	}
+	reqs := reg.CounterFamily("rings_engine_requests_total",
+		"Requests served, by endpoint.", "endpoint", endpointNames...)
+	errs := reg.CounterFamily("rings_engine_errors_total",
+		"Requests that returned an error, by endpoint.", "endpoint", endpointNames...)
+	lat := reg.HistogramFamily("rings_engine_latency_us",
+		"Request latency in microseconds, by endpoint.", latMinExp, latMaxExp,
+		"endpoint", endpointNames...)
+	for _, name := range endpointNames {
+		m.requests[name] = reqs.With(name)
+		m.errors[name] = errs.With(name)
+		m.latencyUs[name] = lat.With(name)
+	}
+	m.batchPairs = reg.Counter("rings_engine_batch_pairs_total",
+		"Pairs answered by the batch endpoints (each batch request counts len(pairs) here).")
+	cache := reg.CounterFamily("rings_engine_cache_events_total",
+		"Estimate cache events, cumulative across snapshot eras.", "event",
+		cacheEventHit, cacheEventMiss, cacheEventEvict)
+	m.cacheHits = cache.With(cacheEventHit)
+	m.cacheMisses = cache.With(cacheEventMiss)
+	m.cacheEvicts = cache.With(cacheEventEvict)
+	m.version = reg.Gauge("rings_engine_snapshot_version",
+		"Version of the currently served snapshot.")
+	m.swaps = reg.Counter("rings_engine_swaps_total",
+		"Snapshot swaps installed.")
+	m.swapUs = reg.Histogram("rings_engine_swap_us",
+		"Snapshot swap critical-section latency in microseconds.", latMinExp, latMaxExp)
+	m.pinRetries = reg.Counter("rings_engine_arena_pin_retries_total",
+		"Queries that lost the arena pin race and reloaded the engine state.")
+	return m
+}
+
+// Metrics returns the engine's private telemetry registry for exposition.
+// Each engine owns its own registry so several engines (a fleet's
+// shards, parallel tests) never collide on metric names.
+func (e *Engine) Metrics() *telemetry.Registry { return e.metrics.reg }
+
+// Open modes for the rings_snapshot_open_us family.
+const (
+	openModeMmap    = "mmap"    // OpenSnapshotFile, zero-copy mapping
+	openModeRead    = "read"    // OpenSnapshotFile, bulk-read fallback
+	openModeRestore = "restore" // ReadSnapshot full restore (rebuilds artifacts)
+)
+
+// Snapshot persistence metrics live in telemetry.Default: persist and
+// open are package functions that fire before any engine exists, so
+// there is no owning object to hang a registry on.
+var (
+	mPersistUs = telemetry.Default.Histogram("rings_snapshot_persist_us",
+		"Snapshot serialization (WriteTo) latency in microseconds.", latMinExp, latMaxExp)
+	mPersistTotal = telemetry.Default.Counter("rings_snapshot_persist_total",
+		"Snapshot serializations attempted.")
+	mPersistErrors = telemetry.Default.Counter("rings_snapshot_persist_errors_total",
+		"Snapshot serializations that failed.")
+	mOpenUs = telemetry.Default.HistogramFamily("rings_snapshot_open_us",
+		"Snapshot open latency in microseconds, by mode (mmap and read are the "+
+			"O(header) warm-start paths; restore is the full artifact rebuild).",
+		latMinExp, latMaxExp, "mode", openModeMmap, openModeRead, openModeRestore)
+	mOpenTotal = telemetry.Default.CounterFamily("rings_snapshot_open_total",
+		"Snapshot opens completed, by mode.", "mode", openModeMmap, openModeRead, openModeRestore)
+	mOpenErrors = telemetry.Default.Counter("rings_snapshot_open_errors_total",
+		"Snapshot opens or restores that failed.")
+)

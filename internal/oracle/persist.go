@@ -8,6 +8,7 @@ import (
 	"hash/crc64"
 	"io"
 	"os"
+	"time"
 	"unsafe"
 
 	"rings/internal/distlabel"
@@ -87,6 +88,18 @@ func v2PayloadOffset(hdrLen int) int64 {
 // bytes (mmap or one bulk read) — no per-label decode, no codec
 // rounding: a restored snapshot answers bit-identical estimates.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	start := time.Now()
+	n, err := s.writeToV2(w)
+	mPersistTotal.Inc()
+	if err != nil {
+		mPersistErrors.Inc()
+	} else {
+		mPersistUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	}
+	return n, err
+}
+
+func (s *Snapshot) writeToV2(w io.Writer) (int64, error) {
 	if s.Flat == nil {
 		return 0, fmt.Errorf("oracle: snapshot has no flat arenas to persist")
 	}
@@ -196,6 +209,18 @@ func (s *Snapshot) WriteLegacyV1(w io.Writer) (int64, error) {
 // under v1 (the conversion path). For the O(1) serve-immediately open,
 // see OpenSnapshotFile.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	start := time.Now()
+	snap, err := readSnapshotAny(r)
+	if err != nil {
+		mOpenErrors.Inc()
+		return nil, err
+	}
+	mOpenTotal.With(openModeRestore).Inc()
+	mOpenUs.With(openModeRestore).Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	return snap, nil
+}
+
+func readSnapshotAny(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagicV1))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -388,24 +413,39 @@ func ReadSnapshotOver(r io.Reader, space metric.Space, name string) (*Snapshot, 
 // ReadSnapshot conversion. Callers must Close the returned snapshot
 // once it has been swapped out of every engine.
 func OpenSnapshotFile(path string) (*Snapshot, error) {
+	start := time.Now()
+	snap, mode, err := openSnapshotFile(path)
+	if err != nil {
+		mOpenErrors.Inc()
+		return nil, err
+	}
+	mOpenTotal.With(mode).Inc()
+	mOpenUs.With(mode).Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	return snap, nil
+}
+
+// openSnapshotFile is OpenSnapshotFile minus the telemetry: it reports
+// which mode answered (mmap, read fallback, or restore for v1 files).
+func openSnapshotFile(path string) (*Snapshot, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
 	magic := make([]byte, len(persistMagicV2))
 	if _, err := io.ReadFull(f, magic); err != nil {
-		return nil, fmt.Errorf("oracle: snapshot magic: %w", err)
+		return nil, "", fmt.Errorf("oracle: snapshot magic: %w", err)
 	}
 	switch string(magic) {
 	case persistMagicV1:
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return ReadSnapshot(f)
+		snap, err := readSnapshotAny(f)
+		return snap, openModeRestore, err
 	case persistMagicV2:
 	default:
-		return nil, fmt.Errorf("oracle: not a snapshot file (magic %q)", magic)
+		return nil, "", fmt.Errorf("oracle: not a snapshot file (magic %q)", magic)
 	}
 
 	var (
@@ -419,25 +459,27 @@ func OpenSnapshotFile(path string) (*Snapshot, error) {
 			hdr, payload, err = sliceV2Envelope(data)
 			if err != nil {
 				mapped.close()
-				return nil, err
+				return nil, "", err
 			}
 			m = mapped
 		}
 	}
+	mode := openModeMmap
 	if m == nil {
+		mode = openModeRead
 		// Copying fallback: same validation, arena bytes in one aligned
 		// heap buffer.
 		if _, err := f.Seek(int64(len(persistMagicV2)), io.SeekStart); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		hdr, payload, err = readV2Envelope(bufio.NewReaderSize(f, 1<<20))
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 	flat, err := flatFromSections(hdr.N, hdr.Scheme, payload, hdr.Sections, m)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	cfg := hdr.Config.withDefaults()
 	return &Snapshot{
@@ -448,7 +490,7 @@ func OpenSnapshotFile(path string) (*Snapshot, error) {
 		Capacity:  hdr.Capacity,
 		Flat:      flat,
 		n:         hdr.N,
-	}, nil
+	}, mode, nil
 }
 
 // sliceV2Envelope validates a v2 file presented as one byte slice (the

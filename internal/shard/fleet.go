@@ -67,6 +67,8 @@ type Fleet struct {
 	leaves atomic.Int64
 	rr     atomic.Int64 // round-robin cursor for auto-join shard choice
 
+	metrics *fleetMetrics
+
 	buildElapsed time.Duration
 }
 
@@ -123,6 +125,7 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		universe: universe,
 		tier:     newBeaconTier(base, initialN, cfg.Beacons, cfg.BeaconSeed),
 		shards:   make([]*shardUnit, cfg.Shards),
+		metrics:  newFleetMetrics(),
 	}
 	owned := partition(universe, cfg.Shards)
 
@@ -182,6 +185,9 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	f.buildElapsed = time.Since(start)
+	f.metrics.shards.Set(float64(f.k))
+	f.metrics.beacons.Set(float64(len(f.tier.ids)))
+	f.metrics.nodes.Set(float64(f.N()))
 	return f, nil
 }
 
@@ -311,7 +317,7 @@ func (f *Fleet) Estimate(u, v int) (EstimateResult, error) {
 		if err != nil {
 			return EstimateResult{}, err
 		}
-		f.cross.Add(1)
+		f.observeCross(res.Lower, res.Upper)
 		return res, nil
 	}
 	unit := f.shards[su]
@@ -342,6 +348,7 @@ func (f *Fleet) Estimate(u, v int) (EstimateResult, error) {
 		}
 		res.U, res.V = u, v
 		f.intra.Add(1)
+		f.metrics.intra.Inc()
 		return EstimateResult{EstimateResult: res, UShard: su, VShard: sv}, nil
 	}
 }
@@ -429,7 +436,7 @@ func (f *Fleet) EstimateBatch(pairs []oracle.Pair) ([]EstimateResult, error) {
 			VShard: sv,
 			Cross:  true,
 		}
-		f.cross.Add(1)
+		f.observeCross(lower, upper)
 	}
 	for s, idxs := range groups {
 		if len(idxs) == 0 {
@@ -439,6 +446,7 @@ func (f *Fleet) EstimateBatch(pairs []oracle.Pair) ([]EstimateResult, error) {
 			return nil, err
 		}
 		f.intra.Add(int64(len(idxs)))
+		f.metrics.intra.Add(int64(len(idxs)))
 	}
 	return out, nil
 }
@@ -671,10 +679,13 @@ func (f *Fleet) commitLocked(unit *shardUnit, s int, ops []churn.Op) (ChurnCommi
 		bases[i] = op.Base
 		if op.Kind == churn.Join {
 			f.joins.Add(1)
+			f.metrics.joins.Inc()
 		} else {
 			f.leaves.Add(1)
+			f.metrics.leaves.Inc()
 		}
 	}
+	f.metrics.nodes.Set(float64(f.N()))
 	return ChurnCommit{
 		Shard:   s,
 		Version: snap.Version,

@@ -59,6 +59,7 @@ func OpenFleet(cfg Config, snapBase string) (*Fleet, error) {
 		universe: universe,
 		tier:     newBeaconTier(base, universe, cfg.Beacons, cfg.BeaconSeed),
 		shards:   make([]*shardUnit, cfg.Shards),
+		metrics:  newFleetMetrics(),
 	}
 	owned := partition(universe, cfg.Shards)
 
@@ -90,6 +91,9 @@ func OpenFleet(cfg Config, snapBase string) (*Fleet, error) {
 		return nil, err
 	}
 	f.buildElapsed = time.Since(start)
+	f.metrics.shards.Set(float64(f.k))
+	f.metrics.beacons.Set(float64(len(f.tier.ids)))
+	f.metrics.nodes.Set(float64(f.N()))
 	return f, nil
 }
 

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The hot-path costs EXPERIMENTS.md OB1 records: one counter
+// increment, one striped histogram observation, one sampler decision,
+// and one trace-ring publish. Everything here must report 0 allocs/op.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_counter_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "bench", 0, 23)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%4096) + 0.5)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist_par", "bench", 0, 23)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1.0
+		for pb.Next() {
+			h.Observe(v)
+			v += 0.25
+		}
+	})
+}
+
+func BenchmarkSamplerSample(b *testing.B) {
+	s := NewSampler(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkTraceRecord(b *testing.B) {
+	r := NewTraceRing(1024)
+	rec := &TraceRecord{Time: time.Unix(0, 0), Endpoint: "estimate", U: 1, V: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(rec)
+	}
+}

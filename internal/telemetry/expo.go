@@ -1,0 +1,394 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Group is one registry's contribution to an exposition page, with an
+// optional metric-name prefix (cmd/ringsrv prefixes shard registries
+// "shardN_" so one page carries the whole fleet).
+type Group struct {
+	Prefix string
+	R      *Registry
+}
+
+// WriteText writes the groups as Prometheus text exposition (format
+// version 0.0.4). Within a group, metrics are sorted by name; groups
+// are emitted in argument order. This is the cold scrape path — it
+// allocates freely.
+func WriteText(w io.Writer, groups ...Group) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range groups {
+		if g.R == nil {
+			continue
+		}
+		for _, e := range g.R.snapshot() {
+			writeEntry(bw, g.Prefix+e.name, e)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeEntry(w *bufio.Writer, name string, e *entry) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(e.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, e.kind)
+	switch e.kind {
+	case kindCounter:
+		fmt.Fprintf(w, "%s %d\n", name, e.counter.Value())
+	case kindGauge:
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(e.gauge.Value()))
+	case kindHistogram:
+		writeHistogram(w, name, "", e.hist)
+	case kindCounterFamily:
+		for i, v := range e.values {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, e.label, v, e.counters[i].Value())
+		}
+	case kindGaugeFamily:
+		for i, v := range e.values {
+			fmt.Fprintf(w, "%s{%s=%q} %s\n", name, e.label, v, formatValue(e.gauges[i].Value()))
+		}
+	case kindHistogramFamily:
+		for i, v := range e.values {
+			writeHistogram(w, name, fmt.Sprintf("%s=%q,", e.label, v), e.hists[i])
+		}
+	}
+}
+
+// writeHistogram emits the cumulative le-labeled buckets plus _sum and
+// _count; extra is a "key="value"," prefix carrying the family label.
+func writeHistogram(w *bufio.Writer, name, extra string, h *Histogram) {
+	snap := h.Snapshot()
+	for i, ub := range snap.UpperBounds {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extra, formatValue(ub), snap.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extra, snap.Count)
+	if extra == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(snap.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+		return
+	}
+	labels := strings.TrimSuffix(extra, ",")
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatValue(snap.Sum))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, snap.Count)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ---- parser -----------------------------------------------------------
+
+// ParsedMetric is one metric family read back from an exposition page.
+type ParsedMetric struct {
+	Name    string
+	Type    string // counter | gauge | histogram
+	Help    string
+	Samples []ParsedSample
+}
+
+// ParsedSample is one sample line.
+type ParsedSample struct {
+	// Suffix distinguishes histogram series: "" for scalar samples,
+	// "_bucket", "_sum", "_count".
+	Suffix string
+	Labels map[string]string
+	Value  float64
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParseText parses and validates a Prometheus text exposition page: every
+// sample must be preceded by a TYPE line for its family, names and labels
+// must be well-formed, values must parse, and histogram families must
+// have non-decreasing bucket counts ending in a le="+Inf" bucket that
+// matches _count. It exists so tests (and the CI smoke) can assert that
+// /metrics speaks the format rather than something format-shaped.
+func ParseText(r io.Reader) (map[string]*ParsedMetric, error) {
+	metrics := make(map[string]*ParsedMetric)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !nameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			m := metrics[name]
+			if m == nil {
+				m = &ParsedMetric{Name: name}
+				metrics[name] = m
+			}
+			m.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !nameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			m := metrics[name]
+			if m == nil {
+				m = &ParsedMetric{Name: name}
+				metrics[name] = m
+			}
+			if m.Type != "" && m.Type != typ {
+				return nil, fmt.Errorf("line %d: metric %q re-typed %s -> %s", lineNo, name, m.Type, typ)
+			}
+			m.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		if err := parseSample(metrics, line, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, m := range metrics {
+		if err := validateMetric(m); err != nil {
+			return nil, err
+		}
+	}
+	return metrics, nil
+}
+
+// parseSample attributes one sample line to its family (stripping
+// histogram suffixes) and records it.
+func parseSample(metrics map[string]*ParsedMetric, line string, lineNo int) error {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+	}
+	name := line[:nameEnd]
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("line %d: bad sample name %q", lineNo, name)
+	}
+	rest := line[nameEnd:]
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("line %d: unterminated label set in %q", lineNo, line)
+		}
+		var err error
+		if labels, err = parseLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rest = rest[end+1:]
+	}
+	valueRaw := strings.TrimSpace(rest)
+	// Optional timestamp: "value ts".
+	if i := strings.IndexByte(valueRaw, ' '); i >= 0 {
+		valueRaw = valueRaw[:i]
+	}
+	value, err := parseFloat(valueRaw)
+	if err != nil {
+		return fmt.Errorf("line %d: bad value %q: %v", lineNo, valueRaw, err)
+	}
+
+	family, suffix := name, ""
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if m := metrics[base]; m != nil && m.Type == "histogram" {
+				family, suffix = base, suf
+			}
+			break
+		}
+	}
+	m := metrics[family]
+	if m == nil || m.Type == "" {
+		return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+	}
+	m.Samples = append(m.Samples, ParsedSample{Suffix: suffix, Labels: labels, Value: value})
+	return nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !labelRe.MatchString(key) {
+			return nil, fmt.Errorf("bad label name %q", key)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		val, rest, err := scanQuoted(s)
+		if err != nil {
+			return nil, fmt.Errorf("label %q: %w", key, err)
+		}
+		out[key] = val
+		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// scanQuoted reads a leading double-quoted string with \-escapes.
+func scanQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateMetric checks family-level invariants; histograms get the full
+// bucket treatment per label subgroup.
+func validateMetric(m *ParsedMetric) error {
+	if m.Type == "" {
+		return fmt.Errorf("metric %q has HELP but no TYPE", m.Name)
+	}
+	if m.Type != "histogram" {
+		return nil
+	}
+	// Group buckets by their non-le labels (family children).
+	type group struct {
+		bounds []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	groups := map[string]*group{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+		}
+		return b.String()
+	}
+	for i := range m.Samples {
+		s := &m.Samples[i]
+		g := groups[keyOf(s.Labels)]
+		if g == nil {
+			g = &group{}
+			groups[keyOf(s.Labels)] = g
+		}
+		switch s.Suffix {
+		case "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("metric %q: bucket sample without le label", m.Name)
+			}
+			ub, err := parseFloat(le)
+			if err != nil {
+				return fmt.Errorf("metric %q: bad le %q", m.Name, le)
+			}
+			g.bounds = append(g.bounds, ub)
+			g.counts = append(g.counts, s.Value)
+		case "_sum":
+			v := s.Value
+			g.sum = &v
+		case "_count":
+			v := s.Value
+			g.count = &v
+		default:
+			return fmt.Errorf("metric %q: bare sample on a histogram", m.Name)
+		}
+	}
+	for key, g := range groups {
+		if len(g.bounds) == 0 {
+			return fmt.Errorf("metric %q{%s}: histogram with no buckets", m.Name, key)
+		}
+		last := len(g.bounds) - 1
+		if !math.IsInf(g.bounds[last], 1) {
+			return fmt.Errorf("metric %q{%s}: last bucket le=%v, want +Inf", m.Name, key, g.bounds[last])
+		}
+		for i := 1; i < len(g.bounds); i++ {
+			if g.bounds[i] <= g.bounds[i-1] {
+				return fmt.Errorf("metric %q{%s}: bucket bounds not increasing at %v", m.Name, key, g.bounds[i])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("metric %q{%s}: cumulative bucket counts decrease at le=%v", m.Name, key, g.bounds[i])
+			}
+		}
+		if g.count == nil || g.sum == nil {
+			return fmt.Errorf("metric %q{%s}: histogram missing _sum or _count", m.Name, key)
+		}
+		if *g.count != g.counts[last] {
+			return fmt.Errorf("metric %q{%s}: _count %v != +Inf bucket %v", m.Name, key, *g.count, g.counts[last])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same name returns the same counter.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("version", "snapshot version")
+	g.Set(7.5)
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 3) // bounds 1, 2, 4, 8, +Inf
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 8, 9, -1, 0} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	snap := h.Snapshot()
+	wantBounds := []float64{1, 2, 4, 8}
+	if len(snap.UpperBounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", snap.UpperBounds, wantBounds)
+	}
+	for i, b := range wantBounds {
+		if snap.UpperBounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", snap.UpperBounds, wantBounds)
+		}
+	}
+	// le=1: 0.5, 1, -1, 0 → 4; le=2: +1.5, 2 → 6; le=4: +3 → 7;
+	// le=8: +8 → 8; +Inf: +9 → 9.
+	wantCum := []int64{4, 6, 7, 8, 9}
+	for i, c := range wantCum {
+		if snap.Cumulative[i] != c {
+			t.Fatalf("cumulative = %v, want %v", snap.Cumulative, wantCum)
+		}
+	}
+	if snap.Count != 9 {
+		t.Fatalf("count = %d, want 9", snap.Count)
+	}
+	wantSum := 0.5 + 1 + 1.5 + 2 + 3 + 8 + 9 - 1 + 0
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramPowerOfTwoBoundary(t *testing.T) {
+	h := NewHistogram(0, 4)
+	h.Observe(4) // exactly 2^2 must land in the le=4 bucket, not le=8
+	snap := h.Snapshot()
+	if snap.Cumulative[2] != 1 { // bounds 1,2,4,...
+		t.Fatalf("cumulative = %v, want observation at le=4", snap.Cumulative)
+	}
+	if snap.Cumulative[1] != 0 {
+		t.Fatalf("cumulative = %v, 4 leaked below le=2", snap.Cumulative)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	r := NewRegistry()
+	cf := r.CounterFamily("ops_total", "ops", "op", "join", "leave")
+	cf.With("join").Add(3)
+	cf.With("leave").Inc()
+	if cf.With("join").Value() != 3 || cf.With("leave").Value() != 1 {
+		t.Fatalf("family values wrong: join=%d leave=%d", cf.With("join").Value(), cf.With("leave").Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("With on unregistered value did not panic")
+		}
+	}()
+	cf.With("split")
+}
+
+// TestConcurrentWriters hammers every metric type from many goroutines;
+// run under -race this is the torn-read check the CI step requires, and
+// the final values check that no increment is lost.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", 0, 20)
+	hf := r.HistogramFamily("hf", "", 0, 20, "k", "a", "b")
+	ring := NewTraceRing(64)
+
+	const workers = 8
+	const perWorker = 5000
+	var writers sync.WaitGroup
+	var reader sync.WaitGroup
+	stop := make(chan struct{})
+	// A reader scraping exposition concurrently with the writers.
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := WriteText(&buf, Group{R: r}); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+			if _, err := ParseText(&buf); err != nil {
+				t.Errorf("concurrent scrape did not parse: %v", err)
+				return
+			}
+			ring.Snapshot()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 1000))
+				if i%2 == 0 {
+					hf.With("a").Observe(1)
+				} else {
+					hf.With("b").Observe(2)
+				}
+				ring.Record(&TraceRecord{U: w, V: i})
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := hf.With("a").Count() + hf.With("b").Count(); got != workers*perWorker {
+		t.Fatalf("family count = %d, want %d", got, workers*perWorker)
+	}
+	if got := hf.With("b").Sum(); got != float64(workers*perWorker/2*2) {
+		t.Fatalf("family b sum = %v, want %v", got, workers*perWorker)
+	}
+	if got := len(ring.Snapshot()); got != 64 {
+		t.Fatalf("ring snapshot = %d records, want 64 (full)", got)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rings_reqs_total", "total requests").Add(42)
+	r.Gauge("rings_version", "snapshot version").Set(3)
+	h := r.Histogram("rings_latency_us", "latency", 0, 4)
+	h.Observe(1.5)
+	h.Observe(100)
+	hf := r.HistogramFamily("rings_ep_latency_us", "per-endpoint latency", 0, 4, "endpoint", "estimate", "batch")
+	hf.With("estimate").Observe(2)
+	cf := r.CounterFamily("rings_cache_total", "cache events", "event", "hit", "miss")
+	cf.With("hit").Add(9)
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, Group{Prefix: "shard0_", R: r}); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+	parsed, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText on own output: %v\n%s", err, text)
+	}
+	m := parsed["shard0_rings_reqs_total"]
+	if m == nil || m.Type != "counter" || len(m.Samples) != 1 || m.Samples[0].Value != 42 {
+		t.Fatalf("counter round trip failed: %+v", m)
+	}
+	hm := parsed["shard0_rings_latency_us"]
+	if hm == nil || hm.Type != "histogram" {
+		t.Fatalf("histogram missing: %+v", hm)
+	}
+	var infBucket, count float64
+	for _, s := range hm.Samples {
+		if s.Suffix == "_bucket" && s.Labels["le"] == "+Inf" {
+			infBucket = s.Value
+		}
+		if s.Suffix == "_count" {
+			count = s.Value
+		}
+	}
+	if infBucket != 2 || count != 2 {
+		t.Fatalf("histogram +Inf=%v count=%v, want 2/2", infBucket, count)
+	}
+	fm := parsed["shard0_rings_ep_latency_us"]
+	if fm == nil {
+		t.Fatalf("histogram family missing")
+	}
+	seenEstimate := false
+	for _, s := range fm.Samples {
+		if s.Labels["endpoint"] == "estimate" && s.Suffix == "_count" && s.Value == 1 {
+			seenEstimate = true
+		}
+	}
+	if !seenEstimate {
+		t.Fatalf("family child estimate not exposed: %+v", fm.Samples)
+	}
+	cm := parsed["shard0_rings_cache_total"]
+	if cm == nil || cm.Type != "counter" {
+		t.Fatalf("counter family missing: %+v", cm)
+	}
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":            "foo 1\n",
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+		"bad value":          "# TYPE c counter\nc banana\n",
+		"bad name":           "# TYPE 9c counter\n9c 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parser accepted malformed input", name)
+		}
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	ring := NewTraceRing(4) // rounds up to 16
+	for i := 0; i < 20; i++ {
+		ring.Record(&TraceRecord{U: i})
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot len = %d, want 16", len(snap))
+	}
+	// Oldest first: records 4..19.
+	for i, rec := range snap {
+		if rec.U != i+4 {
+			t.Fatalf("snap[%d].U = %d, want %d", i, rec.U, i+4)
+		}
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(4)
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 25 {
+		t.Fatalf("1-in-4 sampler hit %d of 100", hits)
+	}
+	if NewSampler(0).Sample() {
+		t.Fatalf("disabled sampler sampled")
+	}
+	always := NewSampler(1)
+	if !always.Sample() || !always.Sample() {
+		t.Fatalf("1-in-1 sampler skipped")
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "", 0, 20)
+	hf := r.HistogramFamily("hf", "", 0, 20, "k", "a")
+	child := hf.With("a")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(3.7)
+		child.Observe(1e6)
+	})
+	if allocs != 0 {
+		t.Fatalf("recording allocated %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one sampled query's decision record: what was asked,
+// which path answered it, and what the certificate said. Records are
+// immutable once published into the ring.
+type TraceRecord struct {
+	Time      time.Time `json:"time"`
+	Endpoint  string    `json:"endpoint"`
+	U         int       `json:"u"`
+	V         int       `json:"v"`
+	Scheme    string    `json:"scheme,omitempty"`
+	Cached    bool      `json:"cached,omitempty"`
+	Cross     bool      `json:"cross,omitempty"`
+	ShardU    int       `json:"shard_u,omitempty"`
+	ShardV    int       `json:"shard_v,omitempty"`
+	Version   uint64    `json:"version"`
+	Lower     float64   `json:"lower"`
+	Upper     float64   `json:"upper"`
+	OK        bool      `json:"ok"`
+	Err       string    `json:"err,omitempty"`
+	LatencyUs float64   `json:"latency_us"`
+}
+
+// TraceRing is a fixed-size lock-free ring of trace records. Writers
+// claim a slot with one atomic add and publish the record with one
+// atomic pointer store; readers snapshot by loading pointers. A writer
+// racing a reader can at worst replace a slot between loads — readers
+// see a mix of old and new records, never a torn one.
+type TraceRing struct {
+	slots  []atomic.Pointer[TraceRecord]
+	cursor atomic.Uint64
+	mask   uint64
+}
+
+// NewTraceRing creates a ring with capacity n rounded up to a power of
+// two (minimum 16).
+func NewTraceRing(n int) *TraceRing {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[TraceRecord], size), mask: uint64(size - 1)}
+}
+
+// Record publishes one record, overwriting the oldest slot.
+func (r *TraceRing) Record(rec *TraceRecord) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i&r.mask].Store(rec)
+}
+
+// Snapshot returns the populated records, oldest first (best effort
+// under concurrent writes).
+func (r *TraceRing) Snapshot() []*TraceRecord {
+	cur := r.cursor.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if cur > n {
+		start = cur - n
+	}
+	out := make([]*TraceRecord, 0, cur-start)
+	for i := start; i < cur; i++ {
+		if rec := r.slots[i&r.mask].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Sampler decides with one atomic add whether a query is sampled:
+// every n-th call returns true (n <= 1 samples everything, n <= 0
+// never samples). The decision itself is allocation-free; only
+// sampled queries pay for building a TraceRecord.
+type Sampler struct {
+	n     uint64
+	calls atomic.Uint64
+}
+
+// NewSampler creates a 1-in-n sampler.
+func NewSampler(n int) *Sampler {
+	if n < 0 {
+		n = 0
+	}
+	return &Sampler{n: uint64(n)}
+}
+
+// Sample reports whether this call is selected.
+func (s *Sampler) Sample() bool {
+	if s.n == 0 {
+		return false
+	}
+	return s.calls.Add(1)%s.n == 0
+}

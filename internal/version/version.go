@@ -1,0 +1,46 @@
+// Package version resolves the build identity stamped into binaries,
+// so bench artifacts and scraped metrics identify the code that
+// produced them.
+package version
+
+import "runtime/debug"
+
+// Version is the link-time override:
+//
+//	go build -ldflags "-X rings/internal/version.Version=$(git rev-parse --short HEAD)"
+//
+// When empty, String falls back to the VCS metadata Go embeds in the
+// binary, then the module version.
+var Version = ""
+
+// String reports the effective build version: the -ldflags stamp when
+// set, else the embedded VCS revision (truncated, "+dirty" when the
+// tree was modified), else the module version, else "devel".
+func String() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "devel"
+}

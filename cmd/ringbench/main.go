@@ -34,6 +34,7 @@ var (
 	churnOut     = "BENCH_churn.json"
 	shardOut     = "BENCH_shard.json"
 	serveOut     = "BENCH_serve.json"
+	faultOut     = "BENCH_fault.json"
 	baselinePath string
 	buildSizes   string
 	// benchBackend/benchWorkers mirror -backend/-workers into the build
@@ -55,6 +56,7 @@ func run() error {
 	flag.StringVar(&churnOut, "churnout", churnOut, "output path for -json churn rows")
 	flag.StringVar(&shardOut, "shardout", shardOut, "output path for -json shard rows")
 	flag.StringVar(&serveOut, "serveout", serveOut, "output path for -json serve rows")
+	flag.StringVar(&faultOut, "faultout", faultOut, "output path for -json fault rows")
 	flag.StringVar(&baselinePath, "baseline", "", "bench baseline (build: BENCH_build.json, serve: BENCH_serve.json); fail if the gate-size measurement regressed >25%")
 	flag.StringVar(&buildSizes, "sizes", "", "comma-separated n values for -exp build (default 128,256,512,1024; quick: 128,256)")
 	flag.Parse()
@@ -76,6 +78,7 @@ func run() error {
 		"churn":      expChurn,
 		"shard":      expShard,
 		"serve":      expServe,
+		"fault":      expFault,
 		"table1":     expTable1,
 		"table2":     expTable2,
 		"table3":     expTable3,

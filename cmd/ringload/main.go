@@ -36,6 +36,17 @@
 // "at_capacity"/"below_floor"); those are counted as tolerated churn
 // races, not errors (every other non-200 still fails the run).
 //
+// Queries ride a retry loop tuned for replicated fleets: a transport
+// error or a transient 5xx (a shed "overloaded" 503, a mid-restart
+// shard's "unavailable" 503 — anything but the permanent 501) is
+// retried up to -retries times with exponential backoff (25ms, 50ms,
+// ... plus jitter), each attempt a fresh request. A query that
+// eventually succeeds counts its attempts under "retries" in the
+// report; one that exhausts its budget counts under "gave_up" and is
+// an error. Mutations (/join, /leave) never retry: they are not
+// idempotent, and replaying one that may have landed would
+// double-apply it.
+//
 // After the run the report is augmented with the server's own view:
 // /stats latency reservoirs (a scrape failure is recorded as
 // "server_stats_error" in -json output and warned on stderr), and with
@@ -95,6 +106,11 @@ type sample struct {
 	// stale marks a 400 caused by a node id that fell out of range
 	// under churn — an expected race with a shrink swap, not a failure.
 	stale bool
+	// retries counts extra attempts this request needed (transport
+	// errors and transient 5xx answers); gaveUp marks a request that
+	// was still failing transiently when the retry budget ran out.
+	retries int
+	gaveUp  bool
 }
 
 // mixEntry is one weighted endpoint of the query mix.
@@ -146,6 +162,7 @@ func run() error {
 		churnRate = flag.Float64("churn", 0, "mutations per second against /join and /leave (0 disables; needs ringsrv -churn)")
 		joinBias  = flag.Float64("churn-bias", 0.5, "probability a mutation is a join")
 		crossFrac = flag.Float64("cross", 0.5, "fraction of estimate/batch pairs spanning shards (sharded servers only)")
+		retries   = flag.Int("retries", 3, "max retries per query on transport errors and transient 5xx (0 disables; mutations never retry)")
 		traceTop  = flag.Int("trace", 0, "after the run, report the K slowest sampled queries from /debug/trace (needs ringsrv -trace-sample)")
 	)
 	flag.Parse()
@@ -190,6 +207,7 @@ func run() error {
 		universe:  h.Universe,
 		initialN:  h.N,
 		cross:     *crossFrac,
+		retries:   *retries,
 	}
 
 	start := time.Now()
@@ -420,6 +438,45 @@ type generator struct {
 	// the universe that started active on a churned sharded server.
 	initialN int
 	cross    float64
+	// retries is the per-query retry budget for transient failures.
+	retries int
+}
+
+// retryBase is the first retry's backoff; attempt i waits
+// retryBase<<i plus up to 50% jitter.
+const retryBase = 25 * time.Millisecond
+
+// transientStatus reports whether a status is worth retrying: 5xx
+// covers shed load ("overloaded"), a shard with every replica dark
+// ("unavailable") and mid-restart windows — all states a later attempt
+// can outlive. 501 is the server's permanent "not implemented"
+// contract answer and is excluded.
+func transientStatus(code int) bool {
+	return code >= 500 && code != http.StatusNotImplemented
+}
+
+// withRetry issues one query through the retry loop. Every attempt is
+// a fresh request (issue builds one from scratch, so a consumed body
+// reader is never replayed). Only queries come through here; mutations
+// are not idempotent and never retry.
+func (g *generator) withRetry(rng *rand.Rand, s *sample, issue func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := issue()
+		transient := err != nil || transientStatus(resp.StatusCode)
+		if !transient || attempt >= g.retries {
+			if transient && g.retries > 0 {
+				s.gaveUp = true
+			}
+			return resp, err
+		}
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+			resp.Body.Close()
+		}
+		s.retries++
+		backoff := retryBase << attempt
+		time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff)/2+1)))
+	}
 }
 
 // idRange picks the id space queries draw from: the fixed global
@@ -470,12 +527,10 @@ func (g *generator) batchRange(n int) int {
 
 func (g *generator) doRequest(client *http.Client, endpoint string, n int, rng *rand.Rand) sample {
 	var (
-		resp     *http.Response
-		err      error
+		issue    func() (*http.Response, error)
 		selfPair bool
 	)
 	name := endpoint
-	start := time.Now()
 	switch endpoint {
 	case "estimate":
 		u, v, cross := g.pickPair(rng, n)
@@ -486,7 +541,8 @@ func (g *generator) doRequest(client *http.Client, endpoint string, n int, rng *
 		if cross {
 			name = "estimate-x" // the report's intra/cross split
 		}
-		resp, err = client.Get(fmt.Sprintf("%s/estimate?u=%d&v=%d", g.base, u, v))
+		url := fmt.Sprintf("%s/estimate?u=%d&v=%d", g.base, u, v)
+		issue = func() (*http.Response, error) { return client.Get(url) }
 	case "batch":
 		type pair struct {
 			U int `json:"u"`
@@ -502,9 +558,12 @@ func (g *generator) doRequest(client *http.Client, endpoint string, n int, rng *
 		if merr != nil {
 			return sample{endpoint: endpoint, err: merr}
 		}
-		resp, err = client.Post(g.base+"/batch", "application/json", bytes.NewReader(body))
+		issue = func() (*http.Response, error) {
+			return client.Post(g.base+"/batch", "application/json", bytes.NewReader(body))
+		}
 	case "nearest":
-		resp, err = client.Get(fmt.Sprintf("%s/nearest?target=%d", g.base, rng.Intn(n)))
+		url := fmt.Sprintf("%s/nearest?target=%d", g.base, rng.Intn(n))
+		issue = func() (*http.Response, error) { return client.Get(url) }
 	case "route":
 		// Cross-shard routes are 501 by contract; always draw the
 		// destination from the source's shard.
@@ -515,9 +574,14 @@ func (g *generator) doRequest(client *http.Client, endpoint string, n int, rng *
 		} else {
 			dst = rng.Intn(n)
 		}
-		resp, err = client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", g.base, src, dst))
+		url := fmt.Sprintf("%s/route?src=%d&dst=%d", g.base, src, dst)
+		issue = func() (*http.Response, error) { return client.Get(url) }
 	}
-	s := sample{endpoint: name, latencyMs: float64(time.Since(start)) / float64(time.Millisecond)}
+	s := sample{endpoint: name}
+	start := time.Now()
+	resp, err := g.withRetry(rng, &s, issue)
+	// Latency is client-perceived: a retried request's backoffs count.
+	s.latencyMs = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		s.err = err
 		return s
@@ -632,9 +696,14 @@ func doChurn(client *http.Client, base, endpoint string) (sample, int) {
 
 // EndpointReport summarizes one endpoint's traffic.
 type EndpointReport struct {
-	Requests  int           `json:"requests"`
-	Errors    int           `json:"errors"`
-	Stale     int           `json:"stale,omitempty"`
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Stale    int `json:"stale,omitempty"`
+	// Retries counts extra attempts absorbed by the retry loop; GaveUp
+	// counts requests still failing transiently at budget exhaustion
+	// (every GaveUp is also an error).
+	Retries   int           `json:"retries,omitempty"`
+	GaveUp    int           `json:"gave_up,omitempty"`
 	QPS       float64       `json:"qps"`
 	LatencyMs stats.Summary `json:"latency_ms"`
 }
@@ -651,7 +720,13 @@ type Report struct {
 	// Stale counts tolerated churn races: out-of-range queries right
 	// after a shrink swap, and mutations refused at the capacity or
 	// MinNodes bounds. They are excluded from Errors.
-	Stale     int                       `json:"stale,omitempty"`
+	Stale int `json:"stale,omitempty"`
+	// Retries is the run-wide count of extra attempts the transient
+	// retry loop absorbed (a fleet riding out a replica restart shows
+	// up here, not in Errors); GaveUp counts queries that exhausted
+	// the budget while still failing transiently.
+	Retries   int                       `json:"retries,omitempty"`
+	GaveUp    int                       `json:"gave_up,omitempty"`
 	QPS       float64                   `json:"qps"`
 	Endpoints map[string]EndpointReport `json:"endpoints"`
 	// ServerLatencyUs is the duration-end snapshot of the server's own
@@ -689,6 +764,10 @@ func buildReport(results [][]sample, h health, clients int, elapsed time.Duratio
 			if s.stale {
 				ep.Stale++
 			}
+			ep.Retries += s.retries
+			if s.gaveUp {
+				ep.GaveUp++
+			}
 			rep.Endpoints[s.endpoint] = ep
 			lats[s.endpoint] = append(lats[s.endpoint], s.latencyMs)
 			rep.Requests++
@@ -697,6 +776,10 @@ func buildReport(results [][]sample, h health, clients int, elapsed time.Duratio
 			}
 			if s.stale {
 				rep.Stale++
+			}
+			rep.Retries += s.retries
+			if s.gaveUp {
+				rep.GaveUp++
 			}
 		}
 	}
@@ -724,12 +807,14 @@ func printReport(rep Report) {
 			ep.LatencyMs.P50, ep.LatencyMs.P95, ep.LatencyMs.P99, ep.LatencyMs.Max)
 	}
 	fmt.Print(tb.String())
+	line := fmt.Sprintf("total: %d requests, %d errors", rep.Requests, rep.Errors)
 	if rep.Stale > 0 {
-		fmt.Printf("total: %d requests, %d errors, %d stale churn races, %.0f qps\n",
-			rep.Requests, rep.Errors, rep.Stale, rep.QPS)
-	} else {
-		fmt.Printf("total: %d requests, %d errors, %.0f qps\n", rep.Requests, rep.Errors, rep.QPS)
+		line += fmt.Sprintf(", %d stale churn races", rep.Stale)
 	}
+	if rep.Retries > 0 || rep.GaveUp > 0 {
+		line += fmt.Sprintf(", %d retries (%d gave up)", rep.Retries, rep.GaveUp)
+	}
+	fmt.Printf("%s, %.0f qps\n", line, rep.QPS)
 	if len(rep.SlowQueries) > 0 {
 		fmt.Printf("slowest sampled queries (server-side, from /debug/trace):\n")
 		for _, s := range rep.SlowQueries {

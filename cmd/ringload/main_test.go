@@ -1,10 +1,115 @@
 package main
 
 import (
+	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 )
+
+// flakyServer answers /estimate with `fail` transient failures before
+// succeeding (and everything else 200), counting attempts.
+func flakyServer(t *testing.T, fail int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n := attempts.Add(1); n <= int64(fail) {
+			w.WriteHeader(status)
+			fmt.Fprint(w, `{"error":"injected","code":"unavailable"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"upper": 1.5, "lower": 1.0, "ok": true}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &attempts
+}
+
+// TestRetryRidesOutTransient: a query that 503s twice then succeeds is
+// a success with retries=2 — the chaos-smoke contract (a replica
+// restart must not surface client-visible errors).
+func TestRetryRidesOutTransient(t *testing.T) {
+	srv, attempts := flakyServer(t, 2, http.StatusServiceUnavailable)
+	g := &generator{base: srv.URL, retries: 3}
+	s := g.doRequest(srv.Client(), "estimate", 8, rand.New(rand.NewSource(1)))
+	if s.err != nil || s.status != http.StatusOK {
+		t.Fatalf("sample = %+v, want success after retries", s)
+	}
+	if s.retries != 2 || s.gaveUp {
+		t.Fatalf("retries=%d gaveUp=%v, want 2/false", s.retries, s.gaveUp)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestRetryGivesUp: a persistently-503ing endpoint exhausts the budget
+// and surfaces as an error with gaveUp set.
+func TestRetryGivesUp(t *testing.T) {
+	srv, attempts := flakyServer(t, 1<<30, http.StatusBadGateway)
+	g := &generator{base: srv.URL, retries: 2}
+	s := g.doRequest(srv.Client(), "estimate", 8, rand.New(rand.NewSource(1)))
+	if s.err == nil {
+		t.Fatalf("sample = %+v, want error after giving up", s)
+	}
+	if s.retries != 2 || !s.gaveUp {
+		t.Fatalf("retries=%d gaveUp=%v, want 2/true", s.retries, s.gaveUp)
+	}
+	if got := attempts.Load(); got != 3 { // initial + 2 retries
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestRetrySkipsPermanentStatus: 501 is the server's contract answer
+// (cross-shard route, disabled subsystem) — never retried; 400 is a
+// client error — never retried.
+func TestRetrySkipsPermanentStatus(t *testing.T) {
+	for _, status := range []int{http.StatusNotImplemented, http.StatusBadRequest} {
+		srv, attempts := flakyServer(t, 1<<30, status)
+		g := &generator{base: srv.URL, retries: 3}
+		s := g.doRequest(srv.Client(), "estimate", 8, rand.New(rand.NewSource(1)))
+		if s.err == nil || s.retries != 0 || s.gaveUp {
+			t.Fatalf("status %d: sample = %+v, want immediate error with no retries", status, s)
+		}
+		if got := attempts.Load(); got != 1 {
+			t.Fatalf("status %d: server saw %d attempts, want 1", status, got)
+		}
+	}
+}
+
+// TestRetryDisabled: -retries 0 restores fail-fast (and never marks
+// gaveUp, so the report distinguishes "no budget" from "exhausted").
+func TestRetryDisabled(t *testing.T) {
+	srv, attempts := flakyServer(t, 1<<30, http.StatusServiceUnavailable)
+	g := &generator{base: srv.URL, retries: 0}
+	s := g.doRequest(srv.Client(), "estimate", 8, rand.New(rand.NewSource(1)))
+	if s.err == nil || s.retries != 0 || s.gaveUp {
+		t.Fatalf("sample = %+v, want plain error", s)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestChurnNeverRetries: mutations are not idempotent; a transient
+// failure on /join must surface after exactly one attempt.
+func TestChurnNeverRetries(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	s, n := doChurn(srv.Client(), srv.URL, "join")
+	if s.err == nil || n != 0 || s.retries != 0 {
+		t.Fatalf("churn sample = %+v n=%d, want one failed attempt", s, n)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
 
 func statsServer(t *testing.T, body string) *httptest.Server {
 	t.Helper()

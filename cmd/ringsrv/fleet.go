@@ -34,6 +34,7 @@ func (s *server) handleFleetHealthz(w http.ResponseWriter) {
 			version = v
 		}
 	}
+	down := s.fleet.ReplicasDown()
 	writeJSON(w, http.StatusOK, healthBody{
 		OK:           true,
 		Version:      version,
@@ -44,9 +45,81 @@ func (s *server) handleFleetHealthz(w http.ResponseWriter) {
 		Overlay:      snap.Overlay != nil,
 		Shards:       s.fleet.K(),
 		Universe:     s.fleet.Universe(),
+		Replicas:     s.fleet.Replicas(),
+		ReplicasDown: down,
+		Degraded:     down > 0,
 		UptimeSec:    time.Since(s.start).Seconds(),
 		BuildVersion: ver.String(),
 	})
+}
+
+// replicaListBody frames GET /replica.
+type replicaListBody struct {
+	Replicas int                   `json:"replicas"`
+	Down     int                   `json:"down"`
+	Epoch    int64                 `json:"epoch"`
+	Roster   []shard.ReplicaStatus `json:"roster"`
+}
+
+func (s *server) handleReplicaList(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{
+			Error: "replica administration needs fleet mode (-shards or -replicas)",
+			Code:  codeNotImplemented,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, replicaListBody{
+		Replicas: s.fleet.Replicas(),
+		Down:     s.fleet.ReplicasDown(),
+		Epoch:    s.fleet.Epoch(),
+		Roster:   s.fleet.ReplicaStatuses(),
+	})
+}
+
+// replicaAdminRequest is the POST /replica body: the chaos harness's
+// kill switch ({"shard":0,"replica":1,"action":"kill"} / "restart").
+type replicaAdminRequest struct {
+	Shard   int    `json:"shard"`
+	Replica int    `json:"replica"`
+	Action  string `json:"action"`
+}
+
+func (s *server) handleReplicaAdmin(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{
+			Error: "replica administration needs fleet mode (-shards or -replicas)",
+			Code:  codeNotImplemented,
+		})
+		return
+	}
+	var req replicaAdminRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("invalid replica admin body: %v", err))
+		return
+	}
+	var err error
+	switch req.Action {
+	case "kill":
+		err = s.fleet.KillReplica(req.Shard, req.Replica)
+	case "restart":
+		err = s.fleet.RestartReplica(req.Shard, req.Replica)
+	default:
+		err = fmt.Errorf("action %q: want \"kill\" or \"restart\"", req.Action)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Report the targeted replica's fresh roster entry (the restart →
+	// resync pipeline is asynchronous; pollers watch state/current).
+	for _, st := range s.fleet.ReplicaStatuses() {
+		if st.Shard == req.Shard && st.Replica == req.Replica {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	writeInternalError(w, "replica admin", fmt.Errorf("replica (%d,%d) vanished from the roster", req.Shard, req.Replica))
 }
 
 // handleFleetStats serves the fleet aggregation; ?shard=i narrows to

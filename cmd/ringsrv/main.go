@@ -21,6 +21,8 @@
 //	GET  /churn/stats              -churn: cumulative repair report
 //	GET  /metrics                  Prometheus text exposition (fleet mode: shardN_ prefixes)
 //	GET  /debug/trace              sampled per-query trace ring (-trace-sample)
+//	GET  /replica                  fleet: replica roster (state, era, breaker)
+//	POST /replica                  fleet: {"shard":S,"replica":R,"action":"kill"|"restart"}
 //	/debug/pprof/*                 runtime profiles (-pprof)
 //
 // With -shards K the server builds a partitioned fleet (internal/shard)
@@ -33,6 +35,19 @@
 // per-shard reports (?shard=i narrows to one engine), /snapshot is
 // refused (restart to rebuild a fleet), and with -churn each join or
 // leave routes to the owning shard and repairs only that shard.
+//
+// With -replicas R (implies fleet mode, composing with -shards) every
+// shard keeps R serving copies: replica 0 is the authoritative engine
+// and the rest are restored from its serialized snapshot and kept
+// current by shipping on every commit, so any replica answers
+// byte-identically. Reads hedge to a second replica after a latency-
+// percentile trigger; a background prober circuit-breaks unhealthy
+// replicas, resyncs and reinstates them; every routed operation is
+// fenced on the partition-map epoch. /healthz reports degraded and
+// replicas_down while redundancy is reduced, and /replica is the
+// chaos-harness kill switch. Requests beyond -max-inflight are shed
+// with 503 "overloaded" (never queued unbounded), and a fully-down
+// shard answers 503 "unavailable" rather than falling back silently.
 //
 // With -churn the server owns an incremental churn engine
 // (internal/churn): joins and leaves repair only the affected parts of
@@ -106,7 +121,10 @@ func run() error {
 		churnCap   = flag.Int("churn-capacity", 0, "churn universe capacity (0 = 2n; grid: the full lattice)")
 		churnMin   = flag.Int("churn-min", 0, "refuse leaves below this node count (0 = default; with -shards: per shard)")
 		shardK     = flag.Int("shards", 1, "serve a partitioned fleet of this many shards (1 = single engine)")
+		replicaR   = flag.Int("replicas", 1, "serving replicas per shard (snapshot-shipped copies with hedged reads, health probes, breakers and failover; >1 implies fleet mode)")
 		beacons    = flag.Int("beacons", 0, "cross-shard beacon count (0 = 2*ceil(log2 n)+4)")
+		inflight   = flag.Int("max-inflight", 1024, "admission limit on concurrent requests; beyond it requests are shed with 503 \"overloaded\" instead of queuing (0 = unbounded; /healthz and /metrics exempt)")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler context deadline (0 disables)")
 		snapFile   = flag.String("snapshot-file", "", "persist the snapshot here on every swap; warm-start from it on boot (without -churn: under -churn the engine owns membership and always boots fresh, but keeps the file current for a later plain warm start)")
 		drain      = flag.Duration("drain-timeout", 5*time.Second, "in-flight request drain budget on shutdown")
 		traceN     = flag.Int("trace-sample", 0, "record every N-th query into the /debug/trace ring (0 disables)")
@@ -133,10 +151,11 @@ func run() error {
 		SkipOverlay:     *noOverlay,
 	}
 
-	if *shardK > 1 {
+	if *shardK > 1 || *replicaR > 1 {
 		fleetCfg := shard.Config{
 			Oracle:        cfg,
 			Shards:        *shardK,
+			Replicas:      *replicaR,
 			Beacons:       *beacons,
 			Churn:         *churnOn,
 			ChurnCapacity: *churnCap,
@@ -170,12 +189,13 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			log.Printf("fleet ready: %s n=%d shards=%d beacons=%d build=%v",
-				fleet.Name(), fleet.N(), fleet.K(), fleet.Beacons(),
+			log.Printf("fleet ready: %s n=%d shards=%d replicas=%d beacons=%d build=%v",
+				fleet.Name(), fleet.N(), fleet.K(), fleet.Replicas(), fleet.Beacons(),
 				fleet.BuildElapsed().Round(time.Millisecond))
 		}
 		handler := newFleetServer(fleet, *seed)
 		handler.enableTelemetry(*traceN, *auditFrac)
+		handler.enableLimits(*inflight, *reqTimeout)
 		if *pprofOn {
 			handler.enablePprof()
 		}
@@ -185,7 +205,8 @@ func run() error {
 				return fmt.Errorf("persist %s: %w", *snapFile, err)
 			}
 		}
-		srv := &http.Server{Addr: *addr, Handler: handler}
+		defer fleet.Close()
+		srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		log.Printf("serving on http://%s", *addr)
@@ -257,6 +278,7 @@ func run() error {
 	})
 	handler := newServer(engine)
 	handler.enableTelemetry(*traceN, *auditFrac)
+	handler.enableLimits(*inflight, *reqTimeout)
 	if *pprofOn {
 		handler.enablePprof()
 	}
@@ -275,7 +297,7 @@ func run() error {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("serving on http://%s", *addr)

@@ -67,6 +67,15 @@ type server struct {
 	traceSampler    *telemetry.Sampler
 	traceSampleRate int
 	auditor         *auditor
+	// inflight, when non-nil, is the admission semaphore: a request that
+	// cannot acquire a slot immediately is shed with 503 "overloaded"
+	// rather than queued without bound (a downed shard backend must not
+	// pile up goroutines). /healthz and /metrics bypass it — liveness
+	// and scrapes stay observable under overload.
+	inflight chan struct{}
+	// reqTimeout, when > 0, bounds every handler via a per-request
+	// context deadline.
+	reqTimeout time.Duration
 }
 
 func newServer(engine *oracle.Engine) *server {
@@ -100,6 +109,18 @@ func (s *server) routes() {
 	s.mux.HandleFunc("GET /churn/stats", s.handleChurnStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /replica", s.handleReplicaList)
+	s.mux.HandleFunc("POST /replica", s.handleReplicaAdmin)
+}
+
+// enableLimits installs the admission semaphore (maxInflight <= 0
+// leaves admission unbounded) and the per-handler context deadline
+// (timeout <= 0 disables).
+func (s *server) enableLimits(maxInflight int, timeout time.Duration) {
+	if maxInflight > 0 {
+		s.inflight = make(chan struct{}, maxInflight)
+	}
+	s.reqTimeout = timeout
 }
 
 // enableChurn attaches a churn mutator (its current snapshot must be
@@ -211,7 +232,26 @@ func gracefulServe(srv *http.Server, ctx context.Context, drainTimeout time.Dura
 	}
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.inflight != nil && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{
+				Error: "server at its in-flight request limit",
+				Code:  codeOverloaded,
+			})
+			return
+		}
+	}
+	if s.reqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -244,6 +284,12 @@ const (
 	codeNotImplemented = "not_implemented"
 	codeCrossShard     = "cross_shard"
 	codeInternal       = "internal"
+	// codeUnavailable marks a 503 where the serving layer is degraded
+	// (a shard's replicas are all down, or an operation kept racing
+	// epoch changes): retryable, never a wrong answer.
+	codeUnavailable = "unavailable"
+	// codeOverloaded marks a 503 shed by the admission semaphore.
+	codeOverloaded = "overloaded"
 )
 
 // writeError maps engine errors to HTTP statuses: disabled artifacts
@@ -262,6 +308,12 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, shard.ErrCrossShard):
 		status = http.StatusNotImplemented
 		body.Code = codeCrossShard
+	case errors.Is(err, shard.ErrShardDown) || errors.Is(err, shard.ErrEpochFenced) || shard.IsUnavailable(err):
+		// Degraded serving layer: the query was refused, not answered
+		// wrong. 503 tells clients (and ringload's retry loop) to back
+		// off and retry.
+		status = http.StatusServiceUnavailable
+		body.Code = codeUnavailable
 	case errors.Is(err, churn.ErrCommit):
 		status = http.StatusInternalServerError
 		body.Code = codeInternal
@@ -309,7 +361,13 @@ type healthBody struct {
 	Overlay   bool    `json:"overlay"`
 	Shards    int     `json:"shards,omitempty"`
 	Universe  int     `json:"universe,omitempty"`
-	UptimeSec float64 `json:"uptime_sec"`
+	// Replica roster summary (fleet mode with -replicas): Degraded is
+	// true while any replica is killed or breaker-open — the fleet still
+	// answers (failover), but with reduced redundancy.
+	Replicas     int     `json:"replicas,omitempty"`
+	ReplicasDown int     `json:"replicas_down,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	UptimeSec    float64 `json:"uptime_sec"`
 	// BuildVersion identifies the serving binary (ldflags stamp or VCS
 	// revision), so scraped fleets correlate behavior with code.
 	BuildVersion string `json:"build_version"`

@@ -68,6 +68,13 @@ type Mutator struct {
 	st      *state
 	stats   Stats
 	metrics *mutatorMetrics
+
+	// fence, when set, runs at the head of every Apply, before any
+	// mutation: a non-nil error aborts the batch untouched. The fleet
+	// installs an epoch check here so a partition-map change between
+	// routing a batch and committing it fails the commit instead of
+	// landing it in a stale era.
+	fence func() error
 }
 
 // NewMutator generates the capacity-sized base workload, activates its
@@ -222,6 +229,13 @@ func (m *Mutator) FrozenSpace() *metric.Subspace {
 	return m.st.frozen.Space().(*metric.Subspace)
 }
 
+// SetFence installs (or clears, with nil) the pre-commit validation
+// hook: fence runs at the head of every Apply and a non-nil error
+// aborts the batch before any mutation. Callers own the mutator's
+// single-writer discipline, so SetFence follows the same rule as Apply:
+// one goroutine at a time.
+func (m *Mutator) SetFence(fence func() error) { m.fence = fence }
+
 // Apply applies a batch of mutations and commits one delta snapshot.
 // An invalid op (joining an active node, leaving a dormant one,
 // overflowing capacity, shrinking below MinNodes) fails the whole batch
@@ -229,6 +243,11 @@ func (m *Mutator) FrozenSpace() *metric.Subspace {
 func (m *Mutator) Apply(ops ...Op) (*oracle.Snapshot, error) {
 	if len(ops) == 0 {
 		return m.st.snap, nil
+	}
+	if m.fence != nil {
+		if err := m.fence(); err != nil {
+			return nil, err
+		}
 	}
 	if err := m.validate(ops); err != nil {
 		m.metrics.commitErrors.Inc()

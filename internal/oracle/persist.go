@@ -363,6 +363,18 @@ func readSnapshotV2(br io.Reader) (*Snapshot, error) {
 // each shard its subspace here). Only v2 files are accepted: per-shard
 // persistence postdates the v1 format.
 func ReadSnapshotOver(r io.Reader, space metric.Space, name string) (*Snapshot, error) {
+	return ReadSnapshotFor(r, name, func([]int32, int) (metric.Space, error) {
+		return space, nil
+	})
+}
+
+// ReadSnapshotFor is ReadSnapshotOver with the space resolved from the
+// stream's own membership header: spaceOf receives the header's Perm
+// (nil for a static subspace) and node count and returns the matching
+// space. This is the replica-shipping path — under churn every shipped
+// snapshot carries a different membership, so a receiver cannot fix the
+// space up front the way a warm boot can.
+func ReadSnapshotFor(r io.Reader, name string, spaceOf func(perm []int32, n int) (metric.Space, error)) (*Snapshot, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -372,6 +384,10 @@ func ReadSnapshotOver(r io.Reader, space metric.Space, name string) (*Snapshot, 
 		return nil, fmt.Errorf("oracle: not a v2 snapshot file (magic %q; per-shard snapshots require the v2 format)", magic)
 	}
 	hdr, payload, err := readV2Envelope(br)
+	if err != nil {
+		return nil, err
+	}
+	space, err := spaceOf(hdr.Perm, hdr.N)
 	if err != nil {
 		return nil, err
 	}

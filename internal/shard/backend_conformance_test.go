@@ -1,0 +1,130 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"rings/internal/metric"
+	"rings/internal/oracle"
+	"rings/internal/shard"
+	"rings/internal/shard/backendtest"
+	"rings/internal/simnet"
+	"rings/internal/workload"
+)
+
+// conformanceFixture builds a small shard-like subspace snapshot plus a
+// second build over the same subspace for the Ship leg.
+type conformanceFixture struct {
+	snap    *oracle.Snapshot
+	ship    []byte
+	shipRef *oracle.Snapshot
+	spaceOf func(perm []int32, n int) (metric.Space, error)
+}
+
+func newConformanceFixture(t *testing.T) *conformanceFixture {
+	t.Helper()
+	spec := workload.MetricSpec{Name: "cube", N: 40, Seed: 5}
+	base, name, err := spec.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int32, 0, 20)
+	for g := 0; g < base.N(); g += 2 {
+		ids = append(ids, int32(g))
+	}
+	sub := metric.NewSubspace(base, ids)
+	cfg := oracle.Config{Workload: "cube", N: len(ids), Seed: 5}.WithDefaults()
+	snap, err := oracle.BuildSnapshotOver(cfg, sub, name+"/half")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 6
+	shipRef, err := oracle.BuildSnapshotOver(cfg2, sub, name+"/half-reseeded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := shipRef.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &conformanceFixture{
+		snap:    snap,
+		ship:    buf.Bytes(),
+		shipRef: shipRef,
+		spaceOf: func(perm []int32, n int) (metric.Space, error) {
+			if perm != nil {
+				return metric.NewSubspace(base, perm), nil
+			}
+			return sub, nil
+		},
+	}
+}
+
+// TestLocalBackendConformance: the in-process backend over a fresh
+// engine.
+func TestLocalBackendConformance(t *testing.T) {
+	fx := newConformanceFixture(t)
+	eng := oracle.NewEngine(fx.snap, oracle.EngineOptions{})
+	backendtest.Run(t, backendtest.Harness{
+		Backend: shard.NewLocalBackend(eng, nil, fx.snap.Name, fx.spaceOf),
+		Ref:     fx.snap,
+		Ship:    fx.ship,
+		ShipRef: fx.shipRef,
+	})
+}
+
+// TestSimBackendConformance: the same checks crossing the simulated
+// network — with no faults installed, behavior must be
+// indistinguishable from the local backend.
+func TestSimBackendConformance(t *testing.T) {
+	fx := newConformanceFixture(t)
+	eng := oracle.NewEngine(fx.snap, oracle.EngineOptions{})
+	tr, err := shard.NewSimTransport(1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	inner := shard.NewLocalBackend(eng, nil, fx.snap.Name, fx.spaceOf)
+	backendtest.Run(t, backendtest.Harness{
+		Backend: tr.Wrap(0, inner),
+		Ref:     fx.snap,
+		Ship:    fx.ship,
+		ShipRef: fx.shipRef,
+	})
+}
+
+// TestSimBackendFaults: a cut request link surfaces as ErrUnavailable
+// (timeout), never as a client error — and healing restores service.
+func TestSimBackendFaults(t *testing.T) {
+	fx := newConformanceFixture(t)
+	eng := oracle.NewEngine(fx.snap, oracle.EngineOptions{})
+	tr, err := shard.NewSimTransport(1, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	b := tr.Wrap(0, shard.NewLocalBackend(eng, nil, fx.snap.Name, nil))
+
+	plan := simnet.NewFaultPlan(11)
+	plan.Cut(-1, 0) // requests in, replies unaffected
+	tr.SetFaults(plan)
+	if _, err := b.Estimate(0, 1); !shard.IsUnavailable(err) {
+		t.Fatalf("estimate across a cut link: err = %v, want ErrUnavailable", err)
+	}
+	plan.Heal(-1, 0)
+	res, err := b.Estimate(0, 1)
+	if err != nil {
+		t.Fatalf("estimate after heal: %v", err)
+	}
+	want, _ := fx.snap.Estimate(0, 1)
+	if res.Upper != want.Upper {
+		t.Fatalf("post-heal estimate %v, want %v", res.Upper, want.Upper)
+	}
+	// Client errors survive the wire as client errors.
+	if _, err := b.Estimate(-3, 0); !errors.Is(err, oracle.ErrNodeRange) || shard.IsUnavailable(err) {
+		t.Fatalf("out-of-range over simnet: err = %v, want pure ErrNodeRange", err)
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -36,18 +37,32 @@ type shardState struct {
 	bvec [][]float64
 }
 
-// shardUnit is one shard: its engine, its (optional) churn mutator and
-// the atomically published state.
+// shardUnit is one shard: its authoritative engine, its (optional)
+// churn mutator, its replica roster and the atomically published state.
 type shardUnit struct {
 	engine *oracle.Engine
-	// mu serializes mutations (the mutator is single-writer) and state
-	// publication; queries never take it.
+	// mu serializes mutations (the mutator is single-writer), state
+	// publication and replica resyncs; queries never take it.
 	mu    sync.Mutex
 	mut   *churn.Mutator
 	state atomic.Pointer[shardState]
+	// prim is the authoritative in-process backend (replica 0's inner):
+	// commits run through it directly, never through a gate or
+	// transport, so the authoritative state advances even while the
+	// primary is killed for serving.
+	prim *localBackend
+	// reps is the serving roster: replica 0 wraps prim, replicas 1..R-1
+	// are snapshot-shipped copies. Every entry sits behind an admin gate
+	// and an (optional) Config.Transport.
+	reps *replicaSet
 }
 
 func (u *shardUnit) load() *shardState { return u.state.Load() }
+
+// replicated reports whether queries should route through the replica
+// set. With a single local replica the fleet keeps the direct engine
+// path — byte- and allocation-identical to the pre-replication fleet.
+func (u *shardUnit) replicated() bool { return u.reps != nil && len(u.reps.reps) > 1 }
 
 // Fleet is the partitioned serving layer: K shardUnits behind one
 // global-id front door, glued by the beacon tier. All query methods
@@ -66,6 +81,21 @@ type Fleet struct {
 	joins  atomic.Int64
 	leaves atomic.Int64
 	rr     atomic.Int64 // round-robin cursor for auto-join shard choice
+
+	// epoch is the partition-map era: it bumps on every replica roster
+	// change (breaker open, resync, kill/restart, explicit
+	// AdvanceEpoch). Every routed operation captures it before resolving
+	// owners and validates it after — a changed epoch re-runs the
+	// operation rather than serving an answer assembled across eras.
+	epoch atomic.Int64
+	// epochHook, when set (tests only), runs inside the fenced section
+	// of every routed operation, before the body: the deterministic seam
+	// for proving that a mid-operation epoch change forces a retry.
+	epochHook func(epoch int64, attempt int)
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
 
 	metrics *fleetMetrics
 
@@ -125,7 +155,7 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		universe: universe,
 		tier:     newBeaconTier(base, initialN, cfg.Beacons, cfg.BeaconSeed),
 		shards:   make([]*shardUnit, cfg.Shards),
-		metrics:  newFleetMetrics(),
+		metrics:  newFleetMetrics(cfg.Shards, cfg.Replicas),
 	}
 	owned := partition(universe, cfg.Shards)
 
@@ -176,6 +206,9 @@ func NewFleet(cfg Config) (*Fleet, error) {
 				global = owned[s]
 			}
 			unit.engine = oracle.NewEngine(snap, cfg.Engine)
+			if err := f.buildReplicas(unit, s, shardName, owned[s]); err != nil {
+				return err
+			}
 			unit.state.Store(f.newState(snap, global, nil))
 			f.shards[s] = unit
 			return nil
@@ -184,11 +217,348 @@ func NewFleet(cfg Config) (*Fleet, error) {
 	if err := par.Group(builders...); err != nil {
 		return nil, err
 	}
+	f.finishInit(start)
+	return f, nil
+}
+
+// buildReplicas wires shard s's serving roster: the authoritative
+// in-process backend as replica 0 plus cfg.Replicas-1 copies restored
+// from the primary's serialized snapshot — the same WriteTo/Read wire
+// format the resync path re-ships on every commit — each behind the
+// optional Config.Transport and an admin gate with its own breaker.
+func (f *Fleet) buildReplicas(unit *shardUnit, s int, shardName string, ownedIDs []int32) error {
+	spaceOf := func(perm []int32, n int) (metric.Space, error) {
+		if perm != nil {
+			return metric.NewSubspace(f.base, perm), nil
+		}
+		return metric.NewSubspace(f.base, ownedIDs), nil
+	}
+	unit.prim = newLocalBackend(unit.engine, unit.mut, shardName, spaceOf)
+	snap := unit.engine.Snapshot()
+	reps := make([]*replica, 0, f.cfg.Replicas)
+	add := func(idx int, inner Backend) *replica {
+		b := inner
+		if f.cfg.Transport != nil {
+			b = f.cfg.Transport(s, idx, b)
+		}
+		remote := false
+		if rm, ok := b.(interface{ Remote() bool }); ok {
+			remote = rm.Remote()
+		}
+		g := &gate{inner: b}
+		rep := &replica{
+			shard:  s,
+			idx:    idx,
+			b:      g,
+			gate:   g,
+			remote: remote,
+			stateG: f.metrics.breakerState.With(replicaLabel(s, idx)),
+		}
+		rep.brk.cfg = breakerConfig{
+			threshold:  int32(f.cfg.BreakerThreshold),
+			backoff:    f.cfg.BreakerBackoff,
+			maxBackoff: f.cfg.BreakerMaxBackoff,
+		}
+		reps = append(reps, rep)
+		return rep
+	}
+	add(0, unit.prim).vers.Store(&repVersions{era: snap.Version, engine: snap.Version})
+	if f.cfg.Replicas > 1 {
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			return fmt.Errorf("shard %d: serialize snapshot for replicas: %w", s, err)
+		}
+		for i := 1; i < f.cfg.Replicas; i++ {
+			repName := fmt.Sprintf("%s/replica%d", shardName, i)
+			restored, err := oracle.ReadSnapshotFor(bytes.NewReader(buf.Bytes()), repName, spaceOf)
+			if err != nil {
+				return fmt.Errorf("shard %d replica %d: restore: %w", s, i, err)
+			}
+			eng := oracle.NewEngine(restored, f.cfg.Engine)
+			rep := add(i, newLocalBackend(eng, nil, repName, spaceOf))
+			rep.vers.Store(&repVersions{era: snap.Version, engine: eng.Snapshot().Version})
+		}
+	}
+	unit.reps = newReplicaSet(f, reps)
+	return nil
+}
+
+// finishInit publishes the fleet-level gauges, arms the epoch and
+// starts the background health prober. Shared by NewFleet and
+// OpenFleet.
+func (f *Fleet) finishInit(start time.Time) {
 	f.buildElapsed = time.Since(start)
+	f.epoch.Store(1)
+	f.metrics.epoch.Set(1)
 	f.metrics.shards.Set(float64(f.k))
 	f.metrics.beacons.Set(float64(len(f.tier.ids)))
 	f.metrics.nodes.Set(float64(f.N()))
-	return f, nil
+	f.metrics.replicas.Set(float64(f.cfg.Replicas))
+	f.probeStop = make(chan struct{})
+	f.probeWG.Add(1)
+	go f.prober()
+}
+
+// ---- replica lifecycle ------------------------------------------------
+
+// ErrEpochFenced reports an operation that kept racing partition-map
+// epoch changes past the bounded retry budget. It should be effectively
+// unreachable: an epoch bump is a replica roster event, and eight in a
+// row during one query means something is flapping hard enough that
+// refusing is better than answering.
+var ErrEpochFenced = errors.New("shard: operation kept racing partition-map epoch changes")
+
+// errEpochChanged aborts a churn commit whose routing decision
+// pre-dates an epoch bump (returned by the mutator fence; the commit
+// loop re-captures and retries).
+var errEpochChanged = errors.New("shard: epoch changed before commit")
+
+// Epoch reports the current partition-map epoch.
+func (f *Fleet) Epoch() int64 { return f.epoch.Load() }
+
+// AdvanceEpoch bumps the partition-map epoch (every replica roster
+// change calls it; exported for chaos harnesses) and returns the new
+// value.
+func (f *Fleet) AdvanceEpoch() int64 {
+	e := f.epoch.Add(1)
+	f.metrics.epoch.Set(float64(e))
+	return e
+}
+
+// epochAttempts bounds the fenced retry loop (queries) and the commit
+// fence loop (mutations).
+const epochAttempts = 8
+
+// fenced runs op under epoch validation: capture the epoch, run, and
+// retry if the epoch moved while the operation was in flight. The
+// returned epoch is the era the successful run observed throughout.
+func (f *Fleet) fenced(op func() error) (int64, error) {
+	for attempt := 0; attempt < epochAttempts; attempt++ {
+		e := f.epoch.Load()
+		if f.epochHook != nil {
+			f.epochHook(e, attempt)
+		}
+		if err := op(); err != nil {
+			return e, err
+		}
+		if f.epoch.Load() == e {
+			return e, nil
+		}
+		f.metrics.epochRetries.Inc()
+	}
+	return 0, ErrEpochFenced
+}
+
+// replicaAt validates and resolves one replica address.
+func (f *Fleet) replicaAt(s, r int) (*replica, error) {
+	if s < 0 || s >= f.k {
+		return nil, fmt.Errorf("shard: shard %d outside [0, %d)", s, f.k)
+	}
+	reps := f.shards[s].reps.reps
+	if r < 0 || r >= len(reps) {
+		return nil, fmt.Errorf("shard: shard %d has no replica %d (have %d)", s, r, len(reps))
+	}
+	return reps[r], nil
+}
+
+// KillReplica takes one replica out of service (admin kill switch: its
+// gate fails every call as ErrUnavailable, its breaker opens, the
+// epoch bumps). The authoritative state still advances under commits —
+// killing replica 0 stops it from serving, not from owning the shard's
+// mutator. Idempotent.
+func (f *Fleet) KillReplica(s, r int) error {
+	rep, err := f.replicaAt(s, r)
+	if err != nil {
+		return err
+	}
+	if rep.gate.down.Swap(true) {
+		return nil
+	}
+	if rep.brk.trip(time.Now().UnixNano(), f.shards[s].reps.nextJitter()) {
+		f.metrics.breakerOpens.Inc()
+	}
+	rep.setState(brkOpen)
+	f.updateDownGauge()
+	f.AdvanceEpoch()
+	return nil
+}
+
+// RestartReplica returns a killed replica to the probe pipeline: the
+// gate reopens and the breaker's next probe is pulled to now, so the
+// prober health-checks it, resyncs its snapshot to the current era and
+// closes the breaker (which is the moment it rejoins the candidate
+// set and the epoch bumps). Idempotent.
+func (f *Fleet) RestartReplica(s, r int) error {
+	rep, err := f.replicaAt(s, r)
+	if err != nil {
+		return err
+	}
+	if !rep.gate.down.Swap(false) {
+		return nil
+	}
+	rep.brk.retryAt.Store(time.Now().UnixNano())
+	f.updateDownGauge()
+	return nil
+}
+
+// ReplicaStatus is one replica's roster entry.
+type ReplicaStatus struct {
+	Shard   int    `json:"shard"`
+	Replica int    `json:"replica"`
+	// State is the breaker state: closed, open or half_open.
+	State string `json:"state"`
+	// Down reports the admin kill switch.
+	Down bool `json:"down"`
+	// Era is the authoritative snapshot version the replica serves;
+	// Current reports whether that is the shard's live version.
+	Era     int64 `json:"era"`
+	Current bool  `json:"current"`
+	// EngineVersion is the replica engine's own install counter.
+	EngineVersion int64 `json:"engine_version"`
+	Remote        bool  `json:"remote"`
+	BreakerOpens  int64 `json:"breaker_opens"`
+}
+
+// ReplicaStatuses reports every replica of every shard.
+func (f *Fleet) ReplicaStatuses() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, f.k*f.cfg.Replicas)
+	for s, unit := range f.shards {
+		live := unit.load().snap.Version
+		for _, rep := range unit.reps.reps {
+			st := ReplicaStatus{
+				Shard:        s,
+				Replica:      rep.idx,
+				State:        brkName(rep.brk.state.Load()),
+				Down:         rep.gate.down.Load(),
+				Remote:       rep.remote,
+				BreakerOpens: rep.brk.opens.Load(),
+			}
+			if v := rep.vers.Load(); v != nil {
+				st.Era, st.EngineVersion = v.era, v.engine
+				st.Current = v.era == live
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Replicas reports the configured serving copies per shard.
+func (f *Fleet) Replicas() int { return f.cfg.Replicas }
+
+// ReplicasDown counts replicas currently out of service (killed or
+// breaker not closed).
+func (f *Fleet) ReplicasDown() int {
+	down := 0
+	for _, unit := range f.shards {
+		for _, rep := range unit.reps.reps {
+			if rep.gate.down.Load() || !rep.brk.available() {
+				down++
+			}
+		}
+	}
+	return down
+}
+
+// Degraded reports whether any replica is out of service.
+func (f *Fleet) Degraded() bool { return f.ReplicasDown() > 0 }
+
+func (f *Fleet) updateDownGauge() {
+	f.metrics.replicasDown.Set(float64(f.ReplicasDown()))
+}
+
+// Close stops the health prober and releases replica transports. Safe
+// to call more than once.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() {
+		close(f.probeStop)
+		f.probeWG.Wait()
+		for _, unit := range f.shards {
+			for _, rep := range unit.reps.reps {
+				_ = rep.b.Close()
+			}
+		}
+	})
+}
+
+// prober is the background health loop: every ProbeInterval it
+// health-checks closed replicas (so a dark replica trips its breaker
+// even without query traffic) and probes open ones whose backoff has
+// expired, resyncing and closing the survivors.
+func (f *Fleet) prober() {
+	defer f.probeWG.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.probeStop:
+			return
+		case <-t.C:
+			f.probeAll()
+		}
+	}
+}
+
+func (f *Fleet) probeAll() {
+	for s, unit := range f.shards {
+		rs := unit.reps
+		for _, rep := range rs.reps {
+			switch rep.brk.state.Load() {
+			case brkClosed:
+				if _, err := rep.b.Health(); err != nil && IsUnavailable(err) {
+					rs.fail(rep)
+				}
+			default:
+				now := time.Now().UnixNano()
+				if now < rep.brk.retryAt.Load() {
+					continue
+				}
+				rep.brk.state.Store(brkHalfOpen)
+				rep.setState(brkHalfOpen)
+				if _, err := rep.b.Health(); err != nil {
+					rep.brk.reopen(now, rs.nextJitter())
+					rep.setState(brkOpen)
+					continue
+				}
+				f.resyncReplica(unit, s, rep)
+			}
+		}
+	}
+	f.updateDownGauge()
+}
+
+// resyncReplica catches a recovered replica up to the current era
+// (re-shipping the authoritative snapshot if it missed commits while
+// down) and closes its breaker — the failover-recovery pipeline.
+// Holding unit.mu pairs the ship with a stable snapshot: commits wait
+// for the resync rather than invalidating it mid-ship.
+func (f *Fleet) resyncReplica(unit *shardUnit, s int, rep *replica) {
+	start := time.Now()
+	unit.mu.Lock()
+	snap := unit.engine.Snapshot()
+	if v := rep.vers.Load(); v == nil || v.era != snap.Version {
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			unit.mu.Unlock()
+			rep.brk.reopen(time.Now().UnixNano(), unit.reps.nextJitter())
+			rep.setState(brkOpen)
+			return
+		}
+		ver, err := rep.b.Ship(buf.Bytes())
+		if err != nil {
+			unit.mu.Unlock()
+			rep.brk.reopen(time.Now().UnixNano(), unit.reps.nextJitter())
+			rep.setState(brkOpen)
+			return
+		}
+		rep.vers.Store(&repVersions{era: snap.Version, engine: ver})
+	}
+	unit.mu.Unlock()
+	rep.brk.close()
+	rep.setState(brkClosed)
+	f.metrics.resyncs.Inc()
+	f.metrics.resyncUs.Observe(float64(time.Since(start).Microseconds()))
+	f.AdvanceEpoch()
 }
 
 // newState assembles a shardState for the given membership, reusing
@@ -299,11 +669,15 @@ type EstimateResult struct {
 	UShard int  `json:"ushard"`
 	VShard int  `json:"vshard"`
 	Cross  bool `json:"cross"`
+	// Epoch is the partition-map era the whole answer was assembled
+	// under (epoch fencing re-runs the query when it moves mid-flight).
+	Epoch int64 `json:"epoch"`
 }
 
 // Estimate answers one estimate for global ids u, v: delegated to the
-// owning engine (cache and stats included) when the endpoints share a
-// shard, beacon-glued otherwise.
+// owning shard's replica set (cache and stats included) when the
+// endpoints share a shard, beacon-glued otherwise. The whole operation
+// is epoch-fenced.
 func (f *Fleet) Estimate(u, v int) (EstimateResult, error) {
 	if err := f.checkGlobal(u); err != nil {
 		return EstimateResult{}, err
@@ -312,15 +686,34 @@ func (f *Fleet) Estimate(u, v int) (EstimateResult, error) {
 		return EstimateResult{}, err
 	}
 	su, sv := owner(u, f.k), owner(v, f.k)
-	if su != sv {
-		res, err := f.crossEstimate(u, v, su, sv)
-		if err != nil {
-			return EstimateResult{}, err
+	var out EstimateResult
+	epoch, err := f.fenced(func() error {
+		var err error
+		if su != sv {
+			out, err = f.crossEstimate(u, v, su, sv)
+		} else {
+			out, err = f.intraEstimate(u, v, su)
 		}
-		f.observeCross(res.Lower, res.Upper)
-		return res, nil
+		return err
+	})
+	if err != nil {
+		return EstimateResult{}, err
 	}
-	unit := f.shards[su]
+	out.Epoch = epoch
+	if out.Cross {
+		f.observeCross(out.Lower, out.Upper)
+	} else {
+		f.intra.Add(1)
+		f.metrics.intra.Inc()
+	}
+	return out, nil
+}
+
+// intraEstimate answers one same-shard estimate through the shard's
+// replica set (direct engine path when unreplicated), with the bounded
+// stale-mapping remap loop.
+func (f *Fleet) intraEstimate(u, v, s int) (EstimateResult, error) {
+	unit := f.shards[s]
 	for attempt := 0; ; attempt++ {
 		st := unit.load()
 		lu, err := localOf(st, u)
@@ -332,13 +725,26 @@ func (f *Fleet) Estimate(u, v int) (EstimateResult, error) {
 			return EstimateResult{}, err
 		}
 		var res oracle.EstimateResult
-		if attempt < queryAttempts {
+		if attempt >= queryAttempts {
+			res, err = st.snap.Estimate(lu, lv)
+		} else if unit.replicated() {
+			res, err = rsCall(unit.reps, st.snap.Version, func(b Backend) (oracle.EstimateResult, int64, error) {
+				r, err := b.Estimate(lu, lv)
+				return r, r.Version, err
+			})
+			if errors.Is(err, errStaleReplica) {
+				continue // era moved under the mapping; remap and retry
+			}
+			if err == nil {
+				// Answers are byte-identical across replicas; report the
+				// authoritative era version regardless of which engine spoke.
+				res.Version = st.snap.Version
+			}
+		} else {
 			res, err = unit.engine.Estimate(lu, lv)
 			if err == nil && res.Version != st.snap.Version {
 				continue // swap raced the mapping; remap and retry
 			}
-		} else {
-			res, err = st.snap.Estimate(lu, lv)
 		}
 		if err != nil {
 			if attempt < queryAttempts && errors.Is(err, oracle.ErrNodeRange) {
@@ -347,9 +753,7 @@ func (f *Fleet) Estimate(u, v int) (EstimateResult, error) {
 			return EstimateResult{}, err
 		}
 		res.U, res.V = u, v
-		f.intra.Add(1)
-		f.metrics.intra.Inc()
-		return EstimateResult{EstimateResult: res, UShard: su, VShard: sv}, nil
+		return EstimateResult{EstimateResult: res, UShard: s, VShard: s}, nil
 	}
 }
 
@@ -391,63 +795,80 @@ func (f *Fleet) crossEstimate(u, v, su, sv int) (EstimateResult, error) {
 // beacon vectors from each shard's state, loaded once per batch.
 // Invalid pairs fail the whole batch.
 func (f *Fleet) EstimateBatch(pairs []oracle.Pair) ([]EstimateResult, error) {
-	states := make([]*shardState, f.k)
-	stateOf := func(s int) *shardState {
-		if states[s] == nil {
-			states[s] = f.shards[s].load()
+	var out []EstimateResult
+	intra := 0
+	epoch, err := f.fenced(func() error {
+		out = make([]EstimateResult, len(pairs))
+		intra = 0
+		states := make([]*shardState, f.k)
+		stateOf := func(s int) *shardState {
+			if states[s] == nil {
+				states[s] = f.shards[s].load()
+			}
+			return states[s]
 		}
-		return states[s]
+		groups := make([][]int, f.k) // intra pair indices by owning shard
+		for i, p := range pairs {
+			if err := f.checkGlobal(p.U); err != nil {
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+			if err := f.checkGlobal(p.V); err != nil {
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+			su, sv := owner(p.U, f.k), owner(p.V, f.k)
+			if su == sv {
+				groups[su] = append(groups[su], i)
+				continue
+			}
+			stU := stateOf(su)
+			lu, err := localOf(stU, p.U)
+			if err != nil {
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+			stV := stateOf(sv)
+			lv, err := localOf(stV, p.V)
+			if err != nil {
+				return fmt.Errorf("pair %d: %w", i, err)
+			}
+			lower, upper := f.tier.estimate(stU.bvec[lu], stV.bvec[lv])
+			out[i] = EstimateResult{
+				EstimateResult: oracle.EstimateResult{
+					U:       p.U,
+					V:       p.V,
+					Lower:   lower,
+					Upper:   upper,
+					OK:      !math.IsInf(upper, 1),
+					Version: stU.snap.Version,
+				},
+				UShard: su,
+				VShard: sv,
+				Cross:  true,
+			}
+		}
+		for s, idxs := range groups {
+			if len(idxs) == 0 {
+				continue
+			}
+			if err := f.batchShard(s, pairs, idxs, out); err != nil {
+				return err
+			}
+			intra += len(idxs)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out := make([]EstimateResult, len(pairs))
-	groups := make([][]int, f.k) // intra pair indices by owning shard
-	for i, p := range pairs {
-		if err := f.checkGlobal(p.U); err != nil {
-			return nil, fmt.Errorf("pair %d: %w", i, err)
+	// Account after the fenced section settles so an epoch retry doesn't
+	// double-count.
+	for i := range out {
+		out[i].Epoch = epoch
+		if out[i].Cross {
+			f.observeCross(out[i].Lower, out[i].Upper)
 		}
-		if err := f.checkGlobal(p.V); err != nil {
-			return nil, fmt.Errorf("pair %d: %w", i, err)
-		}
-		su, sv := owner(p.U, f.k), owner(p.V, f.k)
-		if su == sv {
-			groups[su] = append(groups[su], i)
-			continue
-		}
-		stU := stateOf(su)
-		lu, err := localOf(stU, p.U)
-		if err != nil {
-			return nil, fmt.Errorf("pair %d: %w", i, err)
-		}
-		stV := stateOf(sv)
-		lv, err := localOf(stV, p.V)
-		if err != nil {
-			return nil, fmt.Errorf("pair %d: %w", i, err)
-		}
-		lower, upper := f.tier.estimate(stU.bvec[lu], stV.bvec[lv])
-		out[i] = EstimateResult{
-			EstimateResult: oracle.EstimateResult{
-				U:       p.U,
-				V:       p.V,
-				Lower:   lower,
-				Upper:   upper,
-				OK:      !math.IsInf(upper, 1),
-				Version: stU.snap.Version,
-			},
-			UShard: su,
-			VShard: sv,
-			Cross:  true,
-		}
-		f.observeCross(lower, upper)
 	}
-	for s, idxs := range groups {
-		if len(idxs) == 0 {
-			continue
-		}
-		if err := f.batchShard(s, pairs, idxs, out); err != nil {
-			return nil, err
-		}
-		f.intra.Add(int64(len(idxs)))
-		f.metrics.intra.Add(int64(len(idxs)))
-	}
+	f.intra.Add(int64(intra))
+	f.metrics.intra.Add(int64(intra))
 	return out, nil
 }
 
@@ -475,17 +896,35 @@ func (f *Fleet) batchShard(s int, pairs []oracle.Pair, idxs []int, out []Estimat
 			results []oracle.EstimateResult
 			err     error
 		)
-		if attempt < queryAttempts {
-			results, err = unit.engine.EstimateBatch(local)
-			if err == nil && len(results) > 0 && results[0].Version != st.snap.Version {
-				continue // swap raced the mapping; remap and retry
-			}
-		} else {
+		switch {
+		case attempt >= queryAttempts:
 			results = make([]oracle.EstimateResult, len(local))
 			for j, lp := range local {
 				if results[j], err = st.snap.Estimate(lp.U, lp.V); err != nil {
 					break
 				}
+			}
+		case unit.replicated():
+			results, err = rsCall(unit.reps, st.snap.Version, func(b Backend) ([]oracle.EstimateResult, int64, error) {
+				rs, err := b.EstimateBatch(local)
+				ver := st.snap.Version // empty batch carries no version
+				if err == nil && len(rs) > 0 {
+					ver = rs[0].Version
+				}
+				return rs, ver, err
+			})
+			if errors.Is(err, errStaleReplica) {
+				continue
+			}
+			if err == nil {
+				for j := range results {
+					results[j].Version = st.snap.Version
+				}
+			}
+		default:
+			results, err = unit.engine.EstimateBatch(local)
+			if err == nil && len(results) > 0 && results[0].Version != st.snap.Version {
+				continue // swap raced the mapping; remap and retry
 			}
 		}
 		if err != nil {
@@ -507,14 +946,30 @@ func (f *Fleet) batchShard(s int, pairs []oracle.Pair, idxs []int, out []Estimat
 // the owning shard: the climb runs inside the target's shard overlay.
 type NearestResult struct {
 	oracle.NearestResult
-	Shard int `json:"shard"`
+	Shard int   `json:"shard"`
+	Epoch int64 `json:"epoch"`
 }
 
-// Nearest answers one nearest-member query inside the target's shard.
+// Nearest answers one nearest-member query inside the target's shard
+// (epoch-fenced, served by the shard's replica set).
 func (f *Fleet) Nearest(target int) (NearestResult, error) {
 	if err := f.checkGlobal(target); err != nil {
 		return NearestResult{}, err
 	}
+	var out NearestResult
+	epoch, err := f.fenced(func() error {
+		var err error
+		out, err = f.nearestOnce(target)
+		return err
+	})
+	if err != nil {
+		return NearestResult{}, err
+	}
+	out.Epoch = epoch
+	return out, nil
+}
+
+func (f *Fleet) nearestOnce(target int) (NearestResult, error) {
 	s := owner(target, f.k)
 	unit := f.shards[s]
 	for attempt := 0; ; attempt++ {
@@ -524,13 +979,24 @@ func (f *Fleet) Nearest(target int) (NearestResult, error) {
 			return NearestResult{}, err
 		}
 		var res oracle.NearestResult
-		if attempt < queryAttempts {
+		if attempt >= queryAttempts {
+			res, err = st.snap.Nearest(lt)
+		} else if unit.replicated() {
+			res, err = rsCall(unit.reps, st.snap.Version, func(b Backend) (oracle.NearestResult, int64, error) {
+				r, err := b.Nearest(lt)
+				return r, r.Version, err
+			})
+			if errors.Is(err, errStaleReplica) {
+				continue
+			}
+			if err == nil {
+				res.Version = st.snap.Version
+			}
+		} else {
 			res, err = unit.engine.Nearest(lt)
 			if err == nil && res.Version != st.snap.Version {
 				continue
 			}
-		} else {
-			res, err = st.snap.Nearest(lt)
 		}
 		if err != nil {
 			if attempt < queryAttempts && errors.Is(err, oracle.ErrNodeRange) {
@@ -549,12 +1015,14 @@ func (f *Fleet) Nearest(target int) (NearestResult, error) {
 // owning shard.
 type RouteResult struct {
 	oracle.RouteResult
-	Shard int `json:"shard"`
+	Shard int   `json:"shard"`
+	Epoch int64 `json:"epoch"`
 }
 
-// Route simulates one packet inside the shard owning both endpoints;
-// endpoints in different shards return ErrCrossShard (the beacon tier
-// certifies distances, not paths).
+// Route simulates one packet inside the shard owning both endpoints
+// (epoch-fenced, served by the shard's replica set); endpoints in
+// different shards return ErrCrossShard (the beacon tier certifies
+// distances, not paths).
 func (f *Fleet) Route(src, dst int) (RouteResult, error) {
 	if err := f.checkGlobal(src); err != nil {
 		return RouteResult{}, err
@@ -566,6 +1034,20 @@ func (f *Fleet) Route(src, dst int) (RouteResult, error) {
 	if s != owner(dst, f.k) {
 		return RouteResult{}, fmt.Errorf("route %d -> %d: %w", src, dst, ErrCrossShard)
 	}
+	var out RouteResult
+	epoch, err := f.fenced(func() error {
+		var err error
+		out, err = f.routeOnce(src, dst, s)
+		return err
+	})
+	if err != nil {
+		return RouteResult{}, err
+	}
+	out.Epoch = epoch
+	return out, nil
+}
+
+func (f *Fleet) routeOnce(src, dst, s int) (RouteResult, error) {
 	unit := f.shards[s]
 	for attempt := 0; ; attempt++ {
 		st := unit.load()
@@ -578,13 +1060,24 @@ func (f *Fleet) Route(src, dst int) (RouteResult, error) {
 			return RouteResult{}, err
 		}
 		var res oracle.RouteResult
-		if attempt < queryAttempts {
+		if attempt >= queryAttempts {
+			res, err = st.snap.Route(ls, ld)
+		} else if unit.replicated() {
+			res, err = rsCall(unit.reps, st.snap.Version, func(b Backend) (oracle.RouteResult, int64, error) {
+				r, err := b.Route(ls, ld)
+				return r, r.Version, err
+			})
+			if errors.Is(err, errStaleReplica) {
+				continue
+			}
+			if err == nil {
+				res.Version = st.snap.Version
+			}
+		} else {
 			res, err = unit.engine.Route(ls, ld)
 			if err == nil && res.Version != st.snap.Version {
 				continue
 			}
-		} else {
-			res, err = st.snap.Route(ls, ld)
 		}
 		if err != nil {
 			if attempt < queryAttempts && errors.Is(err, oracle.ErrNodeRange) {
@@ -618,6 +1111,9 @@ type ChurnCommit struct {
 	ShardN  int           `json:"shard_n"`
 	Bases   []int         `json:"bases"`
 	Repair  churn.OpStats `json:"repair"`
+	// Epoch is the partition-map era the commit was fenced against (the
+	// mutator's pre-commit hook re-validates it inside Apply).
+	Epoch int64 `json:"epoch"`
 }
 
 // Apply routes a mutation batch to the owning shards (ops group by
@@ -659,21 +1155,54 @@ func (f *Fleet) applyShard(s int, ops []churn.Op) (ChurnCommit, error) {
 	unit := f.shards[s]
 	unit.mu.Lock()
 	defer unit.mu.Unlock()
-	return f.commitLocked(unit, s, ops)
+	return f.commitFenced(unit, s, ops)
+}
+
+// commitFenced is the epoch-validated commit loop: capture the epoch,
+// commit with the mutator fence re-checking it at the head of Apply
+// (before any mutation), and retry the handful of times an epoch bump
+// can race the capture. unit.mu must be held.
+func (f *Fleet) commitFenced(unit *shardUnit, s int, ops []churn.Op) (ChurnCommit, error) {
+	for attempt := 0; attempt < epochAttempts; attempt++ {
+		e := f.epoch.Load()
+		commit, err := f.commitLocked(unit, s, ops, e)
+		if errors.Is(err, errEpochChanged) {
+			f.metrics.epochRetries.Inc()
+			continue
+		}
+		if err == nil {
+			commit.Epoch = e
+		}
+		return commit, err
+	}
+	return ChurnCommit{}, fmt.Errorf("shard %d: %w", s, ErrEpochFenced)
 }
 
 // commitLocked is the one mutation-commit/publish sequence every churn
-// path shares (explicit Apply, AutoJoin, AutoLeave): mutate, swap the
-// delta snapshot into the shard engine, publish the new mapping state
-// (fresh beacon vectors for joiners only, survivors reused by
-// pointer), account, and report. unit.mu must be held.
-func (f *Fleet) commitLocked(unit *shardUnit, s int, ops []churn.Op) (ChurnCommit, error) {
-	snap, err := unit.mut.Apply(ops...)
+// path shares (explicit Apply, AutoJoin, AutoLeave): mutate through the
+// authoritative backend (the fence validates the epoch inside Apply,
+// before any mutation), swap the delta snapshot into the shard engine,
+// publish the new mapping state (fresh beacon vectors for joiners only,
+// survivors reused by pointer), ship the snapshot to healthy replicas,
+// account, and report. unit.mu must be held.
+func (f *Fleet) commitLocked(unit *shardUnit, s int, ops []churn.Op, epoch int64) (ChurnCommit, error) {
+	unit.mut.SetFence(func() error {
+		if f.epoch.Load() != epoch {
+			return errEpochChanged
+		}
+		return nil
+	})
+	_, err := unit.prim.Apply(ops)
+	unit.mut.SetFence(nil)
 	if err != nil {
 		return ChurnCommit{}, err
 	}
-	unit.engine.Swap(snap)
+	snap := unit.engine.Snapshot()
+	// The primary serves the new era the instant the swap lands — even
+	// while killed for serving, so a restart resyncs from truth.
+	unit.reps.reps[0].vers.Store(&repVersions{era: snap.Version, engine: snap.Version})
 	unit.state.Store(f.newState(snap, snap.Perm, unit.load()))
+	f.shipLocked(unit, snap)
 	bases := make([]int, len(ops))
 	for i, op := range ops {
 		bases[i] = op.Base
@@ -693,6 +1222,38 @@ func (f *Fleet) commitLocked(unit *shardUnit, s int, ops []churn.Op) (ChurnCommi
 		Bases:   bases,
 		Repair:  unit.mut.Stats().Last,
 	}, nil
+}
+
+// shipLocked pushes a freshly committed snapshot to every healthy
+// non-primary replica (the v2 WriteTo wire format, serialized once).
+// Downed or breaker-open replicas are skipped — the prober's resync
+// catches them up when they recover. unit.mu must be held.
+func (f *Fleet) shipLocked(unit *shardUnit, snap *oracle.Snapshot) {
+	reps := unit.reps.reps
+	if len(reps) <= 1 {
+		return
+	}
+	var buf []byte
+	for _, rep := range reps[1:] {
+		if rep.gate.down.Load() || !rep.brk.available() {
+			continue
+		}
+		if buf == nil {
+			var b bytes.Buffer
+			if _, err := snap.WriteTo(&b); err != nil {
+				return // unshippable snapshot; replicas stale until resync
+			}
+			buf = b.Bytes()
+		}
+		ver, err := rep.b.Ship(buf)
+		if err != nil {
+			if IsUnavailable(err) {
+				unit.reps.fail(rep)
+			}
+			continue
+		}
+		rep.vers.Store(&repVersions{era: snap.Version, engine: ver})
+	}
 }
 
 // AutoJoin activates up to count dormant nodes, spreading them over
@@ -718,7 +1279,7 @@ func (f *Fleet) AutoJoin(count int) ([]ChurnCommit, error) {
 			for i, b := range bases {
 				ops[i] = churn.Op{Kind: churn.Join, Base: b}
 			}
-			c, err := f.commitLocked(unit, s, ops)
+			c, err := f.commitFenced(unit, s, ops)
 			return c, len(bases), err
 		}()
 		if err != nil {
@@ -769,7 +1330,7 @@ func (f *Fleet) autoLeaveOne(rng *rand.Rand) (ChurnCommit, bool, error) {
 				return ChurnCommit{}, false, nil
 			}
 			base := unit.mut.ActiveBase(rng.Intn(n))
-			c, err := f.commitLocked(unit, s, []churn.Op{{Kind: churn.Leave, Base: base}})
+			c, err := f.commitFenced(unit, s, []churn.Op{{Kind: churn.Leave, Base: base}})
 			return c, err == nil, err
 		}()
 		if err != nil {
@@ -811,6 +1372,9 @@ type ShardStats struct {
 	Version int64              `json:"version"`
 	Engine  oracle.EngineStats `json:"engine"`
 	Churn   *churn.Stats       `json:"churn,omitempty"`
+	// Replicas is the shard's serving roster (omitted when R = 1 and
+	// nothing has ever been down — the degenerate roster is implied).
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
 }
 
 // FleetStats is the fleet-level aggregation plus every shard's report.
@@ -826,27 +1390,52 @@ type FleetStats struct {
 	// Requests/Errors aggregate every shard engine's endpoint counters
 	// (cross-shard estimates never touch an engine and are counted by
 	// Cross alone).
-	Requests int64        `json:"requests"`
-	Errors   int64        `json:"errors"`
-	PerShard []ShardStats `json:"per_shard"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Robustness aggregation (PR 8).
+	Epoch        int64        `json:"epoch"`
+	Replicas     int          `json:"replicas"`
+	ReplicasDown int          `json:"replicas_down"`
+	Hedges       int64        `json:"hedges"`
+	HedgeWins    int64        `json:"hedge_wins"`
+	Failovers    int64        `json:"failovers"`
+	BreakerOpens int64        `json:"breaker_opens"`
+	Resyncs      int64        `json:"resyncs"`
+	EpochRetries int64        `json:"epoch_retries"`
+	PerShard     []ShardStats `json:"per_shard"`
 }
 
 // Stats reports the fleet aggregation and the per-shard engine (and
 // churn) reports.
 func (f *Fleet) Stats() FleetStats {
 	out := FleetStats{
-		Shards:   f.k,
-		Universe: f.universe,
-		Beacons:  len(f.tier.ids),
-		Intra:    f.intra.Load(),
-		Cross:    f.cross.Load(),
-		Joins:    f.joins.Load(),
-		Leaves:   f.leaves.Load(),
+		Shards:       f.k,
+		Universe:     f.universe,
+		Beacons:      len(f.tier.ids),
+		Intra:        f.intra.Load(),
+		Cross:        f.cross.Load(),
+		Joins:        f.joins.Load(),
+		Leaves:       f.leaves.Load(),
+		Epoch:        f.epoch.Load(),
+		Replicas:     f.cfg.Replicas,
+		ReplicasDown: f.ReplicasDown(),
+		Hedges:       f.metrics.hedges.Value(),
+		HedgeWins:    f.metrics.hedgeWins.Value(),
+		Failovers:    f.metrics.failovers.Value(),
+		BreakerOpens: f.metrics.breakerOpens.Value(),
+		Resyncs:      f.metrics.resyncs.Value(),
+		EpochRetries: f.metrics.epochRetries.Value(),
 	}
+	statuses := f.ReplicaStatuses()
 	for s, unit := range f.shards {
 		st := unit.load()
 		es := unit.engine.Stats()
 		ss := ShardStats{Shard: s, N: len(st.global), Version: st.snap.Version, Engine: es}
+		for _, rs := range statuses {
+			if rs.Shard == s && (f.cfg.Replicas > 1 || rs.Down || rs.State != "closed") {
+				ss.Replicas = append(ss.Replicas, rs)
+			}
+		}
 		if unit.mut != nil {
 			unit.mu.Lock()
 			cs := unit.mut.Stats()

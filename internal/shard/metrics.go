@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"math"
 
 	"rings/internal/telemetry"
@@ -26,9 +27,30 @@ type fleetMetrics struct {
 	nodes       *telemetry.Gauge
 	shards      *telemetry.Gauge
 	beacons     *telemetry.Gauge
+
+	// Robustness series (PR 8): replica hedging, failover, breaker and
+	// epoch-fencing instrumentation.
+	hedges       *telemetry.Counter
+	hedgeWins    *telemetry.Counter
+	failovers    *telemetry.Counter
+	breakerOpens *telemetry.Counter
+	resyncs      *telemetry.Counter
+	// resyncUs is the catch-up resync latency in microseconds (buckets
+	// 2^0 .. 2^24 ≈ 16.7s).
+	resyncUs     *telemetry.Histogram
+	epoch        *telemetry.Gauge
+	epochRetries *telemetry.Counter
+	replicas     *telemetry.Gauge
+	replicasDown *telemetry.Gauge
+	// breakerState exposes each replica's breaker as a gauge
+	// (0 closed, 1 open, 2 half-open), labeled s<shard>r<replica>.
+	breakerState *telemetry.GaugeFamily
 }
 
-func newFleetMetrics() *fleetMetrics {
+// replicaLabel names one replica's breaker-state gauge child.
+func replicaLabel(s, r int) string { return fmt.Sprintf("s%dr%d", s, r) }
+
+func newFleetMetrics(k, replicas int) *fleetMetrics {
 	reg := telemetry.NewRegistry()
 	m := &fleetMetrics{reg: reg}
 	est := reg.CounterFamily("rings_fleet_estimates_total",
@@ -51,6 +73,35 @@ func newFleetMetrics() *fleetMetrics {
 		"Shard count.")
 	m.beacons = reg.Gauge("rings_fleet_beacons",
 		"Landmark count of the cross-shard beacon tier.")
+	m.hedges = reg.Counter("rings_fleet_hedges_total",
+		"Hedged reads launched after the latency-percentile trigger.")
+	m.hedgeWins = reg.Counter("rings_fleet_hedge_wins_total",
+		"Hedged reads that answered before the primary attempt.")
+	m.failovers = reg.Counter("rings_fleet_failovers_total",
+		"Queries moved to another replica after a transport failure.")
+	m.breakerOpens = reg.Counter("rings_fleet_breaker_opens_total",
+		"Replica circuit breakers tripped open.")
+	m.resyncs = reg.Counter("rings_fleet_resyncs_total",
+		"Replica catch-up resyncs completed (snapshot re-shipped and breaker closed).")
+	m.resyncUs = reg.Histogram("rings_fleet_resync_us",
+		"Catch-up resync latency in microseconds (probe success to breaker close).", 0, 24)
+	m.epoch = reg.Gauge("rings_fleet_epoch",
+		"Current partition-map epoch (bumps on every replica roster change).")
+	m.epochRetries = reg.Counter("rings_fleet_epoch_retries_total",
+		"Operations re-run because the epoch changed while they were in flight.")
+	m.replicas = reg.Gauge("rings_fleet_replicas",
+		"Configured serving replicas per shard.")
+	m.replicasDown = reg.Gauge("rings_fleet_replicas_down",
+		"Replicas currently administratively down or breaker-open.")
+	labels := make([]string, 0, k*replicas)
+	for s := 0; s < k; s++ {
+		for r := 0; r < replicas; r++ {
+			labels = append(labels, replicaLabel(s, r))
+		}
+	}
+	m.breakerState = reg.GaugeFamily("rings_fleet_breaker_state",
+		"Per-replica breaker state (0 closed, 1 open, 2 half-open).",
+		"replica", labels...)
 	return m
 }
 

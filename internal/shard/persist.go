@@ -59,7 +59,7 @@ func OpenFleet(cfg Config, snapBase string) (*Fleet, error) {
 		universe: universe,
 		tier:     newBeaconTier(base, universe, cfg.Beacons, cfg.BeaconSeed),
 		shards:   make([]*shardUnit, cfg.Shards),
-		metrics:  newFleetMetrics(),
+		metrics:  newFleetMetrics(cfg.Shards, cfg.Replicas),
 	}
 	owned := partition(universe, cfg.Shards)
 
@@ -82,6 +82,9 @@ func OpenFleet(cfg Config, snapBase string) (*Fleet, error) {
 				return fmt.Errorf("shard %d (%s): snapshot scheme %q, fleet wants %q", s, path, snap.Config.Scheme, cfg.Oracle.Scheme)
 			}
 			unit := &shardUnit{engine: oracle.NewEngine(snap, cfg.Engine)}
+			if err := f.buildReplicas(unit, s, shardName, owned[s]); err != nil {
+				return err
+			}
 			unit.state.Store(f.newState(snap, owned[s], nil))
 			f.shards[s] = unit
 			return nil
@@ -90,10 +93,7 @@ func OpenFleet(cfg Config, snapBase string) (*Fleet, error) {
 	if err := par.Group(loaders...); err != nil {
 		return nil, err
 	}
-	f.buildElapsed = time.Since(start)
-	f.metrics.shards.Set(float64(f.k))
-	f.metrics.beacons.Set(float64(len(f.tier.ids)))
-	f.metrics.nodes.Set(float64(f.N()))
+	f.finishInit(start)
 	return f, nil
 }
 

@@ -49,6 +49,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"rings/internal/churn"
 	"rings/internal/oracle"
@@ -94,6 +95,30 @@ type Config struct {
 	// Engine tunes every shard's serving engine (cache shards/capacity,
 	// latency sampling).
 	Engine oracle.EngineOptions
+
+	// Replicas is the serving copies per shard (default 1: just the
+	// authoritative engine). Replicas beyond the first are restored from
+	// the primary's serialized snapshot (Snapshot.WriteTo) and kept
+	// current by shipping on every commit, so any replica answers
+	// byte-identically.
+	Replicas int
+	// HedgeAfter is the hedged-read trigger: 0 adapts to twice the
+	// recent p90 latency, > 0 fixes the delay, < 0 disables hedging.
+	HedgeAfter time.Duration
+	// ProbeInterval paces the background health prober (default 250ms).
+	ProbeInterval time.Duration
+	// BreakerThreshold is the consecutive transport-failure count that
+	// opens a replica's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerBackoff is the first open-state probe delay (default
+	// 100ms), doubling per failed probe up to BreakerMaxBackoff
+	// (default 5s), jittered ±25%.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// Transport, when set, wraps each replica's backend (fault-injection
+	// and chaos seam: e.g. a SimTransport endpoint with a fault plan, or
+	// an artificial-delay shim). The fleet's admin gate wraps outside it.
+	Transport func(shard, replica int, b Backend) Backend
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -106,6 +131,24 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MinShardNodes < 2 {
 		c.MinShardNodes = 2
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = 100 * time.Millisecond
+	}
+	if c.BreakerMaxBackoff < c.BreakerBackoff {
+		c.BreakerMaxBackoff = 5 * time.Second
+		if c.BreakerMaxBackoff < c.BreakerBackoff {
+			c.BreakerMaxBackoff = c.BreakerBackoff
+		}
 	}
 	return c, nil
 }

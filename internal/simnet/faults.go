@@ -1,0 +1,169 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LinkFaults describes the fault behavior of one directed link (or, as
+// the plan default, of every link without an override).
+type LinkFaults struct {
+	// DropRate is the probability in [0, 1] that a message on the link
+	// is silently lost. The sender observes success — exactly like a
+	// lossy datagram network; only timeouts reveal the loss.
+	DropRate float64
+	// Delay postpones delivery by a fixed duration.
+	Delay time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter).
+	Jitter time.Duration
+}
+
+func (f LinkFaults) zero() bool {
+	return f.DropRate == 0 && f.Delay == 0 && f.Jitter == 0
+}
+
+// linkKey identifies a directed link. Inject traffic appears with
+// From = -1, so external sends are faultable links too.
+type linkKey struct{ from, to int }
+
+// FaultPlan is a deterministic per-link fault model consulted by
+// Network.send. Every decision is a pure function of (seed, link,
+// per-link message sequence number): the k-th message on a given link
+// is always dropped — or delayed by the same amount — no matter how
+// concurrent sends on other links interleave. This is what makes fault
+// schedules replayable under -race and across runs.
+//
+// Partitions are explicit and one-way: Cut(a, b) loses every a→b
+// message until Heal(a, b); the reverse direction is unaffected unless
+// cut separately.
+type FaultPlan struct {
+	seed int64
+
+	mu    sync.Mutex
+	def   LinkFaults
+	links map[linkKey]LinkFaults
+	cuts  map[linkKey]bool
+	seqs  map[linkKey]*atomic.Int64
+
+	dropped atomic.Int64
+	delayed atomic.Int64
+}
+
+// NewFaultPlan creates an empty plan (no faults) with the given seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		seed:  seed,
+		links: make(map[linkKey]LinkFaults),
+		cuts:  make(map[linkKey]bool),
+		seqs:  make(map[linkKey]*atomic.Int64),
+	}
+}
+
+// SetDefault applies faults to every link without a per-link override.
+func (p *FaultPlan) SetDefault(f LinkFaults) {
+	p.mu.Lock()
+	p.def = f
+	p.mu.Unlock()
+}
+
+// SetLink overrides the fault model of one directed link.
+func (p *FaultPlan) SetLink(from, to int, f LinkFaults) {
+	p.mu.Lock()
+	p.links[linkKey{from, to}] = f
+	p.mu.Unlock()
+}
+
+// Cut installs a one-way partition: every from→to message is lost
+// until Heal.
+func (p *FaultPlan) Cut(from, to int) {
+	p.mu.Lock()
+	p.cuts[linkKey{from, to}] = true
+	p.mu.Unlock()
+}
+
+// Heal removes a one-way partition.
+func (p *FaultPlan) Heal(from, to int) {
+	p.mu.Lock()
+	delete(p.cuts, linkKey{from, to})
+	p.mu.Unlock()
+}
+
+// CutBoth partitions both directions between two nodes.
+func (p *FaultPlan) CutBoth(a, b int) {
+	p.Cut(a, b)
+	p.Cut(b, a)
+}
+
+// HealBoth heals both directions between two nodes.
+func (p *FaultPlan) HealBoth(a, b int) {
+	p.Heal(a, b)
+	p.Heal(b, a)
+}
+
+// Dropped reports the number of messages lost so far (drops and cuts).
+func (p *FaultPlan) Dropped() int64 { return p.dropped.Load() }
+
+// Delayed reports the number of messages delivered late so far.
+func (p *FaultPlan) Delayed() int64 { return p.delayed.Load() }
+
+// decide rules on one message: lost entirely, or delivered after delay
+// (0 = immediately). The per-link sequence counter advances on every
+// call, so the decision stream of a link is fixed by (seed, link)
+// alone.
+func (p *FaultPlan) decide(from, to int) (drop bool, delay time.Duration) {
+	k := linkKey{from, to}
+	p.mu.Lock()
+	if p.cuts[k] {
+		p.mu.Unlock()
+		p.dropped.Add(1)
+		return true, 0
+	}
+	f, ok := p.links[k]
+	if !ok {
+		f = p.def
+	}
+	if f.zero() {
+		p.mu.Unlock()
+		return false, 0
+	}
+	seq := p.seqs[k]
+	if seq == nil {
+		seq = &atomic.Int64{}
+		p.seqs[k] = seq
+	}
+	p.mu.Unlock()
+
+	n := seq.Add(1) - 1
+	r := splitmix64(uint64(p.seed) ^ linkHash(from, to) ^ uint64(n))
+	if f.DropRate > 0 && unit(r) < f.DropRate {
+		p.dropped.Add(1)
+		return true, 0
+	}
+	delay = f.Delay
+	if f.Jitter > 0 {
+		delay += time.Duration(unit(splitmix64(r)) * float64(f.Jitter))
+	}
+	if delay > 0 {
+		p.delayed.Add(1)
+	}
+	return false, delay
+}
+
+// linkHash mixes a directed link identity into the decision hash.
+func linkHash(from, to int) uint64 {
+	return splitmix64(uint64(uint32(from))<<32 | uint64(uint32(to)))
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a mixed 64-bit value to [0, 1).
+func unit(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,176 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectDeliveries runs one fixed single-sender message sequence over
+// a few links under the given plan and returns which payloads arrived,
+// per destination.
+func collectDeliveries(t *testing.T, plan *FaultPlan, msgs int) map[int][]int {
+	t.Helper()
+	var mu sync.Mutex
+	got := map[int][]int{}
+	net, err := New(3, func(ctx *Context, msg Message) {
+		mu.Lock()
+		got[ctx.Node] = append(got[ctx.Node], msg.Payload.(int))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Shutdown()
+	net.SetFaults(plan)
+	for i := 0; i < msgs; i++ {
+		if err := net.Inject(i%net.N(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Quiesce()
+	return got
+}
+
+// TestFaultsOffIsUntouched proves the zero-faults plan (and the no-plan
+// default) change nothing: every message arrives, in per-link order.
+func TestFaultsOffIsUntouched(t *testing.T) {
+	const msgs = 300
+	for name, plan := range map[string]*FaultPlan{
+		"nil-plan":   nil,
+		"empty-plan": NewFaultPlan(7),
+	} {
+		got := collectDeliveries(t, plan, msgs)
+		total := 0
+		for node, payloads := range got {
+			total += len(payloads)
+			for i, p := range payloads {
+				if want := i*3 + node; p != want {
+					t.Fatalf("%s: node %d delivery %d = payload %d, want %d (order broken)",
+						name, node, i, p, want)
+				}
+			}
+		}
+		if total != msgs {
+			t.Fatalf("%s: delivered %d of %d messages", name, total, msgs)
+		}
+	}
+}
+
+// TestDropDeterminism proves the drop pattern is a pure function of
+// (seed, link, sequence): two independent runs with the same seed lose
+// exactly the same messages, and a different seed loses different ones.
+func TestDropDeterminism(t *testing.T) {
+	const msgs = 600
+	mk := func(seed int64) *FaultPlan {
+		p := NewFaultPlan(seed)
+		p.SetDefault(LinkFaults{DropRate: 0.4})
+		return p
+	}
+	runA := collectDeliveries(t, mk(42), msgs)
+	runB := collectDeliveries(t, mk(42), msgs)
+	for node := 0; node < 3; node++ {
+		a, b := runA[node], runB[node]
+		if len(a) != len(b) {
+			t.Fatalf("node %d: run A delivered %d, run B %d", node, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d delivery %d: run A payload %d, run B %d", node, i, a[i], b[i])
+			}
+		}
+		if len(a) == msgs/3 {
+			t.Fatalf("node %d: DropRate 0.4 dropped nothing over %d messages", node, msgs/3)
+		}
+	}
+	runC := collectDeliveries(t, mk(43), msgs)
+	same := true
+	for node := 0; node < 3; node++ {
+		if len(runA[node]) != len(runC[node]) {
+			same = false
+			break
+		}
+		for i := range runA[node] {
+			if runA[node][i] != runC[node][i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical drop patterns")
+	}
+}
+
+// TestPerLinkOverrides proves SetLink scopes faults to one directed
+// link while the default stays clean.
+func TestPerLinkOverrides(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.SetLink(-1, 1, LinkFaults{DropRate: 1})
+	got := collectDeliveries(t, plan, 300)
+	if len(got[1]) != 0 {
+		t.Fatalf("link to node 1 drops everything, yet %d messages arrived", len(got[1]))
+	}
+	if len(got[0]) != 100 || len(got[2]) != 100 {
+		t.Fatalf("untouched links lost traffic: node0=%d node2=%d, want 100 each",
+			len(got[0]), len(got[2]))
+	}
+}
+
+// TestPartitionCutAndHeal proves one-way cuts lose everything in one
+// direction only, and healing restores delivery.
+func TestPartitionCutAndHeal(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.Cut(-1, 2)
+	got := collectDeliveries(t, plan, 300)
+	if len(got[2]) != 0 {
+		t.Fatalf("cut link delivered %d messages", len(got[2]))
+	}
+	if len(got[0]) != 100 || len(got[1]) != 100 {
+		t.Fatalf("other links lost traffic under a node-2 cut: node0=%d node1=%d",
+			len(got[0]), len(got[1]))
+	}
+	if plan.Dropped() != 100 {
+		t.Fatalf("Dropped() = %d, want 100", plan.Dropped())
+	}
+	plan.Heal(-1, 2)
+	got = collectDeliveries(t, plan, 300)
+	if len(got[2]) != 100 {
+		t.Fatalf("healed link delivered %d of 100 messages", len(got[2]))
+	}
+}
+
+// TestDelayHoldsQuiesce proves delayed messages still count as
+// in-flight: Quiesce returns only after they are handled, so fault
+// schedules cannot leak messages past a drain.
+func TestDelayHoldsQuiesce(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	net, err := New(1, func(ctx *Context, msg Message) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Shutdown()
+	plan := NewFaultPlan(5)
+	plan.SetDefault(LinkFaults{Delay: 20 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	net.SetFaults(plan)
+	const msgs = 32
+	for i := 0; i < msgs; i++ {
+		if err := net.Inject(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != msgs {
+		t.Fatalf("after Quiesce %d of %d delayed messages handled", count, msgs)
+	}
+	if plan.Delayed() != msgs {
+		t.Fatalf("Delayed() = %d, want %d", plan.Delayed(), msgs)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrShutdown is returned by Send and Inject once Shutdown has begun.
@@ -54,6 +56,7 @@ func (c *Context) Send(to int, payload any) error {
 type Network struct {
 	handler Handler
 	boxes   []*mailbox
+	faults  atomic.Pointer[FaultPlan]
 	mu      sync.Mutex
 	idle    *sync.Cond // signaled when pending drops to 0
 	pending int        // messages sent but not yet fully handled
@@ -150,6 +153,11 @@ func (n *Network) done() {
 	n.mu.Unlock()
 }
 
+// SetFaults installs (or, with nil, removes) the fault plan consulted
+// on every send. With no plan — or a plan whose links are all
+// fault-free — send follows exactly the fault-less code path.
+func (n *Network) SetFaults(p *FaultPlan) { n.faults.Store(p) }
+
 func (n *Network) send(from, to int, payload any) error {
 	if to < 0 || to >= len(n.boxes) {
 		return fmt.Errorf("simnet: invalid destination %d", to)
@@ -161,6 +169,27 @@ func (n *Network) send(from, to int, payload any) error {
 	}
 	n.pending++
 	n.mu.Unlock()
+	if p := n.faults.Load(); p != nil {
+		drop, delay := p.decide(from, to)
+		if drop {
+			// Silent loss: the sender sees success, the message simply
+			// never arrives — only a timeout can tell.
+			n.done()
+			return nil
+		}
+		if delay > 0 {
+			// Late delivery keeps the pending reservation for the whole
+			// flight, so Quiesce and Shutdown wait for delayed messages
+			// instead of racing them.
+			go func() {
+				time.Sleep(delay)
+				if !n.boxes[to].push(Message{From: from, To: to, Payload: payload}) {
+					n.done()
+				}
+			}()
+			return nil
+		}
+	}
 	if !n.boxes[to].push(Message{From: from, To: to, Payload: payload}) {
 		// Shutdown closed the mailbox between our closed-check and the
 		// push; retire the reservation and report the same sentinel.

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"rings/internal/metric"
@@ -35,6 +36,7 @@ var (
 	shardOut     = "BENCH_shard.json"
 	serveOut     = "BENCH_serve.json"
 	faultOut     = "BENCH_fault.json"
+	objectsOut   = "BENCH_objects.json"
 	baselinePath string
 	buildSizes   string
 	// benchBackend/benchWorkers mirror -backend/-workers into the build
@@ -57,6 +59,7 @@ func run() error {
 	flag.StringVar(&shardOut, "shardout", shardOut, "output path for -json shard rows")
 	flag.StringVar(&serveOut, "serveout", serveOut, "output path for -json serve rows")
 	flag.StringVar(&faultOut, "faultout", faultOut, "output path for -json fault rows")
+	flag.StringVar(&objectsOut, "objectsout", objectsOut, "output path for -json objects rows")
 	flag.StringVar(&baselinePath, "baseline", "", "bench baseline (build: BENCH_build.json, serve: BENCH_serve.json); fail if the gate-size measurement regressed >25%")
 	flag.StringVar(&buildSizes, "sizes", "", "comma-separated n values for -exp build (default 128,256,512,1024; quick: 128,256)")
 	flag.Parse()
@@ -79,6 +82,7 @@ func run() error {
 		"shard":      expShard,
 		"serve":      expServe,
 		"fault":      expFault,
+		"objects":    expObjects,
 		"table1":     expTable1,
 		"table2":     expTable2,
 		"table3":     expTable3,
@@ -107,7 +111,12 @@ func run() error {
 		name = strings.TrimSpace(name)
 		f, ok := all[name]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q", name)
+			valid := make([]string, 0, len(all))
+			for k := range all {
+				valid = append(valid, k)
+			}
+			sort.Strings(valid)
+			return fmt.Errorf("unknown experiment %q (valid: %s, or 'all')", name, strings.Join(valid, " "))
 		}
 		if err := f(*seed, *quick); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)

@@ -1,0 +1,349 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"rings/internal/churn"
+	"rings/internal/oracle"
+	"rings/internal/shard"
+	"rings/internal/stats"
+	"rings/internal/version"
+)
+
+// objectsBenchFile is the BENCH_objects.json schema: one row per
+// workload family measuring the object-location layer on a churned
+// K-shard fleet — lookup latency and realized stretch against the
+// brute-force nearest replica, publish/republish throughput, and the
+// churn-phase exactness check (every verification failure is counted
+// and the experiment asserts the count is zero).
+type objectsBenchFile struct {
+	Schema       string            `json:"schema"`
+	BuildVersion string            `json:"build_version"`
+	Seed         int64             `json:"seed"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	Rows         []objectsBenchRow `json:"rows"`
+}
+
+const objectsBenchSchema = "rings/bench-objects/v1"
+
+// objectsBenchRow is one measured family.
+type objectsBenchRow struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Universe int    `json:"universe"`
+	Shards   int    `json:"shards"`
+	Objects  int    `json:"objects"`
+	Replicas int    `json:"replicas"`
+
+	// Publish throughput over the seeding phase (accepted publishes per
+	// second, overlay rebuild included).
+	PublishPerSec float64 `json:"publish_per_sec"`
+
+	// Warm lookup latency and cost. RemoteFrac is the fraction of
+	// lookups answered by a replica outside the origin's shard (the
+	// beacon-sandwich screening path).
+	LookupP50Us float64 `json:"lookup_p50_us"`
+	LookupP95Us float64 `json:"lookup_p95_us"`
+	HopsMean    float64 `json:"hops_mean"`
+	RemoteFrac  float64 `json:"remote_frac"`
+
+	// Realized lookup stretch against the brute-force nearest replica,
+	// verified per query (a disagreement fails the experiment, so the
+	// mean is a checked 1.0 — the directory's exactness contract).
+	LookupStretchMean float64 `json:"lookup_stretch_mean"`
+	LookupStretchMax  float64 `json:"lookup_stretch_max"`
+
+	// Cross-shard estimate stretch on the same instance — the fleet's
+	// (1+ε) sandwich answers. The object layer's acceptance criterion:
+	// LookupStretchMean <= EstimateStretchMean (exact replica answers
+	// must not be worse than the approximate distance tier).
+	EstimateStretchMean float64 `json:"estimate_stretch_mean"`
+
+	// Churn phase: ops applied, replicas moved off departing nodes, and
+	// the post-op verification record. ChurnLookupErrors counts lookups
+	// that disagreed with the brute-force oracle after a churn commit;
+	// the experiment asserts it is zero.
+	ChurnOps          int     `json:"churn_ops"`
+	Republishes       int64   `json:"republishes"`
+	RepublishPerSec   float64 `json:"republish_per_sec"`
+	ChurnLookupChecks int     `json:"churn_lookup_checks"`
+	ChurnLookupErrors int     `json:"churn_lookup_errors"`
+}
+
+// expObjects measures the object-location subsystem end to end on a
+// churned 4-shard fleet per workload family: publish a catalog, verify
+// and time warm lookups, compare the realized lookup stretch with the
+// beacon tier's cross-shard estimate stretch, then churn the fleet and
+// re-verify every answer against the brute-force oracle after each
+// commit.
+func expObjects(seed int64, quick bool) error {
+	section("OL1 / objects: nearest-replica location on a churned fleet")
+	const (
+		k         = 4
+		minShard  = 3
+		objects   = 32
+		churnOps  = 48
+		perOpLook = 6
+	)
+	lookSample := 600
+	families := shardFamilies(seed, quick)
+	if quick {
+		lookSample = 200
+		families = families[:2] // grid + cube keep the CI lane fast
+	}
+
+	tbl := stats.NewTable("workload", "n", "lookup p50", "hops", "remote", "lk stretch",
+		"est stretch", "republish", "churn errs")
+	var rows []objectsBenchRow
+	for _, cfg := range families {
+		cfg.Scheme = oracle.SchemeLabels
+		cfg.Backend = benchBackend
+		cfg.Workers = benchWorkers
+		cfg.SkipRouting = true
+		cfg.SkipOverlay = true
+
+		f, err := shard.NewFleet(shard.Config{
+			Oracle: cfg, Shards: k, Churn: true, MinShardNodes: minShard,
+		})
+		if err != nil {
+			return fmt.Errorf("fleet %s: %w", cfg.Workload, err)
+		}
+
+		row := objectsBenchRow{
+			Workload: f.Name(), N: f.N(), Universe: f.Universe(), Shards: k, Objects: objects,
+		}
+		active, perShard := activeGlobals(f)
+		rng := rand.New(rand.NewSource(seed + 61))
+
+		// Publish phase: the catalog, 1..3 replicas each.
+		names := make([]string, objects)
+		t0 := time.Now()
+		published := 0
+		for i := range names {
+			names[i] = fmt.Sprintf("o%03d", i)
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				g := active[rng.Intn(len(active))]
+				if _, err := f.PublishObject(names[i], g); err != nil {
+					return fmt.Errorf("%s: publish %s on %d: %w", row.Workload, names[i], g, err)
+				}
+				published++
+			}
+		}
+		row.PublishPerSec = float64(published) / time.Since(t0).Seconds()
+		row.Replicas = f.ObjectStats().Replicas
+
+		// Warm lookup phase: every answer verified against the
+		// brute-force oracle before its latency and stretch count.
+		lats := make([]float64, 0, lookSample)
+		var stretches []float64
+		hops, remote := 0, 0
+		for i := 0; i < lookSample; i++ {
+			g := active[rng.Intn(len(active))]
+			name := names[rng.Intn(len(names))]
+			q0 := time.Now()
+			res, err := f.LookupObject(name, g)
+			lat := float64(time.Since(q0)) / float64(time.Microsecond)
+			if err != nil {
+				return fmt.Errorf("%s: lookup %s from %d: %w", row.Workload, name, g, err)
+			}
+			tn, td, err := f.TrueNearestObject(name, g)
+			if err != nil {
+				return err
+			}
+			if res.Node != tn || math.Float64bits(res.Dist) != math.Float64bits(td) {
+				return fmt.Errorf("%s: lookup %s from %d answered (%d, %v), brute force (%d, %v)",
+					row.Workload, name, g, res.Node, res.Dist, tn, td)
+			}
+			st := 1.0
+			if td > 0 {
+				st = res.Dist / td
+			}
+			lats = append(lats, lat)
+			stretches = append(stretches, st)
+			hops += res.Hops
+			if res.Remote {
+				remote++
+			}
+		}
+		latSum := stats.Summarize(lats)
+		stSum := stats.Summarize(stretches)
+		row.LookupP50Us, row.LookupP95Us = latSum.P50, latSum.P95
+		row.HopsMean = float64(hops) / float64(lookSample)
+		row.RemoteFrac = float64(remote) / float64(lookSample)
+		row.LookupStretchMean, row.LookupStretchMax = stSum.Mean, stSum.Max
+
+		// Cross-shard estimate stretch on the same instance: the tier
+		// the replica answers must not be worse than.
+		var estStretch []float64
+		for i := 0; i < lookSample; i++ {
+			u := active[rng.Intn(len(active))]
+			v := active[rng.Intn(len(active))]
+			if u%k == v%k {
+				continue
+			}
+			res, err := f.Estimate(u, v)
+			if err != nil {
+				return err
+			}
+			d, err := f.TrueDist(u, v)
+			if err != nil {
+				return err
+			}
+			if d > 0 {
+				estStretch = append(estStretch, res.Upper/d)
+			}
+		}
+		row.EstimateStretchMean = stats.Summarize(estStretch).Mean
+
+		// Churn phase: joins and leaves honoring the per-shard floor;
+		// after every commit a handful of lookups is re-verified against
+		// the brute-force oracle over the new membership.
+		baseRepub := f.ObjectStats().Republishes
+		c0 := time.Now()
+		for op := 0; op < churnOps; op++ {
+			o, ok := nextChurnOp(rng, f.Universe(), k, minShard, active, perShard)
+			if !ok {
+				continue
+			}
+			if _, err := f.Apply([]churn.Op{o}); err != nil {
+				return fmt.Errorf("%s: churn op %d (%+v): %w", row.Workload, op, o, err)
+			}
+			active, perShard = applyToActive(o, active, perShard, k)
+			row.ChurnOps++
+			for i := 0; i < perOpLook; i++ {
+				g := active[rng.Intn(len(active))]
+				name := names[rng.Intn(len(names))]
+				res, err := f.LookupObject(name, g)
+				if err != nil {
+					row.ChurnLookupErrors++
+					continue
+				}
+				tn, td, terr := f.TrueNearestObject(name, g)
+				if terr != nil || res.Node != tn || math.Float64bits(res.Dist) != math.Float64bits(td) {
+					row.ChurnLookupErrors++
+				}
+				row.ChurnLookupChecks++
+			}
+		}
+		churnElapsed := time.Since(c0)
+		row.Republishes = f.ObjectStats().Republishes - baseRepub
+		row.RepublishPerSec = float64(row.Republishes) / churnElapsed.Seconds()
+
+		if row.ChurnLookupErrors != 0 {
+			return fmt.Errorf("%s: %d of %d churn-phase lookups disagreed with the brute-force oracle",
+				row.Workload, row.ChurnLookupErrors, row.ChurnLookupChecks)
+		}
+		if row.LookupStretchMean > row.EstimateStretchMean {
+			return fmt.Errorf("%s: mean lookup stretch %.4f exceeds the cross-shard estimate stretch %.4f",
+				row.Workload, row.LookupStretchMean, row.EstimateStretchMean)
+		}
+		if st := f.ObjectStats(); st.Misses != 0 {
+			return fmt.Errorf("%s: %d certified lookup misses", row.Workload, st.Misses)
+		}
+		f.Close()
+
+		rows = append(rows, row)
+		tbl.AddRow(row.Workload, row.N,
+			fmt.Sprintf("%.1fus", row.LookupP50Us), fmt.Sprintf("%.2f", row.HopsMean),
+			fmt.Sprintf("%.0f%%", row.RemoteFrac*100),
+			fmt.Sprintf("%.3f", row.LookupStretchMean),
+			fmt.Sprintf("%.3f", row.EstimateStretchMean),
+			fmt.Sprintf("%d", row.Republishes), fmt.Sprintf("%d", row.ChurnLookupErrors))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nEvery lookup above (warm and churn-phase) was verified byte-identical to a")
+	fmt.Println("brute-force scan over the live replica set, so lookup stretch is a checked")
+	fmt.Println("1.0: replica answers are exact while the cross-shard estimate tier carries")
+	fmt.Println("its (1+eps) sandwich factor. Republishes move replicas off departing nodes")
+	fmt.Println("to the next-nearest survivor inside the same churn commit.")
+
+	if jsonOut {
+		file := objectsBenchFile{
+			Schema:       objectsBenchSchema,
+			BuildVersion: version.String(),
+			Seed:         seed,
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			Rows:         rows,
+		}
+		buf, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(objectsOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", objectsOut, len(rows))
+	}
+	return nil
+}
+
+// activeGlobals collects the fleet's active global ids (ascending) and
+// the per-shard active counts.
+func activeGlobals(f *shard.Fleet) ([]int, []int) {
+	var active []int
+	perShard := make([]int, f.K())
+	for s := 0; s < f.K(); s++ {
+		for _, g := range f.ShardNodes(s) {
+			active = append(active, int(g))
+			perShard[s]++
+		}
+	}
+	sort.Ints(active)
+	return active, perShard
+}
+
+// nextChurnOp draws one membership change valid under the per-shard
+// floor: a join of a random dormant id, or a leave of a random active
+// id whose shard stays above minShard.
+func nextChurnOp(rng *rand.Rand, universe, k, minShard int, active []int, perShard []int) (churn.Op, bool) {
+	if rng.Intn(2) == 0 {
+		var eligible []int
+		for _, g := range active {
+			if perShard[g%k] > minShard {
+				eligible = append(eligible, g)
+			}
+		}
+		if len(eligible) > 0 {
+			return churn.Op{Kind: churn.Leave, Base: eligible[rng.Intn(len(eligible))]}, true
+		}
+	}
+	isActive := make(map[int]bool, len(active))
+	for _, g := range active {
+		isActive[g] = true
+	}
+	var dormant []int
+	for g := 0; g < universe; g++ {
+		if !isActive[g] {
+			dormant = append(dormant, g)
+		}
+	}
+	if len(dormant) == 0 {
+		return churn.Op{}, false
+	}
+	return churn.Op{Kind: churn.Join, Base: dormant[rng.Intn(len(dormant))]}, true
+}
+
+// applyToActive folds one committed op into the tracked membership.
+func applyToActive(o churn.Op, active []int, perShard []int, k int) ([]int, []int) {
+	if o.Kind == churn.Join {
+		active = append(active, o.Base)
+		sort.Ints(active)
+		perShard[o.Base%k]++
+		return active, perShard
+	}
+	for i, g := range active {
+		if g == o.Base {
+			active = append(active[:i], active[i+1:]...)
+			break
+		}
+	}
+	perShard[o.Base%k]--
+	return active, perShard
+}

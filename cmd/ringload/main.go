@@ -95,6 +95,9 @@ type health struct {
 	Overlay  bool   `json:"overlay"`
 	Shards   int    `json:"shards"`
 	Universe int    `json:"universe"`
+	// Objects advertises the object-location layer; absent on servers
+	// without it, which disables -objects with a warning.
+	Objects *objHealth `json:"objects"`
 }
 
 // sample is one completed request.
@@ -164,6 +167,7 @@ func run() error {
 		crossFrac = flag.Float64("cross", 0.5, "fraction of estimate/batch pairs spanning shards (sharded servers only)")
 		retries   = flag.Int("retries", 3, "max retries per query on transport errors and transient 5xx (0 disables; mutations never retry)")
 		traceTop  = flag.Int("trace", 0, "after the run, report the K slowest sampled queries from /debug/trace (needs ringsrv -trace-sample)")
+		objFrac   = flag.Float64("objects", 0, "fraction of query traffic hitting the object endpoints: Zipf /lookup, moves, and a mid-run flash crowd (0 disables)")
 	)
 	flag.Parse()
 
@@ -210,8 +214,28 @@ func run() error {
 		retries:   *retries,
 	}
 
+	// Object traffic: seed the catalog before the clients start, so
+	// every /lookup has something to find.
+	var objPos []int
+	if *objFrac > 0 {
+		if h.Objects == nil {
+			fmt.Fprintln(os.Stderr, "ringload: server does not advertise an object layer, disabling -objects")
+		} else {
+			objPos, err = seedObjects(client, base, g.idRange(h.N), rand.New(rand.NewSource(*seed+31)))
+			if err != nil {
+				return err
+			}
+			g.objFrac = *objFrac
+			g.objClients = *clients
+		}
+	}
+
 	start := time.Now()
 	deadline := start.Add(*duration)
+	// The flash-crowd phase is the middle third of the run: every lookup
+	// piles onto one object, the popularity spike the overlay must ride.
+	flashStart := start.Add(*duration / 3)
+	flashEnd := start.Add(2 * *duration / 3)
 	results := make([][]sample, *clients+1)
 	var wg sync.WaitGroup
 	verify := g.verify
@@ -220,9 +244,27 @@ func run() error {
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			var (
+				zipf *rand.Zipf
+				pos  []int
+			)
+			if g.objFrac > 0 {
+				zipf = rand.NewZipf(rng, zipfS, 1, objCount-1)
+				pos = append([]int(nil), objPos...)
+			}
 			for time.Now().Before(deadline) {
-				endpoint := picks[rng.Intn(len(picks))]
 				n := g.idRange(int(curN.Load()))
+				if g.objFrac > 0 && rng.Float64() < g.objFrac {
+					now := time.Now()
+					flash := now.After(flashStart) && now.Before(flashEnd)
+					if idx := rng.Intn(objCount); idx%g.objClients == c && rng.Intn(8) == 0 {
+						results[c] = append(results[c], g.doMove(client, n, rng, pos, idx))
+					} else {
+						results[c] = append(results[c], g.doLookup(client, n, rng, zipf, pos, c, flash))
+					}
+					continue
+				}
+				endpoint := picks[rng.Intn(len(picks))]
 				results[c] = append(results[c], g.doRequest(client, endpoint, n, rng))
 			}
 		}(c)
@@ -270,6 +312,13 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "ringload: trace unavailable, omitting slow_queries: %v\n", err)
 		} else {
 			report.SlowQueries = slow
+		}
+	}
+	if g.objFrac > 0 {
+		if or, err := fetchObjectsReport(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "ringload: objects stats unavailable, omitting objects: %v\n", err)
+		} else {
+			report.Objects = or
 		}
 	}
 	if *jsonOut {
@@ -440,6 +489,12 @@ type generator struct {
 	cross    float64
 	// retries is the per-query retry budget for transient failures.
 	retries int
+	// objFrac routes that fraction of each client's requests to the
+	// object endpoints; objClients partitions move ownership (object i
+	// is moved only by client i mod objClients, so remembered positions
+	// stay true outside churn).
+	objFrac    float64
+	objClients int
 }
 
 // retryBase is the first retry's backoff; attempt i waits
@@ -742,6 +797,9 @@ type Report struct {
 	// from the server's /debug/trace ring, slowest first. Omitted when
 	// tracing was off or the scrape failed.
 	SlowQueries []traceSample `json:"slow_queries,omitempty"`
+	// Objects is the duration-end /objects/stats scrape (-objects runs
+	// only): the server's own lookup/miss/republish counters.
+	Objects *objectsReport `json:"objects,omitempty"`
 }
 
 func buildReport(results [][]sample, h health, clients int, elapsed time.Duration) Report {
@@ -815,6 +873,11 @@ func printReport(rep Report) {
 		line += fmt.Sprintf(", %d retries (%d gave up)", rep.Retries, rep.GaveUp)
 	}
 	fmt.Printf("%s, %.0f qps\n", line, rep.QPS)
+	if rep.Objects != nil {
+		fmt.Printf("objects: %d published (%d replicas), %d lookups (%d not found, %d certified misses), %d republishes\n",
+			rep.Objects.Objects, rep.Objects.Replicas, rep.Objects.Lookups,
+			rep.Objects.NotFound, rep.Objects.Misses, rep.Objects.Republishes)
+	}
 	if len(rep.SlowQueries) > 0 {
 		fmt.Printf("slowest sampled queries (server-side, from /debug/trace):\n")
 		for _, s := range rep.SlowQueries {

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// objectServer fakes the server's object surface: /publish and
+// /unpublish count calls (failing the first `publishFail` publishes
+// with the given code), /lookup answers a fixed certified result or the
+// configured error.
+type objectServer struct {
+	publishes, unpublishes atomic.Int64
+	publishFail            int64
+	failCode               string
+	lookupStatus           int
+	lookupCode             string
+}
+
+func (o *objectServer) start(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/publish":
+			if n := o.publishes.Add(1); n <= o.publishFail {
+				w.WriteHeader(http.StatusBadRequest)
+				fmt.Fprintf(w, `{"error":"injected","code":%q}`, o.failCode)
+				return
+			}
+			fmt.Fprint(w, `{"object":"obj-00","node":3,"stable":3,"replicas":1}`)
+		case "/unpublish":
+			o.unpublishes.Add(1)
+			fmt.Fprint(w, `{"object":"obj-00","node":3,"stable":3,"replicas":1}`)
+		case "/lookup":
+			if o.lookupStatus != 0 {
+				w.WriteHeader(o.lookupStatus)
+				fmt.Fprintf(w, `{"error":"injected","code":%q}`, o.lookupCode)
+				return
+			}
+			from := r.URL.Query().Get("from")
+			// Echo the origin as the answering replica at distance zero,
+			// so planted self-lookups validate.
+			fmt.Fprintf(w, `{"object":"x","node":%s,"dist":0,"hops":1,"scanned":1,"replicas":2}`, from)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestSeedObjectsRetriesDormantIds: an out_of_range publish (a dormant
+// global id under fleet churn) redraws instead of failing the seed.
+func TestSeedObjectsRetriesDormantIds(t *testing.T) {
+	o := &objectServer{publishFail: 3, failCode: "out_of_range"}
+	srv := o.start(t)
+	pos, err := seedObjects(srv.Client(), srv.URL, 64, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != objCount {
+		t.Fatalf("seeded %d objects, want %d", len(pos), objCount)
+	}
+	if got := o.publishes.Load(); got != int64(objCount)+3 {
+		t.Fatalf("server saw %d publishes, want %d", got, objCount+3)
+	}
+}
+
+// TestSeedObjectsFailsOnHardError: any non-race publish failure aborts
+// the seed (the run must not start against a broken object layer).
+func TestSeedObjectsFailsOnHardError(t *testing.T) {
+	o := &objectServer{publishFail: 1 << 30, failCode: "internal"}
+	srv := o.start(t)
+	if _, err := seedObjects(srv.Client(), srv.URL, 64, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("hard seed failure accepted")
+	}
+}
+
+// TestDoLookupVerifiesSelfLookup: a lookup planted at an owned object's
+// position must answer that node at distance zero — the mock does, so
+// the sample succeeds; a certified answer with replicas<1 would fail.
+func TestDoLookupSucceeds(t *testing.T) {
+	o := &objectServer{}
+	srv := o.start(t)
+	g := &generator{base: srv.URL, retries: 1, objFrac: 0.5, objClients: 1}
+	rng := rand.New(rand.NewSource(2))
+	zipf := rand.NewZipf(rng, zipfS, 1, objCount-1)
+	pos := make([]int, objCount)
+	for i := range pos {
+		pos[i] = i
+	}
+	for i := 0; i < 32; i++ {
+		s := g.doLookup(srv.Client(), 64, rng, zipf, pos, 0, i%2 == 0)
+		if s.err != nil || s.status != http.StatusOK {
+			t.Fatalf("lookup %d: %+v", i, s)
+		}
+	}
+}
+
+// TestDoLookupChurnRaceTolerance: 404 not_found is a tolerated race
+// under churn (a move racing a republish) but a hard failure otherwise.
+func TestDoLookupChurnRaceTolerance(t *testing.T) {
+	o := &objectServer{lookupStatus: http.StatusNotFound, lookupCode: "not_found"}
+	srv := o.start(t)
+	rng := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(rng, zipfS, 1, objCount-1)
+	pos := make([]int, objCount)
+
+	churned := &generator{base: srv.URL, verify: true, objClients: 1}
+	if s := churned.doLookup(srv.Client(), 64, rng, zipf, pos, 0, false); s.err != nil || !s.stale {
+		t.Fatalf("churn-mode 404: %+v, want tolerated stale", s)
+	}
+	static := &generator{base: srv.URL, objClients: 1}
+	if s := static.doLookup(srv.Client(), 64, rng, zipf, pos, 0, false); s.err == nil || s.stale {
+		t.Fatalf("static-mode 404: %+v, want error", s)
+	}
+}
+
+// TestDoMovePublishesThenUnpublishes: a move lands the new replica
+// before retiring the old one and updates the remembered position.
+func TestDoMovePublishesThenUnpublishes(t *testing.T) {
+	o := &objectServer{}
+	srv := o.start(t)
+	g := &generator{base: srv.URL, objClients: 1}
+	pos := make([]int, objCount)
+	for i := range pos {
+		pos[i] = 63 // never equals the drawn next node below (n=32)
+	}
+	s := g.doMove(srv.Client(), 32, rand.New(rand.NewSource(4)), pos, 5)
+	if s.err != nil || s.status != http.StatusOK {
+		t.Fatalf("move: %+v", s)
+	}
+	if o.publishes.Load() != 1 || o.unpublishes.Load() != 1 {
+		t.Fatalf("server saw %d publishes, %d unpublishes", o.publishes.Load(), o.unpublishes.Load())
+	}
+	if pos[5] == 63 {
+		t.Fatal("position not advanced")
+	}
+}
+
+// TestFetchObjectsReport prefers the fleet body and falls back to the
+// single-engine body.
+func TestFetchObjectsReport(t *testing.T) {
+	for _, mode := range []string{"single", "fleet"} {
+		mode := mode
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				mode: objectsReport{Objects: 7, Lookups: 99},
+			})
+		}))
+		got, err := fetchObjectsReport(srv.Client(), srv.URL)
+		srv.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if got.Objects != 7 || got.Lookups != 99 {
+			t.Fatalf("%s: %+v", mode, got)
+		}
+	}
+}

@@ -48,6 +48,7 @@ func (s *server) handleFleetHealthz(w http.ResponseWriter) {
 		Replicas:     s.fleet.Replicas(),
 		ReplicasDown: down,
 		Degraded:     down > 0,
+		Objects:      s.objectsHealthBody(),
 		UptimeSec:    time.Since(s.start).Seconds(),
 		BuildVersion: ver.String(),
 	})

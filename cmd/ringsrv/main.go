@@ -23,6 +23,10 @@
 //	GET  /debug/trace              sampled per-query trace ring (-trace-sample)
 //	GET  /replica                  fleet: replica roster (state, era, breaker)
 //	POST /replica                  fleet: {"shard":S,"replica":R,"action":"kill"|"restart"}
+//	POST /publish                  object location: {"object":"name","node":N}
+//	POST /unpublish                object location: {"object":"name","node":N}
+//	GET  /lookup?object=O&from=N   nearest replica + certified distance
+//	GET  /objects/stats            object directory report
 //	/debug/pprof/*                 runtime profiles (-pprof)
 //
 // With -shards K the server builds a partitioned fleet (internal/shard)
@@ -86,6 +90,7 @@ import (
 	"time"
 
 	"rings/internal/churn"
+	"rings/internal/objects"
 	"rings/internal/oracle"
 	"rings/internal/shard"
 )
@@ -284,6 +289,12 @@ func run() error {
 	}
 	if mutator != nil {
 		handler.enableChurn(mutator, *seed)
+		// Rebuild the (still empty) object directory with the frozen base
+		// metric, so churn repairs can re-place replicas next-nearest.
+		handler.enableObjects(objects.Config{
+			Seed:     cfg.Seed,
+			BaseDist: mutator.FrozenSpace().Base().Dist,
+		})
 	}
 	if *snapFile != "" {
 		handler.enablePersist(*snapFile)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rings/internal/churn"
+	"rings/internal/objects"
 	"rings/internal/oracle"
 	"rings/internal/shard"
 	"rings/internal/telemetry"
@@ -76,11 +77,18 @@ type server struct {
 	// reqTimeout, when > 0, bounds every handler via a per-request
 	// context deadline.
 	reqTimeout time.Duration
+	// Object directory (single-engine mode; the fleet owns per-shard
+	// directories). Mutations are serialized by the directory itself;
+	// churn repairs run under churnMu like every other mutation. See
+	// objects.go.
+	objDir     *objects.Directory
+	objMetrics *objects.Metrics
 }
 
 func newServer(engine *oracle.Engine) *server {
 	s := &server{engine: engine, mux: http.NewServeMux(), start: time.Now()}
 	s.enableTelemetry(0, 0)
+	s.enableObjects(objects.Config{})
 	s.routes()
 	return s
 }
@@ -111,6 +119,10 @@ func (s *server) routes() {
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /replica", s.handleReplicaList)
 	s.mux.HandleFunc("POST /replica", s.handleReplicaAdmin)
+	s.mux.HandleFunc("POST /publish", s.handlePublish)
+	s.mux.HandleFunc("POST /unpublish", s.handleUnpublish)
+	s.mux.HandleFunc("GET /lookup", s.handleLookup)
+	s.mux.HandleFunc("GET /objects/stats", s.handleObjectsStats)
 }
 
 // enableLimits installs the admission semaphore (maxInflight <= 0
@@ -205,6 +217,7 @@ func (s *server) hydrateFrom(path string, fast *oracle.Snapshot) {
 		}
 		old := s.engine.Swap(full)
 		old.Close() // in-flight readers hold pins; unmap happens at last unpin
+		s.objDir.SetSnapshot(full) // directory becomes ready with the index
 		log.Printf("hydrated %s: routing=%v overlay=%v", full.Name, full.Router != nil, full.Overlay != nil)
 	}()
 }
@@ -290,6 +303,13 @@ const (
 	codeUnavailable = "unavailable"
 	// codeOverloaded marks a 503 shed by the admission semaphore.
 	codeOverloaded = "overloaded"
+	// codeNotFound marks a 404: the named object has no published
+	// replica anywhere (a name problem, not a node-id problem).
+	codeNotFound = "not_found"
+	// codeNoReplica marks an unpublish naming a node that holds no
+	// replica of an existing object — under churn, usually a race with a
+	// repair that moved the replica.
+	codeNoReplica = "no_replica"
 )
 
 // writeError maps engine errors to HTTP statuses: disabled artifacts
@@ -317,6 +337,15 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, churn.ErrCommit):
 		status = http.StatusInternalServerError
 		body.Code = codeInternal
+	case errors.Is(err, objects.ErrUnknownObject):
+		status = http.StatusNotFound
+		body.Code = codeNotFound
+	case errors.Is(err, objects.ErrNotReady):
+		// Flat-only warm start still hydrating: retryable, not wrong.
+		status = http.StatusServiceUnavailable
+		body.Code = codeUnavailable
+	case errors.Is(err, objects.ErrNoReplica):
+		body.Code = codeNoReplica
 	case errors.Is(err, oracle.ErrNodeRange):
 		body.Code = codeOutOfRange
 	case errors.Is(err, churn.ErrBelowFloor):
@@ -367,7 +396,9 @@ type healthBody struct {
 	Replicas     int     `json:"replicas,omitempty"`
 	ReplicasDown int     `json:"replicas_down,omitempty"`
 	Degraded     bool    `json:"degraded,omitempty"`
-	UptimeSec    float64 `json:"uptime_sec"`
+	// Objects summarizes the object-location layer (both modes).
+	Objects   *objectsHealth `json:"objects,omitempty"`
+	UptimeSec float64        `json:"uptime_sec"`
 	// BuildVersion identifies the serving binary (ldflags stamp or VCS
 	// revision), so scraped fleets correlate behavior with code.
 	BuildVersion string `json:"build_version"`
@@ -387,6 +418,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Scheme:       snap.Config.Scheme,
 		Routing:      snap.Router != nil,
 		Overlay:      snap.Overlay != nil,
+		Objects:      s.objectsHealthBody(),
 		UptimeSec:    time.Since(s.start).Seconds(),
 		BuildVersion: version.String(),
 	})
@@ -589,6 +621,9 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeInternalError(w, "rebuild", err)
 		return
 	}
+	// Re-anchor published objects on the rebuilt instance (same n, fresh
+	// metric): replica ids carry over, overlays are rebuilt.
+	s.objDir.SetSnapshot(snap)
 	if err := s.persistCurrent(); err != nil {
 		writeInternalError(w, "persist", err)
 		return
@@ -657,6 +692,10 @@ func (s *server) commitChurn(pick func() ([]churn.Op, *errorBody)) (churnRespons
 		return churnResponse{}, nil, err
 	}
 	s.engine.Swap(snap)
+	// Re-anchor the object directory on the new membership: replicas on
+	// departed nodes are re-published to the next-nearest survivor.
+	// Inside churnMu, so object repairs are serialized with mutations.
+	s.objDir.SetSnapshot(snap)
 	bases := make([]int, len(ops))
 	for i, op := range ops {
 		bases[i] = op.Base

@@ -137,6 +137,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	groups := []telemetry.Group{{R: telemetry.Default}, {R: s.auditor.reg}}
 	if s.fleet != nil {
 		groups = append(groups, telemetry.Group{R: s.fleet.Metrics()})
+		groups = append(groups, telemetry.Group{R: s.fleet.ObjectsMetrics()})
 		for i := 0; i < s.fleet.K(); i++ {
 			prefix := fmt.Sprintf("shard%d_", i)
 			groups = append(groups, telemetry.Group{Prefix: prefix, R: s.fleet.ShardEngine(i).Metrics()})
@@ -148,6 +149,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		groups = append(groups, telemetry.Group{R: s.engine.Metrics()})
 		if s.mutator != nil {
 			groups = append(groups, telemetry.Group{R: s.mutator.Metrics()})
+		}
+		if s.objMetrics != nil {
+			groups = append(groups, telemetry.Group{R: s.objMetrics.Reg})
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -28,6 +28,11 @@ func NewSubspace(base Space, nodes []int32) *Subspace {
 // N reports the number of nodes in the view.
 func (s *Subspace) N() int { return len(s.nodes) }
 
+// Base returns the underlying full space — distances between base ids
+// regardless of membership, which is what churn-repair policies that
+// measure from a departed node need.
+func (s *Subspace) Base() Space { return s.base }
+
 // Dist reports the base distance between the viewed nodes. The base ids
 // are passed through in view order, so spaces whose Dist fixes float
 // summation order by id (ClusteredLatency) answer bit-identically for

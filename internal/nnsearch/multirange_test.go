@@ -1,0 +1,125 @@
+package nnsearch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rings/internal/metric"
+)
+
+// multiRangeSpaces builds the four workload families at property-test
+// scale.
+func multiRangeSpaces(t *testing.T) map[string]metric.Space {
+	t.Helper()
+	grid, err := metric.NewGrid(6, 2, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := metric.ExponentialLine(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := metric.NewClusteredLatency(48, 3, []int{3, 3}, []float64{200, 40, 8}, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]metric.Space{
+		"grid":    grid,
+		"expline": line,
+		"latency": lat,
+		"cube":    metric.Materialize(metric.UniformCube(44, 2, 100, rand.New(rand.NewSource(3)))),
+	}
+}
+
+// bruteRange is the reference answer: every member within r of target,
+// ascending.
+func bruteRange(idx metric.BallIndex, members []int, target int, r float64) []int {
+	var out []int
+	for _, m := range members {
+		if idx.Dist(m, target) <= r {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TestMultiRangeAgainstBruteForce pins Overlay.MultiRange on all four
+// workload families:
+//
+//   - soundness under the default (sampled-ring) config — every
+//     reported member really lies within r, reported ascending without
+//     duplicates (a subset of the brute-force scan);
+//   - completeness under complete rings (PerRing >= |members|) — the
+//     flood returns EXACTLY the brute-force range scan, the density the
+//     objects layer runs its per-object overlays at.
+func TestMultiRangeAgainstBruteForce(t *testing.T) {
+	for name, space := range multiRangeSpaces(t) {
+		name, space := name, space
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			idx := metric.NewIndex(space)
+			var members []int
+			for m := 0; m < idx.N(); m += 3 {
+				members = append(members, m)
+			}
+			sampled, err := New(idx, members, DefaultConfig(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			complete, err := New(idx, members, Config{RingBase: 2, PerRing: len(members), Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := len(members) + 8
+			rng := rand.New(rand.NewSource(11))
+			for target := 0; target < idx.N(); target++ {
+				// Radii spanning the scales around the target: zero, the
+				// nearest-member distance, and random member distances
+				// scaled up and down.
+				_, nd := sampled.TrueNearest(target)
+				radii := []float64{0, nd}
+				for i := 0; i < 4; i++ {
+					m := members[rng.Intn(len(members))]
+					radii = append(radii, idx.Dist(m, target)*(0.5+rng.Float64()))
+				}
+				for _, r := range radii {
+					entry := members[rng.Intn(len(members))]
+					want := bruteRange(idx, members, target, r)
+
+					got, err := sampled.MultiRange(entry, target, r, budget)
+					if err != nil {
+						t.Fatalf("target %d r %v: %v", target, r, err)
+					}
+					if !sort.IntsAreSorted(got) {
+						t.Fatalf("target %d r %v: unsorted result %v", target, r, got)
+					}
+					for i, m := range got {
+						if i > 0 && got[i-1] == m {
+							t.Fatalf("target %d r %v: duplicate member %d", target, r, m)
+						}
+						if idx.Dist(m, target) > r {
+							t.Fatalf("target %d r %v: member %d at %v outside the range",
+								target, r, m, idx.Dist(m, target))
+						}
+					}
+
+					exact, err := complete.MultiRange(entry, target, r, budget)
+					if err != nil {
+						t.Fatalf("target %d r %v (complete): %v", target, r, err)
+					}
+					if len(exact) != len(want) {
+						t.Fatalf("target %d r %v: complete rings found %v, brute force %v",
+							target, r, exact, want)
+					}
+					for i := range want {
+						if exact[i] != want[i] {
+							t.Fatalf("target %d r %v: complete rings found %v, brute force %v",
+								target, r, exact, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

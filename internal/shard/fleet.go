@@ -13,8 +13,10 @@ import (
 
 	"rings/internal/churn"
 	"rings/internal/metric"
+	"rings/internal/objects"
 	"rings/internal/oracle"
 	"rings/internal/par"
+	"rings/internal/telemetry"
 	"rings/internal/workload"
 )
 
@@ -55,6 +57,10 @@ type shardUnit struct {
 	// are snapshot-shipped copies. Every entry sits behind an admin gate
 	// and an (optional) Config.Transport.
 	reps *replicaSet
+	// dir is the shard's object directory, keyed in global ids (replicas
+	// on nodes this shard owns live here; see objects.go). Built in
+	// finishInit; churn commits repair it via repairObjectsLocked.
+	dir *objects.Directory
 }
 
 func (u *shardUnit) load() *shardState { return u.state.Load() }
@@ -98,6 +104,13 @@ type Fleet struct {
 	closeOnce sync.Once
 
 	metrics *fleetMetrics
+
+	// Object-location layer (objects.go): fleet-level rings_objects_*
+	// telemetry plus the cross-shard pruning counters sharing its
+	// registry. Per-shard directories live on the shardUnits.
+	objMetrics *objects.Metrics
+	objPruned  *telemetry.Counter
+	objRefined *telemetry.Counter
 
 	buildElapsed time.Duration
 }
@@ -294,6 +307,7 @@ func (f *Fleet) finishInit(start time.Time) {
 	f.metrics.beacons.Set(float64(len(f.tier.ids)))
 	f.metrics.nodes.Set(float64(f.N()))
 	f.metrics.replicas.Set(float64(f.cfg.Replicas))
+	f.initObjects()
 	f.probeStop = make(chan struct{})
 	f.probeWG.Add(1)
 	go f.prober()
@@ -1203,6 +1217,9 @@ func (f *Fleet) commitLocked(unit *shardUnit, s int, ops []churn.Op, epoch int64
 	unit.reps.reps[0].vers.Store(&repVersions{era: snap.Version, engine: snap.Version})
 	unit.state.Store(f.newState(snap, snap.Perm, unit.load()))
 	f.shipLocked(unit, snap)
+	if unit.dir != nil {
+		f.repairObjectsLocked(unit, snap)
+	}
 	bases := make([]int, len(ops))
 	for i, op := range ops {
 		bases[i] = op.Base

@@ -216,7 +216,7 @@ func (s *server) hydrateFrom(path string, fast *oracle.Snapshot) {
 			return // a rebuild landed first; its snapshot is newer
 		}
 		old := s.engine.Swap(full)
-		old.Close() // in-flight readers hold pins; unmap happens at last unpin
+		old.Close()                // in-flight readers hold pins; unmap happens at last unpin
 		s.objDir.SetSnapshot(full) // directory becomes ready with the index
 		log.Printf("hydrated %s: routing=%v overlay=%v", full.Name, full.Router != nil, full.Overlay != nil)
 	}()
@@ -381,21 +381,21 @@ func intParam(r *http.Request, name string) (int, error) {
 // — [0, Universe) with Owner = id mod Shards — and under churn only a
 // subset of them is active at a time.
 type healthBody struct {
-	OK        bool    `json:"ok"`
-	Version   int64   `json:"version"`
-	N         int     `json:"n"`
-	Workload  string  `json:"workload"`
-	Scheme    string  `json:"scheme"`
-	Routing   bool    `json:"routing"`
-	Overlay   bool    `json:"overlay"`
-	Shards    int     `json:"shards,omitempty"`
-	Universe  int     `json:"universe,omitempty"`
+	OK       bool   `json:"ok"`
+	Version  int64  `json:"version"`
+	N        int    `json:"n"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Routing  bool   `json:"routing"`
+	Overlay  bool   `json:"overlay"`
+	Shards   int    `json:"shards,omitempty"`
+	Universe int    `json:"universe,omitempty"`
 	// Replica roster summary (fleet mode with -replicas): Degraded is
 	// true while any replica is killed or breaker-open — the fleet still
 	// answers (failover), but with reduced redundancy.
-	Replicas     int     `json:"replicas,omitempty"`
-	ReplicasDown int     `json:"replicas_down,omitempty"`
-	Degraded     bool    `json:"degraded,omitempty"`
+	Replicas     int  `json:"replicas,omitempty"`
+	ReplicasDown int  `json:"replicas_down,omitempty"`
+	Degraded     bool `json:"degraded,omitempty"`
 	// Objects summarizes the object-location layer (both modes).
 	Objects   *objectsHealth `json:"objects,omitempty"`
 	UptimeSec float64        `json:"uptime_sec"`

@@ -1,0 +1,125 @@
+// Command ringvet runs the repo's static-analysis suite (internal/lint)
+// over the module and reports every finding. Unsuppressed findings make
+// it exit non-zero, so it slots straight into CI:
+//
+//	go run ./cmd/ringvet ./...          # human-readable findings
+//	go run ./cmd/ringvet -json ./...    # one JSON object per finding
+//
+// The package patterns are advisory: the loader always type-checks the
+// whole module (the atomics analyzer is cross-package), then the
+// patterns filter which packages' findings are reported. `./...` (or no
+// argument) reports everything.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rings/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines")
+	listAnalyzers := flag.Bool("analyzers", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ringvet [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listAnalyzers {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root, modPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	diags = filterByPatterns(diags, pkgs, modPath, flag.Args())
+
+	failed := false
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		if *jsonOut {
+			if err := enc.Encode(d); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println(d)
+		}
+		if !d.Suppressed {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// filterByPatterns keeps the findings whose package matches one of the
+// command-line patterns. Supported shapes: "./...", "all" (everything),
+// "./x/..." and "x/..." (subtree), "./x" and import paths (exact).
+func filterByPatterns(diags []lint.Diagnostic, pkgs []*lint.Package, modPath string, patterns []string) []lint.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	match := func(ipath string) bool {
+		for _, pat := range patterns {
+			if pat == "./..." || pat == "..." || pat == "all" {
+				return true
+			}
+			p := strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+			if rec, ok := strings.CutSuffix(p, "/..."); ok {
+				full := modPath + "/" + rec
+				if ipath == full || strings.HasPrefix(ipath, full+"/") {
+					return true
+				}
+				continue
+			}
+			if ipath == p || ipath == modPath+"/"+p || (p == "." && ipath == modPath) {
+				return true
+			}
+		}
+		return false
+	}
+	// Map file prefixes (package dirs) to import paths so findings —
+	// which carry file positions — can be filtered by package.
+	dirToPath := make(map[string]string, len(pkgs))
+	for _, pkg := range pkgs {
+		dirToPath[pkg.Dir] = pkg.Path
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		dir := d.File
+		if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+			dir = dir[:i]
+		}
+		if ipath, ok := dirToPath[dir]; ok && !match(ipath) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ringvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,15 @@
+package lint
+
+// All returns every ringvet analyzer in reporting order. cmd/ringvet
+// and the selfcheck test both run exactly this set, so adding an
+// analyzer here is what puts it into the gate.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoAlloc,
+		PinPair,
+		Atomics,
+		Determinism,
+		ErrTaxonomy,
+		PromMetrics,
+	}
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomics enforces the lock-free discipline the telemetry core and the
+// fleet's replica state depend on, module-wide:
+//
+//  1. Mixed access: a struct field or package variable passed by
+//     address to a sync/atomic function anywhere in the module must
+//     never be read or written plainly elsewhere — a single plain load
+//     next to atomic stores is a data race the -race gate only catches
+//     when a test happens to interleave it.
+//  2. Copy discipline (beyond vet's copylocks): values of types that
+//     contain sync/atomic types (atomic.Pointer, atomic.Int64, the
+//     histogram stripes), or sync locks, must not be copied — copying
+//     forks the atomic's state and silently splits writers from
+//     readers.
+var Atomics = &Analyzer{
+	Name:      "atomics",
+	Doc:       "atomic fields must never be accessed plainly; structs holding atomics/locks must not be copied",
+	RunModule: runAtomics,
+}
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the value they operate on.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomics(mp *ModulePass) {
+	// Pass 1: collect every object (field or variable) whose address
+	// feeds a sync/atomic call, plus the positions of those sanctioned
+	// accesses.
+	atomicObjs := make(map[types.Object][]token.Pos)
+	sanctioned := make(map[token.Pos]bool)
+	for _, pkg := range mp.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !atomicFuncs[sel.Sel.Name] {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := info.Uses[id].(*types.PkgName); !ok || pn.Imported().Path() != "sync/atomic" {
+						return true
+					}
+				} else {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				if obj := addressedObject(info, addr.X); obj != nil {
+					atomicObjs[obj] = append(atomicObjs[obj], call.Pos())
+					markSanctioned(sanctioned, addr.X)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: any other syntactic access to those objects is a plain
+	// (racy) access.
+	if len(atomicObjs) > 0 {
+		for _, pkg := range mp.Packages {
+			info := pkg.Info
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok || sanctioned[id.Pos()] {
+						return true
+					}
+					obj := info.Uses[id]
+					if obj == nil {
+						return true
+					}
+					if _, isAtomic := atomicObjs[obj]; isAtomic {
+						mp.Reportf(pkg, id.Pos(),
+							"plain access to %s, which is accessed via sync/atomic elsewhere (data race); use the atomic API on every access",
+							objDesc(obj))
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Copy discipline.
+	for _, pkg := range mp.Packages {
+		checkAtomicCopies(mp, pkg)
+	}
+}
+
+// addressedObject resolves &expr's operand to a struct field or
+// variable object.
+func addressedObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.Ident:
+		return info.Uses[e]
+	}
+	return nil
+}
+
+// markSanctioned records the identifiers inside an atomic call's
+// address argument so pass 2 does not flag the call itself.
+func markSanctioned(sanctioned map[token.Pos]bool, expr ast.Expr) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			sanctioned[id.Pos()] = true
+		}
+		return true
+	})
+}
+
+func objDesc(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return fmt.Sprintf("field %s", v.Name())
+	}
+	return fmt.Sprintf("variable %s", obj.Name())
+}
+
+// mustNotCopy reports whether t transitively contains a sync lock or a
+// sync/atomic value type (so a shallow copy forks live state). Pointers
+// break the chain; the pointed-to value is shared, not copied.
+func mustNotCopy(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return true
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return true
+				}
+			}
+		}
+		return mustNotCopy(tt.Underlying(), seen)
+	case *types.Alias:
+		return mustNotCopy(types.Unalias(tt), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if mustNotCopy(tt.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return mustNotCopy(tt.Elem(), seen)
+	}
+	return false
+}
+
+func noCopy(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return mustNotCopy(t, make(map[types.Type]bool))
+}
+
+// isCopyRead matches expressions whose evaluation copies an existing
+// value: variables, fields, derefs and element loads. Composite
+// literals and fresh call results construct rather than copy.
+func isCopyRead(expr ast.Expr) bool {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func checkAtomicCopies(mp *ModulePass, pkg *Package) {
+	info := pkg.Info
+	typeName := func(e ast.Expr) string {
+		if t := info.Types[e].Type; t != nil {
+			return t.String()
+		}
+		return "value"
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := info.Types[f.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if noCopy(t) {
+				mp.Reportf(pkg, f.Type.Pos(), "%s passes %s by value, copying its atomics/locks; pass a pointer", what, t)
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkFieldList(fd.Recv, "receiver of "+fd.Name.Name)
+			checkFieldList(fd.Type.Params, fd.Name.Name)
+			checkFieldList(fd.Type.Results, "result of "+fd.Name.Name)
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch nd := n.(type) {
+				case *ast.FuncLit:
+					checkFieldList(nd.Type.Params, "func literal")
+					checkFieldList(nd.Type.Results, "result of func literal")
+				case *ast.AssignStmt:
+					for i, rhs := range nd.Rhs {
+						if i < len(nd.Lhs) && isBlank(nd.Lhs[i]) {
+							continue
+						}
+						if isCopyRead(rhs) && noCopy(info.Types[rhs].Type) {
+							mp.Reportf(pkg, rhs.Pos(), "assignment copies %s, which holds atomics/locks; use a pointer", typeName(rhs))
+						}
+					}
+				case *ast.CallExpr:
+					if tv, ok := info.Types[nd.Fun]; ok && tv.IsType() {
+						return true // conversion, not a call
+					}
+					for _, arg := range nd.Args {
+						if isCopyRead(arg) && noCopy(info.Types[arg].Type) {
+							mp.Reportf(pkg, arg.Pos(), "call copies argument %s, which holds atomics/locks; pass a pointer", typeName(arg))
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range nd.Results {
+						if isCopyRead(res) && noCopy(info.Types[res].Type) {
+							mp.Reportf(pkg, res.Pos(), "return copies %s, which holds atomics/locks; return a pointer", typeName(res))
+						}
+					}
+				case *ast.RangeStmt:
+					if nd.Value == nil || isBlank(nd.Value) {
+						return true
+					}
+					t := info.Types[nd.X].Type
+					if t == nil {
+						return true
+					}
+					var elem types.Type
+					switch u := t.Underlying().(type) {
+					case *types.Slice:
+						elem = u.Elem()
+					case *types.Array:
+						elem = u.Elem()
+					case *types.Pointer:
+						if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+							elem = arr.Elem()
+						}
+					}
+					if elem != nil && noCopy(elem) {
+						mp.Reportf(pkg, nd.Value.Pos(), "range copies elements of %s, which hold atomics/locks; range over indices", t)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

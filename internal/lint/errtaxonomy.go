@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"net/http"
+)
+
+// errTaxonomy is the documented machine-readable error surface of
+// ringsrv (DESIGN.md §14): code → the one HTTP status it may ride on.
+// ringload's churn-race tolerance and the chaos smokes key on these
+// codes, so an undocumented code or a code/status mismatch silently
+// breaks every client-side classifier.
+var errTaxonomy = map[string]int{
+	"out_of_range":    http.StatusBadRequest,
+	"below_floor":     http.StatusBadRequest,
+	"at_capacity":     http.StatusBadRequest,
+	"no_replica":      http.StatusBadRequest,
+	"not_found":       http.StatusNotFound,
+	"internal":        http.StatusInternalServerError,
+	"not_implemented": http.StatusNotImplemented,
+	"cross_shard":     http.StatusNotImplemented,
+	"unavailable":     http.StatusServiceUnavailable,
+	"overloaded":      http.StatusServiceUnavailable,
+}
+
+// ErrTaxonomy checks every error response a server package emits
+// against the documented taxonomy. It activates in any package that
+// declares a struct type named errorBody with a Code field (ringsrv,
+// and fixture stand-ins), then enforces:
+//
+//  1. every compile-time value assigned to errorBody.Code is a
+//     documented code;
+//  2. a writeJSON(w, status, errorBody{...}) call with both sides
+//     constant carries the code's documented status;
+//  3. in a status-mapping function (writeError's shape: `status := C`
+//     then a switch assigning `status = Cx` / `body.Code = cx` per
+//     case), each case's effective (status, code) pair matches the
+//     taxonomy.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "error responses must use documented codes with their documented HTTP statuses",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) {
+	scope := pass.Types.Scope()
+	ebObj := scope.Lookup("errorBody")
+	if ebObj == nil {
+		return
+	}
+	st, ok := ebObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	hasCode := false
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Code" {
+			hasCode = true
+		}
+	}
+	if !hasCode {
+		return
+	}
+	ebType := ebObj.Type()
+
+	for _, file := range pass.Files {
+		// Literals consumed by a writeJSON call are checked there with
+		// the status pairing; don't re-check them standalone.
+		handled := make(map[*ast.CompositeLit]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nd := n.(type) {
+			case *ast.CompositeLit:
+				if handled[nd] {
+					return true
+				}
+				if t := pass.Info.Types[nd].Type; t == nil || !types.Identical(t, ebType) {
+					return true
+				}
+				checkErrBodyLit(pass, nd, -1)
+			case *ast.CallExpr:
+				if lit := checkWriteJSONCall(pass, ebType, nd); lit != nil {
+					handled[lit] = true
+				}
+				return true // still descend: other literals check above
+			case *ast.FuncDecl:
+				if nd.Body != nil {
+					checkStatusMappingFunc(pass, ebType, nd)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrBodyLit validates an errorBody composite literal's Code
+// field; wantStatus >= 0 additionally pins the status pairing.
+func checkErrBodyLit(pass *Pass, lit *ast.CompositeLit, wantStatus int64) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		code, ok := constString(pass.Info, kv.Value)
+		if !ok {
+			pass.Reportf(kv.Value.Pos(), "errorBody.Code is not a compile-time constant; use one of the documented code constants")
+			continue
+		}
+		checkCodeStatusAt(pass, kv.Value, code, wantStatus)
+	}
+}
+
+func checkCodeStatusAt(pass *Pass, n ast.Node, code string, status int64) {
+	want, ok := errTaxonomy[code]
+	if !ok {
+		pass.Reportf(n.Pos(), "error code %q is not in the documented taxonomy; add it to the table (and DESIGN.md §14) or use a documented code", code)
+		return
+	}
+	if status >= 0 && int(status) != want {
+		pass.Reportf(n.Pos(), "error code %q documented for HTTP %d but sent with %d", code, want, status)
+	}
+}
+
+// checkWriteJSONCall pins writeJSON(w, status, errorBody{...}) pairs,
+// returning the literal it consumed (nil when the call doesn't match).
+func checkWriteJSONCall(pass *Pass, ebType types.Type, call *ast.CallExpr) *ast.CompositeLit {
+	if calleeName(call.Fun) != "writeJSON" || len(call.Args) != 3 {
+		return nil
+	}
+	lit, ok := ast.Unparen(call.Args[2]).(*ast.CompositeLit)
+	if !ok {
+		if u, isAddr := ast.Unparen(call.Args[2]).(*ast.UnaryExpr); isAddr {
+			lit, ok = u.X.(*ast.CompositeLit)
+		}
+		if !ok {
+			return nil
+		}
+	}
+	if t := pass.Info.Types[lit].Type; t == nil || !types.Identical(t, ebType) {
+		return nil
+	}
+	status, ok := constInt(pass.Info, call.Args[1])
+	if !ok {
+		status = -1
+	}
+	checkErrBodyLit(pass, lit, status)
+	return lit
+}
+
+// checkStatusMappingFunc handles writeError's shape: a local integer
+// `status` initialized to a constant, an errorBody variable, and a
+// switch whose cases assign status and/or body.Code. The effective
+// pair of each case (falling back to the initial status when a case
+// only sets the code) must match the taxonomy.
+func checkStatusMappingFunc(pass *Pass, ebType types.Type, fd *ast.FuncDecl) {
+	info := pass.Info
+	var statusObj types.Object
+	var initStatus int64 = -1
+	// Find `status := <const>` (any int local initialized from a
+	// constant and later assigned inside a switch alongside a Code
+	// assignment — anchored on the name to stay simple and honest).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name != "status" {
+			return true
+		}
+		if v, ok := constInt(info, as.Rhs[0]); ok && statusObj == nil {
+			if obj := objOf(info, id); obj != nil {
+				statusObj, initStatus = obj, v
+			}
+		}
+		return true
+	})
+	if statusObj == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sw.Body.List {
+			clause := c.(*ast.CaseClause)
+			caseStatus := initStatus
+			code := ""
+			var codeNode ast.Node
+			for _, s := range clause.Body {
+				as, ok := s.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+					continue
+				}
+				switch lhs := ast.Unparen(as.Lhs[0]).(type) {
+				case *ast.Ident:
+					if objOf(info, lhs) == statusObj {
+						if v, ok := constInt(info, as.Rhs[0]); ok {
+							caseStatus = v
+						} else {
+							caseStatus = -1 // dynamic: skip pairing
+						}
+					}
+				case *ast.SelectorExpr:
+					if lhs.Sel.Name != "Code" {
+						continue
+					}
+					if bt := info.Types[lhs.X].Type; bt == nil || !types.Identical(bt, ebType) {
+						continue
+					}
+					if v, ok := constString(info, as.Rhs[0]); ok {
+						code, codeNode = v, as.Rhs[0]
+					} else {
+						pass.Reportf(as.Rhs[0].Pos(), "errorBody.Code is not a compile-time constant; use one of the documented code constants")
+					}
+				}
+			}
+			if codeNode != nil {
+				checkCodeStatusAt(pass, codeNode, code, caseStatus)
+			}
+		}
+		return true
+	})
+}

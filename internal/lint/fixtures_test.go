@@ -1,0 +1,107 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rings/internal/lint"
+)
+
+// wantRE matches expectation comments in fixture files:
+//
+//	// want "substring of the finding message"
+//	// want-suppressed "substring"   (finding must be present AND suppressed)
+//
+// A line may carry several expectations.
+var wantRE = regexp.MustCompile(`want(-suppressed)? "([^"]+)"`)
+
+type expectation struct {
+	file       string
+	line       int
+	substr     string
+	suppressed bool
+	matched    bool
+}
+
+// loadFixture type-checks the fixture module under testdata/<name> and
+// runs exactly one analyzer over it.
+func loadFixture(t *testing.T, name string, a *lint.Analyzer) ([]*lint.Package, []lint.Diagnostic) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, modPath, err := lint.FindModuleRoot(root)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	pkgs, err := lint.LoadModule(root, modPath)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return pkgs, lint.Run(pkgs, []*lint.Analyzer{a})
+}
+
+// collectWants scans every fixture file's comments for expectations.
+func collectWants(pkgs []*lint.Package) []*expectation {
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						wants = append(wants, &expectation{
+							file:       pos.Filename,
+							line:       pos.Line,
+							substr:     m[2],
+							suppressed: m[1] != "",
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkFixture(t *testing.T, name string, a *lint.Analyzer) {
+	t.Helper()
+	pkgs, diags := loadFixture(t, name, a)
+	wants := collectWants(pkgs)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.File || w.line != d.Line || w.suppressed != d.Suppressed {
+				continue
+			}
+			if strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			kind := "finding"
+			if w.suppressed {
+				kind = "suppressed finding"
+			}
+			t.Errorf("%s:%d: missing %s containing %q", w.file, w.line, kind, w.substr)
+		}
+	}
+}
+
+func TestNoAllocFixture(t *testing.T)     { checkFixture(t, "noalloc", lint.NoAlloc) }
+func TestPinPairFixture(t *testing.T)     { checkFixture(t, "pinpair", lint.PinPair) }
+func TestAtomicsFixture(t *testing.T)     { checkFixture(t, "atomics", lint.Atomics) }
+func TestDeterminismFixture(t *testing.T) { checkFixture(t, "determinism", lint.Determinism) }
+func TestErrTaxonomyFixture(t *testing.T) { checkFixture(t, "errtaxonomy", lint.ErrTaxonomy) }
+func TestPromMetricsFixture(t *testing.T) { checkFixture(t, "prommetrics", lint.PromMetrics) }

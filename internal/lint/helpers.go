@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// constString resolves expr to a compile-time string constant.
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constInt resolves expr to a compile-time integer constant.
+func constInt(info *types.Info, expr ast.Expr) (int64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return v, ok
+}
+
+// pkgOf returns the package an identifier-or-selector function
+// expression resolves into ("" for local/builtin calls): for
+// atomic.AddInt64 it is "sync/atomic".
+func calleePkgPath(info *types.Info, fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+		}
+		if obj := info.Uses[f.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	case *ast.Ident:
+		if obj := info.Uses[f]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	}
+	return ""
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(fun ast.Expr) string {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.Ident:
+		return f.Name
+	}
+	return ""
+}
+
+// isPkgCall reports whether call invokes pkgPath.name (a package-level
+// function, not a method).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// namedOrAlias unwraps expr's type to its named form, if any.
+func namedType(t types.Type) (*types.Named, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Named:
+			return tt, true
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Pointer:
+			t = tt.Elem()
+		default:
+			return nil, false
+		}
+	}
+}
+
+// typeIs reports whether t (possibly behind pointers/aliases) is the
+// named type pkgSuffix.name, matching the defining package by path
+// suffix so fixtures can model real types with local stand-ins.
+func typeIs(t types.Type, pkgSuffix, name string) bool {
+	n, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// funcStack tracks the enclosing function declarations and literals
+// during a Walk: stack[0] is the outermost FuncDecl.
+type funcStack struct {
+	decls []*ast.FuncDecl
+	lits  []*ast.FuncLit
+}
+
+// walkFuncs traverses every function body of the file, calling visit
+// with the enclosing declaration chain maintained.
+func walkFuncs(file *ast.File, visit func(fd *ast.FuncDecl, n ast.Node) bool) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return visit(fd, n)
+		})
+	}
+}
+
+// parentMap records each node's syntactic parent within a subtree.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// terminates reports whether a statement list always transfers control
+// out of the enclosing function/loop (return, panic, continue, break,
+// goto) on every path — a conservative syntactic check used by the
+// pinpair analyzer's early-return pattern matching.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(st.List)
+	case *ast.IfStmt:
+		if st.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseTerm = stmtTerminates(e)
+		}
+		return elseTerm && terminates(st.Body.List)
+	}
+	return false
+}

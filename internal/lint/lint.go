@@ -1,0 +1,252 @@
+// Package lint is ringvet's stdlib-only static-analysis framework: it
+// loads the module's packages with go/parser, type-checks them with
+// go/types (imports outside the module resolve through the compiler's
+// source importer, so no new dependencies), and runs repo-specific
+// analyzers that enforce the codebase's load-bearing invariants —
+// zero-alloc hot paths, pin/unpin pairing, atomic field discipline,
+// build determinism, the HTTP error taxonomy, and metric registration
+// hygiene.
+//
+// Two comment pragmas drive the suite:
+//
+//	//ringvet:hotpath
+//	    placed in a function's doc comment, marks it as an
+//	    allocation-free serving path; the noalloc analyzer then flags
+//	    any allocating construct inside it.
+//
+//	//ringvet:ignore <analyzer>[,<analyzer>...]: <reason>
+//	    suppresses findings of the named analyzers on the pragma's own
+//	    line or the line directly below it. The reason is mandatory: a
+//	    pragma without one is itself reported (by the built-in
+//	    "pragma" analyzer) and cannot be suppressed.
+//
+// The suite is self-enforcing: selfcheck_test.go runs every analyzer
+// over the whole module and fails on any unsuppressed finding, so
+// `go test ./...` is the gate; `go run ./cmd/ringvet ./...` is the
+// same check as a CI step with -json findings output.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: which analyzer fired, where, and why.
+// Suppressed findings are kept (CI uploads them for audit) but do not
+// fail the run.
+type Diagnostic struct {
+	Analyzer   string         `json:"analyzer"`
+	Pos        token.Position `json:"-"`
+	File       string         `json:"file"`
+	Line       int            `json:"line"`
+	Col        int            `json:"col"`
+	Message    string         `json:"message"`
+	Suppressed bool           `json:"suppressed,omitempty"`
+	Reason     string         `json:"reason,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	if d.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", d.Reason)
+	}
+	return s
+}
+
+// Analyzer is one named invariant check. Exactly one of Run (invoked
+// once per package) or RunModule (invoked once with every package, for
+// cross-package invariants like atomic field discipline) is set.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
+}
+
+// Pass is one analyzer's view of one package plus its reporter.
+type Pass struct {
+	*Package
+	analyzer string
+	report   func(Diagnostic)
+}
+
+// ModulePass is one analyzer's view of the whole module.
+type ModulePass struct {
+	Packages []*Package
+	analyzer string
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	reportf(p.Fset.Position(pos), p.analyzer, p.report, format, args...)
+}
+
+// Reportf records a finding at pos within pkg.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	reportf(pkg.Fset.Position(pos), mp.analyzer, mp.report, format, args...)
+}
+
+func reportf(pos token.Position, analyzer string, sink func(Diagnostic), format string, args ...any) {
+	sink(Diagnostic{
+		Analyzer: analyzer,
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// pragmaIgnore is one parsed //ringvet:ignore comment.
+type pragmaIgnore struct {
+	analyzers []string // named analyzers (never empty after parsing)
+	reason    string   // empty = malformed, reported by the pragma check
+	pos       token.Position
+}
+
+const (
+	ignorePrefix  = "//ringvet:ignore"
+	hotpathPragma = "//ringvet:hotpath"
+)
+
+// parsePragmas extracts every //ringvet:ignore pragma of a file,
+// indexed by the source lines it covers (its own line and the next).
+func parsePragmas(fset *token.FileSet, file *ast.File) map[int][]pragmaIgnore {
+	idx := make(map[int][]pragmaIgnore)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, ignorePrefix)
+			pos := fset.Position(c.Pos())
+			p := pragmaIgnore{pos: pos}
+			// Grammar: "//ringvet:ignore name[,name...]: reason".
+			if i := strings.Index(rest, ":"); i >= 0 {
+				for _, name := range strings.Split(rest[:i], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						p.analyzers = append(p.analyzers, name)
+					}
+				}
+				p.reason = strings.TrimSpace(rest[i+1:])
+			} else {
+				for _, name := range strings.Fields(rest) {
+					p.analyzers = append(p.analyzers, strings.TrimSuffix(name, ","))
+				}
+			}
+			idx[pos.Line] = append(idx[pos.Line], p)
+			idx[pos.Line+1] = append(idx[pos.Line+1], p)
+		}
+	}
+	return idx
+}
+
+// isHotpath reports whether fn's doc comment carries //ringvet:hotpath.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathPragma) {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions matches raw diagnostics against the ignore pragmas
+// of their packages, marking matches suppressed. Malformed pragmas
+// (no analyzer names, or no reason) become "pragma" findings that are
+// never suppressible — every suppression must carry a written reason.
+func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	byFile := make(map[string]map[int][]pragmaIgnore)
+	var malformed []pragmaIgnore
+	seen := make(map[token.Position]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for line, ps := range parsePragmas(pkg.Fset, f) {
+				for _, p := range ps {
+					fname := p.pos.Filename
+					if byFile[fname] == nil {
+						byFile[fname] = make(map[int][]pragmaIgnore)
+					}
+					byFile[fname][line] = append(byFile[fname][line], p)
+					if (len(p.analyzers) == 0 || p.reason == "") && !seen[p.pos] {
+						seen[p.pos] = true
+						malformed = append(malformed, p)
+					}
+				}
+			}
+		}
+	}
+	out := make([]Diagnostic, 0, len(diags)+len(malformed))
+	for _, d := range diags {
+		for _, p := range byFile[d.File][d.Line] {
+			if p.reason == "" {
+				continue // malformed pragmas suppress nothing
+			}
+			for _, name := range p.analyzers {
+				if name == d.Analyzer {
+					d.Suppressed = true
+					d.Reason = p.reason
+				}
+			}
+		}
+		out = append(out, d)
+	}
+	for _, p := range malformed {
+		out = append(out, Diagnostic{
+			Analyzer: "pragma",
+			Pos:      p.pos,
+			File:     p.pos.Filename,
+			Line:     p.pos.Line,
+			Col:      p.pos.Column,
+			Message:  "malformed //ringvet:ignore pragma: want \"//ringvet:ignore <analyzer>[,<analyzer>]: <reason>\" (the reason is mandatory)",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// Run executes the analyzers over the given packages and returns the
+// suppression-resolved diagnostics, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		switch {
+		case a.RunModule != nil:
+			a.RunModule(&ModulePass{Packages: pkgs, analyzer: a.Name, report: sink})
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Package: pkg, analyzer: a.Name, report: sink})
+			}
+		}
+	}
+	return applySuppressions(pkgs, diags)
+}
+
+// Unsuppressed filters to the findings that fail a run.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis, with everything an analyzer needs: syntax, types, and the
+// type-checker's fact tables.
+type Package struct {
+	Path string // import path ("rings/internal/oracle")
+	Dir  string // absolute directory
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types *types.Package
+	Info  *types.Info
+}
+
+func init() {
+	// The source importer resolves out-of-module imports (the stdlib)
+	// by type-checking them from GOROOT source. With cgo enabled it
+	// would select cgo files in net/os-user and shell out to the cgo
+	// tool; the pure-Go variants type-check everywhere, so pin them.
+	build.Default.CgoEnabled = false
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod and
+// returns it with the module path parsed from the file.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s has no module line", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// packageDirs lists every directory under root holding at least one
+// non-test .go file, skipping testdata, VCS and hidden directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parsedPkg is a package's syntax before type-checking.
+type parsedPkg struct {
+	path, dir string
+	files     []*ast.File
+	imports   []string // module-internal import paths only
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (the directory holding go.mod, module path modPath). Test files are
+// excluded: ringvet guards the shipped tree; the _test.go surface is
+// exercised by the runtime gates. Imports that leave the module (the
+// stdlib) resolve through the compiler's source importer.
+func LoadModule(root, modPath string) ([]*Package, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	internal := func(p string) bool {
+		return p == modPath || strings.HasPrefix(p, modPath+"/")
+	}
+
+	parsed := make(map[string]*parsedPkg, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := modPath
+		if rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pp := &parsedPkg{path: ipath, dir: dir}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		seenImports := map[string]bool{}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			// Honor //go:build constraints and filename suffixes for the
+			// host platform, like the real build does.
+			if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pp.files = append(pp.files, f)
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if internal(p) && !seenImports[p] {
+					seenImports[p] = true
+					pp.imports = append(pp.imports, p)
+				}
+			}
+		}
+		if len(pp.files) > 0 {
+			parsed[ipath] = pp
+		}
+	}
+
+	order, err := topoSort(parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	checked := make(map[string]*Package, len(parsed))
+	src := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if internal(path) {
+			pkg, ok := checked[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: internal import %q not yet checked (cycle?)", path)
+			}
+			return pkg.Types, nil
+		}
+		return src.Import(path)
+	})
+
+	var out []*Package
+	for _, ipath := range order {
+		pp := parsed[ipath]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(ipath, fset, pp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", ipath, err)
+		}
+		pkg := &Package{Path: ipath, Dir: pp.dir, Fset: fset, Files: pp.files, Types: tpkg, Info: info}
+		checked[ipath] = pkg
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// topoSort orders packages so every module-internal import is checked
+// before its importers; ties break alphabetically for a stable run.
+func topoSort(pkgs map[string]*parsedPkg) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		}
+		state[p] = grey
+		pp := pkgs[p]
+		deps := append([]string(nil), pp.imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := pkgs[d]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

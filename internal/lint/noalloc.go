@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc flags allocating constructs inside functions annotated
+// //ringvet:hotpath: the zero-alloc serving paths whose unit tests
+// assert 0 allocs/op (oracle's flat batch walk, telemetry's record
+// paths). The check is per-function — callees must carry their own
+// annotation; testing.AllocsPerRun backstops cover the composition.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions marked //ringvet:hotpath must contain no allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	parents := parentMap(fd.Body)
+	inLoop := func(n ast.Node) bool {
+		for p := parents[n]; p != nil; p = parents[p] {
+			switch p.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			}
+		}
+		return false
+	}
+	var sig *types.Signature
+	if obj := info.Defs[fd.Name]; obj != nil {
+		sig, _ = obj.Type().(*types.Signature)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, info, nd)
+		case *ast.CompositeLit:
+			t := info.Types[nd].Type
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(nd.Pos(), "hotpath %s: map literal allocates", fd.Name.Name)
+			case *types.Slice:
+				pass.Reportf(nd.Pos(), "hotpath %s: slice literal allocates", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if _, ok := nd.X.(*ast.CompositeLit); ok {
+				pass.Reportf(nd.Pos(), "hotpath %s: address of composite literal escapes to the heap", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range nd.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					xt := info.Types[ix.X].Type
+					if xt == nil {
+						continue
+					}
+					if _, isMap := xt.Underlying().(*types.Map); isMap {
+						pass.Reportf(nd.Pos(), "hotpath %s: map write may allocate (growth, key insertion)", fd.Name.Name)
+					}
+				}
+			}
+			checkNoAllocAssign(pass, info, fd, nd)
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(nd.Results) {
+				for i, res := range nd.Results {
+					reportBoxed(pass, info, fd, res, sig.Results().At(i).Type(), "return value")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesOuter(info, fd, nd) {
+				pass.Reportf(nd.Pos(), "hotpath %s: closure captures variables (allocates the capture env)", fd.Name.Name)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(nd.Pos(), "hotpath %s: go statement allocates a goroutine", fd.Name.Name)
+		case *ast.DeferStmt:
+			if inLoop(nd) {
+				pass.Reportf(nd.Pos(), "hotpath %s: defer inside a loop allocates per iteration", fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if nd.Op.String() == "+" {
+				bt := info.Types[nd].Type
+				if bt == nil {
+					return true
+				}
+				if b, ok := bt.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					pass.Reportf(nd.Pos(), "hotpath %s: string concatenation allocates", fd.Name.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method value (m := x.M) allocates its bound receiver
+			// closure; calling through it is fine.
+			if s, ok := info.Selections[nd]; ok && s.Kind() == types.MethodVal {
+				if p, ok := parents[nd].(*ast.CallExpr); !ok || p.Fun != nd {
+					pass.Reportf(nd.Pos(), "hotpath %s: bound method value allocates", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	// Type conversions: interface boxing and string<->[]byte copies.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		switch {
+		case types.IsInterface(to.Underlying()) && from != nil && !types.IsInterface(from.Underlying()):
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand", to)
+		case isString(to) && isByteOrRuneSlice(from), isByteOrRuneSlice(to) && isString(from):
+			pass.Reportf(call.Pos(), "string/slice conversion copies its operand")
+		}
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if info.Uses[fun] == types.Universe.Lookup(fun.Name) {
+			switch fun.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates", fun.Name)
+				return
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array")
+				return
+			}
+		}
+	}
+	if pkg := calleePkgPath(info, call.Fun); pkg == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (formatting boxes and builds strings)", calleeName(call.Fun))
+		return
+	}
+	// Interface boxing at call boundaries, and variadic arg slices.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			if i == params.Len()-1 {
+				pass.Reportf(arg.Pos(), "variadic call allocates its argument slice")
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			reportBoxedExpr(pass, info, arg, pt, "argument")
+		}
+	}
+}
+
+func checkNoAllocAssign(pass *Pass, info *types.Info, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := info.Types[lhs].Type
+		if lt == nil {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt != nil {
+			reportBoxed(pass, info, fd, as.Rhs[i], lt, "assignment")
+		}
+	}
+}
+
+// reportBoxed flags expr if assigning it to target type boxes a
+// concrete value into an interface.
+func reportBoxed(pass *Pass, info *types.Info, fd *ast.FuncDecl, expr ast.Expr, target types.Type, what string) {
+	_ = fd
+	reportBoxedExpr(pass, info, expr, target, what)
+}
+
+func reportBoxedExpr(pass *Pass, info *types.Info, expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type.Underlying()) {
+		return
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		// Untyped constants box too, but a constant arg to a
+		// preallocated-family call is the dominant false-positive
+		// source; constants convert at compile time into interface
+		// data words only for pointer-free word-sized values. Keep
+		// flagging: constants still allocate an eface on conversion
+		// unless they fit the staticuint64s fast path. Report them.
+		pass.Reportf(expr.Pos(), "%s converts constant to interface %s (may allocate)", what, target)
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s boxes %s into interface %s", what, tv.Type, target)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturesOuter reports whether lit references a variable declared in
+// an enclosing function scope (a capturing closure, which allocates).
+func capturesOuter(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		obj := info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() && v.Pos() >= fd.Pos() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

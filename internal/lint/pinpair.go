@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PinPair verifies the refcounted arena pin protocol: inside any
+// function that calls a `pin() bool` method (oracle.FlatSnap's mmap
+// reader reference), every control-flow path on which the pin
+// succeeded must release it — an explicit `unpin()` before each exit,
+// or a `defer unpin()` — before the function returns. Functions that
+// only call unpin (the creation-reference release path) are exempt:
+// the analysis is anchored on pin acquisition.
+var PinPair = &Analyzer{
+	Name: "pinpair",
+	Doc:  "every successful pin() must be matched by an unpin() on all paths out of the function",
+	Run:  runPinPair,
+}
+
+func runPinPair(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if containsPinCall(pass.Info, fd.Body) {
+				checkPinPair(pass, fd)
+			}
+		}
+	}
+}
+
+// isPinMethodCall matches a call to a method named "pin" with no
+// arguments returning exactly one bool — the protocol's acquire shape.
+func isPinMethodCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "pin" || len(call.Args) != 0 {
+		return false
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isUnpinCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "unpin" && len(call.Args) == 0
+}
+
+func containsPinCall(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are analyzed as their own scope
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPinMethodCall(info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// pinState is the abstract state threaded through the statement walk.
+type pinState struct {
+	pinned   bool // a successful pin may be held here
+	deferred bool // a deferred unpin covers every later exit
+}
+
+func merge(a, b pinState) pinState {
+	return pinState{pinned: a.pinned || b.pinned, deferred: a.deferred && b.deferred}
+}
+
+// pinWalker carries the per-function analysis context.
+type pinWalker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	// pinVars maps bool variables assigned from a pin() call to true,
+	// so `ok := f.pin(); if !ok { return }` is understood.
+	pinVars map[types.Object]bool
+}
+
+func checkPinPair(pass *Pass, fd *ast.FuncDecl) {
+	w := &pinWalker{pass: pass, fd: fd, pinVars: map[types.Object]bool{}}
+	out, terminated := w.walkStmts(fd.Body.List, pinState{})
+	if !terminated && out.pinned && !out.deferred {
+		pass.Reportf(fd.Body.Rbrace, "%s: function can fall off its end still holding a pin (no unpin on this path)", fd.Name.Name)
+	}
+}
+
+// walkStmts interprets a statement list, returning the state at its
+// end and whether every path through it already left the function.
+func (w *pinWalker) walkStmts(stmts []ast.Stmt, st pinState) (pinState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *pinWalker) walkStmt(s ast.Stmt, st pinState) (pinState, bool) {
+	switch stmt := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := stmt.X.(*ast.CallExpr); ok {
+			switch {
+			case isPinMethodCall(w.pass.Info, call):
+				// Result discarded: treat as held from here on.
+				st.pinned = true
+			case isUnpinCall(call):
+				st.pinned = false
+			case isPanicCall(call):
+				return st, true
+			}
+		}
+	case *ast.AssignStmt:
+		if len(stmt.Rhs) == 1 {
+			if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok && isPinMethodCall(w.pass.Info, call) {
+				if len(stmt.Lhs) == 1 {
+					if id, ok := stmt.Lhs[0].(*ast.Ident); ok {
+						if obj := objOf(w.pass.Info, id); obj != nil {
+							w.pinVars[obj] = true
+							// Held only once the variable is observed
+							// true; the branch handling below splits.
+							return st, false
+						}
+					}
+				}
+				st.pinned = true
+			}
+		}
+	case *ast.DeferStmt:
+		if isUnpinCall(stmt.Call) {
+			st.deferred = true
+		}
+	case *ast.ReturnStmt:
+		if st.pinned && !st.deferred {
+			w.pass.Reportf(stmt.Pos(), "%s: return while holding a pin with no unpin on this path", w.fd.Name.Name)
+		}
+		return st, true
+	case *ast.BlockStmt:
+		return w.walkStmts(stmt.List, st)
+	case *ast.IfStmt:
+		return w.walkIf(stmt, st)
+	case *ast.ForStmt:
+		bodyOut, _ := w.walkStmts(stmt.Body.List, st)
+		return merge(st, bodyOut), false
+	case *ast.RangeStmt:
+		bodyOut, _ := w.walkStmts(stmt.Body.List, st)
+		return merge(st, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkClauses(s, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(stmt.Stmt, st)
+	}
+	return st, false
+}
+
+// walkIf handles the protocol's branch shapes:
+//
+//	if !x.pin() { ... }   // then-branch: pin failed
+//	if x.pin() { ... }    // then-branch: pin held
+//	if !ok { ... }        // ok previously assigned from pin()
+func (w *pinWalker) walkIf(stmt *ast.IfStmt, st pinState) (pinState, bool) {
+	if stmt.Init != nil {
+		st, _ = w.walkStmt(stmt.Init, st)
+	}
+	thenSt, elseSt := st, st
+	cond := ast.Unparen(stmt.Cond)
+	if neg, ok := cond.(*ast.UnaryExpr); ok && neg.Op.String() == "!" {
+		if w.isPinCond(ast.Unparen(neg.X)) {
+			thenSt.pinned = false // pin failed on the then-path
+			elseSt.pinned = true
+		}
+	} else if w.isPinCond(cond) {
+		thenSt.pinned = true
+		elseSt.pinned = false
+	}
+	thenOut, thenTerm := w.walkStmts(stmt.Body.List, thenSt)
+
+	var elseOut pinState
+	elseTerm := false
+	switch e := stmt.Else.(type) {
+	case nil:
+		elseOut = elseSt
+	case *ast.BlockStmt:
+		elseOut, elseTerm = w.walkStmts(e.List, elseSt)
+	case *ast.IfStmt:
+		elseOut, elseTerm = w.walkIf(e, elseSt)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return st, true
+	case thenTerm:
+		return elseOut, false
+	case elseTerm:
+		return thenOut, false
+	default:
+		return merge(thenOut, elseOut), false
+	}
+}
+
+// isPinCond matches a pin() call or a variable known to hold one's
+// result.
+func (w *pinWalker) isPinCond(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		return isPinMethodCall(w.pass.Info, x)
+	case *ast.Ident:
+		if obj := objOf(w.pass.Info, x); obj != nil {
+			return w.pinVars[obj]
+		}
+	}
+	return false
+}
+
+// walkClauses merges switch/select clause outcomes like an if/else
+// ladder.
+func (w *pinWalker) walkClauses(s ast.Stmt, st pinState) (pinState, bool) {
+	var bodies [][]ast.Stmt
+	switch sw := s.(type) {
+	case *ast.SwitchStmt:
+		if sw.Init != nil {
+			st, _ = w.walkStmt(sw.Init, st)
+		}
+		for _, c := range sw.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range sw.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range sw.Body.List {
+			bodies = append(bodies, c.(*ast.CommClause).Body)
+		}
+	}
+	if len(bodies) == 0 {
+		return st, false
+	}
+	out := st // a switch without a matching case falls through unchanged
+	for _, body := range bodies {
+		if o, term := w.walkStmts(body, st); !term {
+			out = merge(out, o)
+		}
+	}
+	// Conservatively assume the switch can fall through even when every
+	// clause terminates (no default-exhaustiveness reasoning).
+	return out, false
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

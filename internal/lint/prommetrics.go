@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// metricNameRE is the exposition contract: every series this module
+// registers starts with the rings_ namespace (per-shard shardN_
+// prefixes are added at exposition by telemetry.Group, never baked
+// into registered names).
+var metricNameRE = regexp.MustCompile(`^rings_[a-z0-9_]+$`)
+
+// registrationMethods are telemetry.Registry's get-or-create entry
+// points; the first argument of each is the metric name.
+var registrationMethods = map[string]bool{
+	"Counter":         true,
+	"Gauge":           true,
+	"Histogram":       true,
+	"CounterFamily":   true,
+	"GaugeFamily":     true,
+	"HistogramFamily": true,
+}
+
+// PromMetrics enforces the telemetry registration contract:
+//
+//  1. every registered metric name is a compile-time constant matching
+//     rings_[a-z0-9_]+ (the namespace the CI smokes and dashboards
+//     grep for);
+//  2. registration happens at construction — never inside an HTTP
+//     handler (a function seeing *http.Request or http.ResponseWriter)
+//     and never inside a //ringvet:hotpath function, where the
+//     registry mutex and map would break the zero-alloc/lock-free
+//     guarantees.
+var PromMetrics = &Analyzer{
+	Name: "prommetrics",
+	Doc:  "metric names must match rings_[a-z0-9_]+ and register at construction, not on request paths",
+	Run:  runPromMetrics,
+}
+
+func runPromMetrics(pass *Pass) {
+	info := pass.Info
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				hot := isHotpath(d)
+				reqPath := isRequestScoped(info, d.Type)
+				checkRegistrations(pass, d.Body, d.Name.Name, hot, reqPath)
+			case *ast.GenDecl:
+				// Package-level var initializers (telemetry.Default
+				// registrations) are construction time by definition;
+				// only the name check applies.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if name, ok := registrationCall(info, call); ok {
+							checkMetricName(pass, call, name)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// checkRegistrations walks a function body tracking whether any
+// enclosing function (literal included) is request-scoped or hotpath.
+func checkRegistrations(pass *Pass, body *ast.BlockStmt, fname string, hot, reqPath bool) {
+	info := pass.Info
+	parents := parentMap(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, isReg := registrationCall(info, call)
+		if !isReg {
+			return true
+		}
+		checkMetricName(pass, call, name)
+		inReq, inHot := reqPath, hot
+		for p := parents[call]; p != nil; p = parents[p] {
+			if lit, ok := p.(*ast.FuncLit); ok && isRequestScoped(info, lit.Type) {
+				inReq = true
+			}
+		}
+		switch {
+		case inHot:
+			pass.Reportf(call.Pos(), "metric registration inside hotpath %s: registration locks the registry and must happen at construction", fname)
+		case inReq:
+			pass.Reportf(call.Pos(), "metric registration inside request-scoped %s: register at construction and capture the handle", fname)
+		}
+		return true
+	})
+}
+
+// registrationCall matches reg.Counter(...)-shaped calls on a
+// telemetry.Registry receiver and returns the name argument's constant
+// value when resolvable ("" otherwise).
+func registrationCall(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !registrationMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return "", false
+	}
+	recv := info.Types[sel.X].Type
+	if recv == nil || !typeIs(recv, "telemetry", "Registry") {
+		return "", false
+	}
+	name, _ = constString(info, call.Args[0])
+	return name, true
+}
+
+func checkMetricName(pass *Pass, call *ast.CallExpr, name string) {
+	if name == "" {
+		if _, isConst := constString(pass.Info, call.Args[0]); !isConst {
+			pass.Reportf(call.Args[0].Pos(), "metric name is not a compile-time constant; dynamic names defeat the preallocation contract (prefix at exposition with telemetry.Group instead)")
+			return
+		}
+	}
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q does not match %s", name, metricNameRE)
+	}
+}
+
+// isRequestScoped reports whether a function signature touches the
+// HTTP request surface (an *http.Request or http.ResponseWriter
+// parameter).
+func isRequestScoped(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		t := info.Types[f.Type].Type
+		if t == nil {
+			continue
+		}
+		if typeIs(t, "http", "Request") || typeIs(t, "net/http", "Request") {
+			return true
+		}
+		if typeIs(t, "http", "ResponseWriter") || typeIs(t, "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}

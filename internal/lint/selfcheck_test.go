@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rings/internal/lint"
+)
+
+// TestSelfCheck makes the suite self-enforcing: every analyzer runs
+// over the whole module, and any unsuppressed finding fails `go test
+// ./...` — reintroducing a violation anywhere in the tree breaks this
+// test, not just the CI ringvet step.
+func TestSelfCheck(t *testing.T) {
+	root, modPath, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.All())
+
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			continue
+		}
+		t.Errorf("%s", d)
+	}
+	t.Logf("selfcheck: %d packages, %d findings (%d suppressed with reasons)",
+		len(pkgs), len(diags), suppressed)
+}

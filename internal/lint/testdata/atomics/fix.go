@@ -1,0 +1,73 @@
+// Package atomicsfix exercises the atomics analyzer: mixed
+// plain/atomic access to a field, and by-value copies of types holding
+// atomics or locks.
+package atomicsfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// load reads n atomically everywhere: hits stays clean below too.
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// stale reads n plainly while inc writes it atomically: a data race.
+func (c *counter) stale() int64 {
+	return c.n // want "plain access to field n"
+}
+
+// reset writes n plainly before the counter is shared; documented.
+func reset(c *counter) {
+	//ringvet:ignore atomics: constructor path, runs before the counter is published
+	c.n = 0 // want-suppressed "plain access to field n"
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+type gauge struct {
+	v  atomic.Int64
+	mu sync.Mutex
+}
+
+func snapshot(g gauge) int64 { // want "by value, copying its atomics/locks"
+	return g.v.Load()
+}
+
+func deref(g *gauge) gauge { // want "by value, copying its atomics/locks"
+	h := *g  // want "assignment copies"
+	return h // want "return copies"
+}
+
+func rangeCopy(gs []gauge) int64 {
+	var t int64
+	for _, g := range gs { // want "range copies elements"
+		t += g.v.Load()
+	}
+	return t
+}
+
+// rangeIndex is the clean form: index, don't copy.
+func rangeIndex(gs []gauge) int64 {
+	var t int64
+	for i := range gs {
+		t += gs[i].v.Load()
+	}
+	return t
+}
+
+// byPointer passes and returns pointers: clean.
+func byPointer(g *gauge) *gauge {
+	g.v.Store(0)
+	return g
+}

@@ -1,0 +1,3 @@
+module atomicsfix
+
+go 1.24

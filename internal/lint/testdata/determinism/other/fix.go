@@ -1,0 +1,17 @@
+// Package other is outside the determinism analyzer's scope: the same
+// constructs produce no findings here.
+package other
+
+import "time"
+
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,74 @@
+// Package packing stands in for the build packages the determinism
+// analyzer scopes to (matched by directory base name): map-order leaks,
+// wall-clock escapes, and global-rand draws are findings here.
+package packing
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func keysBad(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "map iteration order reaches output slice"
+	}
+	return out
+}
+
+// keysGood collects then canonicalizes: the sort makes the order safe.
+func keysGood(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fillKeyed indexes by the map key itself: order-independent.
+func fillKeyed(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+func fillBad(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want "order-dependent index fill"
+		i++
+	}
+}
+
+// elapsed measures a duration: the sanctioned time.Now use.
+func elapsed(work func()) time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "escapes duration measurement"
+}
+
+// jitterSeed draws an operational seed; documented as output-inert.
+func jitterSeed() int64 {
+	//ringvet:ignore determinism: operational jitter seed, never reaches build outputs
+	return time.Now().UnixNano() // want-suppressed "escapes duration measurement"
+}
+
+func pickBad(n int) int {
+	return rand.Intn(n) // want "global math/rand source"
+}
+
+// pickGood draws from a caller-owned seeded source.
+func pickGood(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+// newSource constructs the seeded source: the fix, not a finding.
+func newSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,63 @@
+// Package errfix models ringsrv's error surface for the errtaxonomy
+// analyzer: an errorBody struct, a writeJSON sink, and a writeError
+// status-mapping function.
+package errfix
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+const (
+	codeNotFound = "not_found"
+	codeBogus    = "wat_is_this"
+)
+
+// good pairs a documented code with its documented status.
+func good(w http.ResponseWriter) {
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "gone", Code: codeNotFound})
+}
+
+func badCode(w http.ResponseWriter) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: "x", Code: codeBogus}) // want "not in the documented taxonomy"
+}
+
+func badStatus(w http.ResponseWriter) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: "x", Code: codeNotFound}) // want "documented for HTTP 404 but sent with 400"
+}
+
+func dynCode(w http.ResponseWriter, c string) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: "x", Code: c}) // want "not a compile-time constant"
+}
+
+// writeError is the status-mapping shape the real server uses: a
+// default status, then per-case (status, code) assignments.
+func writeError(w http.ResponseWriter, kind int) {
+	status := http.StatusInternalServerError
+	body := errorBody{Error: "fail", Code: "internal"}
+	switch kind {
+	case 1:
+		status = http.StatusNotFound
+		body.Code = "not_found"
+	case 2:
+		body.Code = "unavailable" // want "documented for HTTP 503 but sent with 500"
+	}
+	writeJSON(w, status, body)
+}
+
+// legacyProbe ships an undocumented pair on purpose until the next wire
+// revision; the pragma records that.
+func legacyProbe(w http.ResponseWriter) {
+	//ringvet:ignore errtaxonomy: legacy probe retired in the next wire revision, kept for rollback
+	writeJSON(w, http.StatusTeapot, errorBody{Error: "x", Code: "teapot"}) // want-suppressed "not in the documented taxonomy"
+}

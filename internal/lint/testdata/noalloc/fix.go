@@ -1,0 +1,100 @@
+// Package noallocfix exercises the noalloc analyzer: allocating
+// constructs inside //ringvet:hotpath functions are findings; the same
+// constructs in unannotated functions are not.
+package noallocfix
+
+import "fmt"
+
+type buf struct {
+	xs  []int
+	out [8]int
+}
+
+// hot gathers one instance of each allocating construct.
+//
+//ringvet:hotpath
+func hot(b *buf, n int) int {
+	s := make([]int, n) // want "make allocates"
+	_ = s
+	b.xs = append(b.xs, n) // want "append may grow its backing array"
+	m := map[string]int{}  // want "map literal allocates"
+	m["k"] = 1             // want "map write may allocate"
+	fmt.Println(n)         // want "fmt.Println allocates"
+	var sink any
+	sink = n // want "boxes int into interface"
+	_ = sink
+	k := n
+	f := func() int { return k } // want "closure captures variables"
+	go drain(b)                  // want "go statement allocates"
+	return f()
+}
+
+// hotStrings covers the string-shaped allocations.
+//
+//ringvet:hotpath
+func hotStrings(a, b string, raw []byte) string {
+	s := string(raw) // want "string/slice conversion copies"
+	_ = s
+	return a + b // want "string concatenation allocates"
+}
+
+// hotVariadic shows an implicit argument-slice allocation.
+//
+//ringvet:hotpath
+func hotVariadic(xs []int) int {
+	return sum(1, 2, 3) // want "variadic call allocates its argument slice"
+}
+
+// hotClean is annotated and allocation-free: index reads, arithmetic,
+// calls through existing values.
+//
+//ringvet:hotpath
+func hotClean(b *buf, i, v int) int {
+	b.out[i&7] += v
+	t := 0
+	for _, x := range b.out {
+		t += x
+	}
+	return t
+}
+
+// hotCold's error path allocates by design; the pragma documents why.
+//
+//ringvet:hotpath
+func hotCold(n int) error {
+	if n < 0 {
+		//ringvet:ignore noalloc: cold validation path, only taken on caller error
+		return fmt.Errorf("bad n %d", n) // want-suppressed "fmt.Errorf allocates"
+	}
+	return nil
+}
+
+// hotMalformed carries a reason-less pragma: the finding stays live and
+// the pragma itself is reported.
+//
+//ringvet:hotpath
+func hotMalformed(n int) []int {
+	//ringvet:ignore noalloc // want "malformed"
+	return make([]int, n) // want "make allocates"
+}
+
+// cold does everything hot does with no annotation: no findings.
+func cold(b *buf, n int) int {
+	s := make([]int, n)
+	b.xs = append(b.xs, n)
+	m := map[string]int{"k": 1}
+	fmt.Println(n)
+	var sink any = n
+	_, _ = sink, m
+	return len(s)
+}
+
+func drain(b *buf) {}
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

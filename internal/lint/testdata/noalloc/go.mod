@@ -1,0 +1,3 @@
+module noallocfix
+
+go 1.24

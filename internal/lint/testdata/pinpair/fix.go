@@ -1,0 +1,96 @@
+// Package pinpairfix exercises the pinpair analyzer against the
+// FlatSnap protocol shapes: pin() bool acquire, unpin() release.
+package pinpairfix
+
+import "sync/atomic"
+
+type snap struct {
+	refs atomic.Int64
+}
+
+func (s *snap) pin() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (s *snap) unpin() {
+	s.refs.Add(-1)
+}
+
+var sink int64
+
+func use(s *snap) {
+	sink += s.refs.Load()
+}
+
+// goodDefer is the canonical shape.
+func goodDefer(s *snap) {
+	if !s.pin() {
+		return
+	}
+	defer s.unpin()
+	use(s)
+}
+
+// goodExplicit releases on every exit by hand.
+func goodExplicit(s *snap, n int) int {
+	if !s.pin() {
+		return -1
+	}
+	if n == 0 {
+		s.unpin()
+		return 0
+	}
+	use(s)
+	s.unpin()
+	return n
+}
+
+// goodVar threads the pin result through a variable.
+func goodVar(s *snap) {
+	ok := s.pin()
+	if !ok {
+		return
+	}
+	defer s.unpin()
+	use(s)
+}
+
+// releaseOnly only unpins (the creation-reference drop): exempt.
+func releaseOnly(s *snap) {
+	s.unpin()
+}
+
+func leakOnReturn(s *snap, n int) int {
+	if !s.pin() {
+		return -1
+	}
+	if n == 0 {
+		return 0 // want "return while holding a pin"
+	}
+	s.unpin()
+	return n
+}
+
+func leakOnFallOff(s *snap) {
+	if s.pin() {
+		use(s)
+	}
+} // want "fall off its end still holding a pin"
+
+// transfer hands the pin to the caller by contract; the pragma
+// documents the ownership handoff.
+func transfer(s *snap) bool {
+	if !s.pin() {
+		return false
+	}
+	//ringvet:ignore pinpair: pin ownership transfers to the caller, released via unpin after use
+	return true // want-suppressed "return while holding a pin"
+}

@@ -1,0 +1,3 @@
+module pinpairfix
+
+go 1.24

@@ -1,0 +1,46 @@
+// Package promfix exercises the prommetrics analyzer: name hygiene and
+// registration placement.
+package promfix
+
+import (
+	"net/http"
+
+	"promfix/telemetry"
+)
+
+var reg = &telemetry.Registry{}
+
+// Package-level registration is construction time; only names check.
+var (
+	hits = reg.Counter("rings_hits_total")
+	bad  = reg.Counter("Hits-Total") // want "does not match"
+)
+
+// newServer registers at construction with a good name: clean.
+func newServer() *telemetry.Gauge {
+	return reg.Gauge("rings_depth")
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	c := reg.Counter("rings_req_total") // want "request-scoped"
+	_ = c
+}
+
+// record is a hot serving path; registry access is forbidden here.
+//
+//ringvet:hotpath
+func record() {
+	c := reg.Counter("rings_hot_total") // want "inside hotpath"
+	_ = c
+}
+
+func dynName(name string) *telemetry.Counter {
+	return reg.Counter("rings_" + name) // want "not a compile-time constant"
+}
+
+// probeHandler registers on a debug endpoint; documented exception.
+func probeHandler(w http.ResponseWriter, r *http.Request) {
+	//ringvet:ignore prommetrics: debug-only endpoint, registration rate is once per deploy
+	c := reg.Counter("rings_probe_total") // want-suppressed "request-scoped"
+	_ = c
+}

@@ -1,0 +1,3 @@
+module promfix
+
+go 1.24

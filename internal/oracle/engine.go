@@ -82,6 +82,7 @@ type endpointStats struct {
 	mLatencyUs *telemetry.Histogram
 }
 
+//ringvet:hotpath
 func (s *endpointStats) record(us float64) {
 	s.latency[slotHint(latencyShards)].Add(us)
 }
@@ -186,6 +187,7 @@ func (e *Engine) Rebuild(cfg Config) (*Snapshot, error) {
 // Snapshot returns the currently served snapshot.
 func (e *Engine) Snapshot() *Snapshot { return e.state.Load().snap }
 
+//ringvet:hotpath
 func (e *Engine) observe(endpoint string, start time.Time, err error) {
 	st := e.endpoints[endpoint]
 	st.count.Add(1)
@@ -213,6 +215,8 @@ var errArenaClosed = errors.New("oracle: snapshot arena closed while serving (Cl
 // flatEstimate answers one pair from the snapshot's flat arenas. The
 // second return is false when the arena could not be pinned (closed
 // after swap-out) and the caller must reload the engine state.
+//
+//ringvet:hotpath
 func flatEstimate(snap *Snapshot, u, v int) (EstimateResult, error, bool) {
 	f := snap.Flat
 	if f == nil {
@@ -295,9 +299,12 @@ func (e *Engine) EstimateBatch(pairs []Pair) ([]EstimateResult, error) {
 // load, one arena pin, no cache traffic — so a warm batch performs no
 // heap allocation at all; answers remain bit-identical to the single
 // query path on the same snapshot version.
+//
+//ringvet:hotpath
 func (e *Engine) EstimateBatchInto(pairs []Pair, out []EstimateResult) ([]EstimateResult, error) {
 	start := time.Now()
 	if len(out) != len(pairs) {
+		//ringvet:ignore noalloc: cold caller-error path, taken once per misuse, never in steady state
 		err := fmt.Errorf("oracle: batch buffer holds %d results for %d pairs", len(out), len(pairs))
 		e.observe(EndpointBatch, start, err)
 		return nil, err
@@ -328,6 +335,8 @@ func (e *Engine) EstimateBatchInto(pairs []Pair, out []EstimateResult) ([]Estima
 // arena is pinned once around the loop (the S6 lifetime guard: a
 // concurrent Swap+Close cannot unmap it mid-batch); without them it
 // falls back to the cached single-pair path.
+//
+//ringvet:hotpath
 func batchOn(st *engineState, pairs []Pair, out []EstimateResult) (error, bool) {
 	snap := st.snap
 	f := snap.Flat
@@ -337,6 +346,7 @@ func batchOn(st *engineState, pairs []Pair, out []EstimateResult) (error, bool) 
 			var ok bool
 			if out[i], err, ok = estimateOn(st, p.U, p.V); err != nil || !ok {
 				if err != nil {
+					//ringvet:ignore noalloc: cold error path, the batch aborts here anyway
 					err = fmt.Errorf("pair %d: %w", i, err)
 				}
 				return err, ok
@@ -355,6 +365,7 @@ func batchOn(st *engineState, pairs []Pair, out []EstimateResult) (error, bool) 
 			if u >= 0 && u < n {
 				u = p.V
 			}
+			//ringvet:ignore noalloc: cold validation path, taken once per out-of-range pair and aborts the batch
 			return fmt.Errorf("pair %d: oracle: estimate node %d out of range [0, %d): %w", i, u, n, ErrNodeRange), true
 		}
 		r := &out[i]

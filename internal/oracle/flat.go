@@ -92,6 +92,8 @@ func (f *FlatSnap) Mapped() bool { return f.m != nil && !f.unmapped.Load() }
 // after being swapped out), in which case the caller must reload the
 // engine state — a newer snapshot is necessarily installed by then.
 // Heap-backed arenas always pin successfully at zero cost.
+//
+//ringvet:hotpath
 func (f *FlatSnap) pin() bool {
 	if f.m == nil {
 		return true
@@ -108,6 +110,8 @@ func (f *FlatSnap) pin() bool {
 }
 
 // unpin drops a reader reference; the last reference unmaps the arena.
+//
+//ringvet:hotpath
 func (f *FlatSnap) unpin() {
 	if f.m == nil {
 		return

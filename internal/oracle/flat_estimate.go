@@ -17,6 +17,8 @@ type flatAcc struct {
 // consider folds one common-neighbor candidate: hu indexes u's stored
 // distances, hv indexes v's. Bit-identical to distlabel.Estimate's
 // consider closure.
+//
+//ringvet:hotpath
 func (a *flatAcc) consider(f *FlatSnap, uOff, vOff int32, lenU, lenV, hu, hv int) {
 	if hu < 0 || hv < 0 || hu >= lenU || hv >= lenV {
 		return
@@ -35,6 +37,8 @@ func (a *flatAcc) consider(f *FlatSnap, uOff, vOff int32, lenU, lenV, hu, hv int
 // in range (the callers bounds-check). The answer is bit-identical to
 // distlabel.Estimate on the labels the arenas were packed from (or to
 // Tri.Estimate under SchemeBeacons).
+//
+//ringvet:hotpath
 func (f *FlatSnap) estimatePair(u, v int) (lower, upper float64, ok bool) {
 	if f.scheme == SchemeBeacons {
 		return f.estimateBeacons(u, v)
@@ -60,6 +64,8 @@ func (f *FlatSnap) estimatePair(u, v int) (lower, upper float64, ok bool) {
 // index on both sides, harvesting every commonly-translatable virtual
 // neighbor at each level. swap flips the (mine, other) orientation back
 // to (u, v) for the distance fold.
+//
+//ringvet:hotpath
 func (f *FlatSnap) walk(a *flatAcc, mine, other int, swap bool, uOff, vOff int32, lenU, lenV int) {
 	// Invariant: (am, bo) are the host indices of the current zoom
 	// element in mine resp. other.
@@ -89,6 +95,8 @@ func (f *FlatSnap) walk(a *flatAcc, mine, other int, swap bool, uOff, vOff int32
 
 // consider2 folds a (mine-host, other-host) pair, restoring (u, v)
 // orientation.
+//
+//ringvet:hotpath
 func (f *FlatSnap) consider2(a *flatAcc, swap bool, uOff, vOff int32, lenU, lenV, x, y int) {
 	if swap {
 		x, y = y, x
@@ -99,6 +107,8 @@ func (f *FlatSnap) consider2(a *flatAcc, swap bool, uOff, vOff int32, lenU, lenV
 // lookup finds the Z of the entry with virtual index y under key x in
 // group g (binary search over the sorted x keys, then over the Y-sorted
 // pairs), or -1.
+//
+//ringvet:hotpath
 func (f *FlatSnap) lookup(g int, x, y int32) int {
 	k := f.findKey(g, x)
 	if k < 0 {
@@ -121,6 +131,8 @@ func (f *FlatSnap) lookup(g int, x, y int32) int {
 
 // findKey locates key x in group g's sorted key range, returning the
 // global key slot or -1.
+//
+//ringvet:hotpath
 func (f *FlatSnap) findKey(g int, x int32) int {
 	lo, hi := int(f.xkOff[g]), int(f.xkOff[g+1])
 	for lo < hi {
@@ -141,6 +153,8 @@ func (f *FlatSnap) findKey(g int, x int32) int {
 // (key xa in group ga, key xb in group gb) and folds each commonly
 // translatable virtual neighbor — the same ascending-Y two-pointer merge
 // as distlabel's harvest, so the fold order matches exactly.
+//
+//ringvet:hotpath
 func (f *FlatSnap) harvest(a *flatAcc, swap bool, uOff, vOff int32, lenU, lenV, ga, gb int, xa, xb int32) {
 	ka := f.findKey(ga, xa)
 	kb := f.findKey(gb, xb)
@@ -170,6 +184,8 @@ func (f *FlatSnap) harvest(a *flatAcc, swap bool, uOff, vOff int32, lenU, lenV, 
 // min/max fold as triangulation.Estimate over the same common-beacon
 // set (map iteration order cannot change an extremum, so the answers
 // are bit-identical).
+//
+//ringvet:hotpath
 func (f *FlatSnap) estimateBeacons(u, v int) (lower, upper float64, ok bool) {
 	upper = math.Inf(1)
 	i, e := int(f.bOff[u]), int(f.bOff[u+1])

@@ -11,6 +11,8 @@ import "unsafe"
 // splitmix64 turns their addresses into uniform slot picks — so two
 // goroutines on different cores almost always record into different
 // slots with zero coordination.
+//
+//ringvet:hotpath
 func slotHint(n int) int {
 	var p byte
 	h := splitmix64(uint64(uintptr(unsafe.Pointer(&p))))

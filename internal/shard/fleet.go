@@ -417,8 +417,8 @@ func (f *Fleet) RestartReplica(s, r int) error {
 
 // ReplicaStatus is one replica's roster entry.
 type ReplicaStatus struct {
-	Shard   int    `json:"shard"`
-	Replica int    `json:"replica"`
+	Shard   int `json:"shard"`
+	Replica int `json:"replica"`
 	// State is the breaker state: closed, open or half_open.
 	State string `json:"state"`
 	// Down reports the admin kill switch.

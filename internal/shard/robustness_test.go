@@ -68,11 +68,11 @@ func waitAllRecovered(t testing.TB, f *Fleet) {
 // deterministic snapshots, so any deviation means a replica served
 // different bytes).
 type robustOp struct {
-	kind     byte // 'e' estimate, 'n' nearest, 'r' route
-	a, b     int
-	est      EstimateResult
-	near     NearestResult
-	route    RouteResult
+	kind  byte // 'e' estimate, 'n' nearest, 'r' route
+	a, b  int
+	est   EstimateResult
+	near  NearestResult
+	route RouteResult
 }
 
 func buildDeck(t testing.TB, healthy *Fleet) []robustOp {

@@ -1,0 +1,23 @@
+package telemetry
+
+import "testing"
+
+// TestTracePublishDoesNotAllocate is the runtime backstop behind the
+// ringvet noalloc annotations on the trace path: sampling decisions and
+// ring publication of a caller-owned record must not allocate. (The
+// record itself is allocated by the caller at sample time, outside this
+// path.)
+func TestTracePublishDoesNotAllocate(t *testing.T) {
+	ring := NewTraceRing(64)
+	sampler := NewSampler(4)
+	rec := &TraceRecord{Endpoint: "estimate", U: 1, V: 2}
+	allocs := testing.AllocsPerRun(200, func() {
+		if sampler.Sample() {
+			ring.Record(rec)
+		}
+		ring.Record(rec)
+	})
+	if allocs != 0 {
+		t.Fatalf("trace publish allocated %v allocs/op, want 0", allocs)
+	}
+}

@@ -51,6 +51,8 @@ func NewHistogram(minExp, maxExp int) *Histogram {
 
 // bucketOf maps an observation to its bucket index: the smallest e with
 // 2^e >= v, offset and clamped into the layout.
+//
+//ringvet:hotpath
 func (h *Histogram) bucketOf(v float64) int {
 	if !(v > 0) {
 		return 0
@@ -72,6 +74,8 @@ func (h *Histogram) bucketOf(v float64) int {
 
 // Observe records one observation. It performs no allocation and takes
 // no lock: one stripe pick, two atomic adds, one CAS loop on the sum.
+//
+//ringvet:hotpath
 func (h *Histogram) Observe(v float64) {
 	if v != v { // NaN would poison the sum
 		return
@@ -143,7 +147,10 @@ func (h *Histogram) Sum() float64 {
 	return sum
 }
 
+//ringvet:hotpath
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+//ringvet:hotpath
 func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 
 // slotHint spreads concurrent callers over n slots (n must be a power of
@@ -152,6 +159,8 @@ func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 // two goroutines on different cores almost always pick different slots
 // with zero coordination (the same trick as oracle's latency-reservoir
 // sharding).
+//
+//ringvet:hotpath
 func slotHint(n int) int {
 	var p byte
 	h := splitmix64(uint64(uintptr(unsafe.Pointer(&p))))
@@ -159,6 +168,8 @@ func slotHint(n int) int {
 }
 
 // splitmix64 scrambles the address so slot choice is uniform.
+//
+//ringvet:hotpath
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

@@ -42,10 +42,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//ringvet:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be non-negative for the exposition to stay a valid
 // Prometheus counter; this is not enforced on the hot path).
+//
+//ringvet:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value reports the current count.
@@ -57,6 +61,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//ringvet:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
 
 // Value reports the current value.

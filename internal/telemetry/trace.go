@@ -48,6 +48,8 @@ func NewTraceRing(n int) *TraceRing {
 }
 
 // Record publishes one record, overwriting the oldest slot.
+//
+//ringvet:hotpath
 func (r *TraceRing) Record(rec *TraceRecord) {
 	i := r.cursor.Add(1) - 1
 	r.slots[i&r.mask].Store(rec)
@@ -89,6 +91,8 @@ func NewSampler(n int) *Sampler {
 }
 
 // Sample reports whether this call is selected.
+//
+//ringvet:hotpath
 func (s *Sampler) Sample() bool {
 	if s.n == 0 {
 		return false
